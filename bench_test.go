@@ -1,0 +1,152 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 5). Each BenchmarkTableN / BenchmarkFigureN renders the full
+// artifact once per iteration at a reduced workload; the per-application
+// benchmarks measure single (app, allocator) cells and report the modelled
+// simulated cycles alongside wall-clock time.
+//
+// Paper-sized runs: go run ./cmd/regionbench -scale-div 1 -all
+package regions_test
+
+import (
+	"io"
+	"testing"
+
+	"regions/internal/apps/appkit"
+	"regions/internal/bench"
+)
+
+// benchDiv shrinks workloads so `go test -bench .` completes quickly while
+// exercising every experiment's full code path.
+const benchDiv = 24
+
+func BenchmarkTable1Diff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table1(io.Discard)
+	}
+}
+
+func BenchmarkTable2Regions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table2(io.Discard, bench.NewSuite(benchDiv))
+	}
+}
+
+func BenchmarkTable3Malloc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table3(io.Discard, bench.NewSuite(benchDiv))
+	}
+}
+
+func BenchmarkFigure8MemoryOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Figure8(io.Discard, bench.NewSuite(benchDiv))
+	}
+}
+
+func BenchmarkFigure9ExecutionTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Figure9(io.Discard, bench.NewSuite(benchDiv))
+	}
+}
+
+func BenchmarkFigure10Stalls(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Figure10(io.Discard, bench.NewSuite(benchDiv))
+	}
+}
+
+func BenchmarkFigure11CostOfSafety(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Figure11(io.Discard, bench.NewSuite(benchDiv))
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Ablations(io.Discard, bench.NewSuite(benchDiv))
+	}
+}
+
+// BenchmarkApps measures every (application, environment) cell of Figures
+// 8-9 individually: the four malloc allocators, the conservative collector,
+// and the safe and unsafe region libraries.
+func BenchmarkApps(b *testing.B) {
+	for _, app := range bench.Apps() {
+		app := app
+		scale := app.DefaultScale / benchDiv
+		if scale < 1 {
+			scale = 1
+		}
+		for _, kind := range appkit.MallocKinds {
+			kind := kind
+			b.Run(app.Name+"/"+kind, func(b *testing.B) {
+				var cycles uint64
+				for i := 0; i < b.N; i++ {
+					if app.UsesEmulation {
+						e := appkit.NewRegionEnv("emu:"+kind, appkit.Config{})
+						app.Region(e, scale)
+						c := e.Counters()
+						cycles = c.TotalCycles()
+					} else {
+						e := appkit.NewMallocEnv(kind, appkit.Config{})
+						app.Malloc(e, scale)
+						c := e.Counters()
+						cycles = c.TotalCycles()
+					}
+				}
+				b.ReportMetric(float64(cycles)/1e6, "Mcycles/op")
+			})
+		}
+		for _, kind := range []string{"safe", "unsafe"} {
+			kind := kind
+			b.Run(app.Name+"/regions-"+kind, func(b *testing.B) {
+				var cycles uint64
+				for i := 0; i < b.N; i++ {
+					e := appkit.NewRegionEnv(kind, appkit.Config{})
+					app.Region(e, scale)
+					c := e.Counters()
+					cycles = c.TotalCycles()
+				}
+				b.ReportMetric(float64(cycles)/1e6, "Mcycles/op")
+			})
+		}
+	}
+}
+
+// BenchmarkCorePrimitives measures the region runtime's primitive costs.
+func BenchmarkCorePrimitives(b *testing.B) {
+	b.Run("ralloc16", func(b *testing.B) {
+		e := appkit.NewRegionEnv("safe", appkit.Config{})
+		cln := e.SizeCleanup(16)
+		r := e.NewRegion()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Ralloc(r, 16, cln)
+			if i%4096 == 4095 { // keep the region from growing unboundedly
+				e.DeleteRegion(r)
+				r = e.NewRegion()
+			}
+		}
+	})
+	b.Run("region-write-barrier", func(b *testing.B) {
+		e := appkit.NewRegionEnv("safe", appkit.Config{})
+		cln := e.SizeCleanup(16)
+		r := e.NewRegion()
+		p := e.Ralloc(r, 16, cln)
+		q := e.Ralloc(r, 16, cln)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.StorePtr(p, q)
+		}
+	})
+	b.Run("new-delete-region", func(b *testing.B) {
+		e := appkit.NewRegionEnv("safe", appkit.Config{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := e.NewRegion()
+			if !e.DeleteRegion(r) {
+				b.Fatal("delete failed")
+			}
+		}
+	})
+}

@@ -1,0 +1,27 @@
+// Alloctrace replays synthetic allocation traces against this repository's
+// allocators — the trace-driven methodology of the allocation surveys the
+// paper builds on (Detlefs/Dosser/Zorn, Grunwald/Zorn). Three workload
+// shapes are generated: uniform (general-purpose churn), bimodal (the moss
+// small-hot/large-cold pattern), and phased (objects born and dying in
+// waves, the region pattern).
+//
+// Usage:
+//
+//	alloctrace [-ops N] [-seed S]
+package main
+
+import (
+	"flag"
+	"os"
+
+	"regions/internal/tracebench"
+)
+
+func main() {
+	var (
+		ops  = flag.Int("ops", 100000, "approximate operations per trace")
+		seed = flag.Uint("seed", 1, "trace generator seed")
+	)
+	flag.Parse()
+	tracebench.Report(os.Stdout, *ops, uint32(*seed))
+}

@@ -1,0 +1,41 @@
+// Mudlle runs the mudlle benchmark standalone: it compiles the generated
+// ~500-line scheme-like program the given number of times on the chosen
+// region environment and reports the result and allocation statistics —
+// the workload of the paper's mudlle rows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regions/internal/apps/appkit"
+	"regions/internal/apps/mudlle"
+)
+
+func main() {
+	var (
+		env   = flag.String("env", "safe", "region environment: safe, unsafe, emu:Sun, emu:BSD, emu:Lea, emu:GC")
+		n     = flag.Int("n", 10, "number of times to compile the file")
+		dump  = flag.Bool("dump-source", false, "print the generated source and exit")
+		cache = flag.Bool("cache", false, "attach the UltraSparc-I cache model")
+	)
+	flag.Parse()
+
+	if *dump {
+		os.Stdout.Write(mudlle.Source())
+		return
+	}
+	e := appkit.NewRegionEnv(*env, appkit.Config{Cache: *cache})
+	sum := mudlle.RunRegion(e, *n)
+	c := e.Counters()
+	fmt.Printf("mudlle: compiled %d times on %s\n", *n, e.Name())
+	fmt.Printf("  checksum          %#x\n", sum)
+	fmt.Printf("  allocations       %d (%d KB requested)\n", c.Allocs, c.BytesRequested/1024)
+	fmt.Printf("  regions           %d created, max %d live\n", c.RegionsCreated, c.MaxLiveRegions)
+	fmt.Printf("  cycles            %d base + %d memory\n", c.BaseCycles(), c.MemCycles())
+	if *cache {
+		fmt.Printf("  stalls            %d read + %d write\n", c.ReadStalls, c.WriteStalls)
+	}
+	fmt.Printf("  OS memory         %d KB\n", e.Space().MappedBytes()/1024)
+}

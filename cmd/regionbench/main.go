@@ -1,0 +1,91 @@
+// Regionbench regenerates the evaluation of Gay & Aiken, "Memory Management
+// with Explicit Regions" (PLDI 1998): Tables 1-3 and Figures 8-11 of
+// Section 5, measured on this repository's simulated machine.
+//
+// Usage:
+//
+//	regionbench [-scale-div N] [-table N | -figure N | -all]
+//
+// With -scale-div 1 (the default) the workloads are paper-sized; larger
+// divisors shrink them proportionally for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regions/internal/bench"
+)
+
+func main() {
+	var (
+		scaleDiv = flag.Int("scale-div", 1, "divide every app's default workload by this factor")
+		table    = flag.Int("table", 0, "render only table N (1-3)")
+		figure   = flag.Int("figure", 0, "render only figure N (8-11)")
+		all      = flag.Bool("all", false, "render every table and figure (default if nothing selected)")
+		ablation = flag.Bool("ablation", false, "render the ablation experiments")
+		related  = flag.Bool("related", false, "render the related-work allocator comparison")
+		jsonOut  = flag.Bool("json", false, "emit the full measurement matrix as JSON")
+		verify   = flag.Bool("verify", true, "cross-check checksums across environments first")
+	)
+	flag.Parse()
+
+	s := bench.NewSuite(*scaleDiv)
+	w := os.Stdout
+
+	if *table == 0 && *figure == 0 && !*ablation && !*related && !*jsonOut {
+		*all = true
+	}
+	if *all {
+		if err := bench.RunAll(w, s); err != nil {
+			fmt.Fprintln(os.Stderr, "regionbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *verify {
+		if err := s.VerifyChecksums(); err != nil {
+			fmt.Fprintln(os.Stderr, "regionbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *ablation {
+		bench.Ablations(w, s)
+	}
+	if *related {
+		bench.RelatedWork(w, s)
+	}
+	if *jsonOut {
+		if err := bench.WriteJSON(w, s); err != nil {
+			fmt.Fprintln(os.Stderr, "regionbench:", err)
+			os.Exit(1)
+		}
+	}
+	switch *table {
+	case 0:
+	case 1:
+		bench.Table1(w)
+	case 2:
+		bench.Table2(w, s)
+	case 3:
+		bench.Table3(w, s)
+	default:
+		fmt.Fprintln(os.Stderr, "regionbench: tables are 1-3")
+		os.Exit(2)
+	}
+	switch *figure {
+	case 0:
+	case 8:
+		bench.Figure8(w, s)
+	case 9:
+		bench.Figure9(w, s)
+	case 10:
+		bench.Figure10(w, s)
+	case 11:
+		bench.Figure11(w, s)
+	default:
+		fmt.Fprintln(os.Stderr, "regionbench: figures are 8-11")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,41 @@
+// Locality reproduces the paper's Section 5.5 observation on moss: regions
+// are a tool for expressing data locality. moss alternately allocates a
+// small, frequently-accessed posting and a large, rarely-accessed snippet;
+// putting each kind in its own region packs the hot postings densely and
+// cut execution time 24% in the paper, roughly halving cache stalls.
+//
+// This example runs both organizations with the UltraSparc-I cache model
+// attached and prints the stall counts side by side.
+package main
+
+import (
+	"fmt"
+
+	"regions/internal/apps/appkit"
+	"regions/internal/apps/moss"
+)
+
+func main() {
+	const scale = 16
+
+	slow := appkit.NewRegionEnv("unsafe", appkit.Config{Cache: true})
+	moss.RunSlowRegion(slow, scale)
+	sc := slow.Counters()
+
+	fast := appkit.NewRegionEnv("unsafe", appkit.Config{Cache: true})
+	moss.RunRegion(fast, scale)
+	fc := fast.Counters()
+
+	fmt.Println("moss fingerprint index, two region organizations:")
+	fmt.Printf("  one region (original):   %8d read + %8d write stall cycles, %d total cycles\n",
+		sc.ReadStalls, sc.WriteStalls, sc.TotalCycles())
+	fmt.Printf("  small/large segregated:  %8d read + %8d write stall cycles, %d total cycles\n",
+		fc.ReadStalls, fc.WriteStalls, fc.TotalCycles())
+
+	stallRatio := float64(sc.ReadStalls+sc.WriteStalls) / float64(fc.ReadStalls+fc.WriteStalls)
+	timeGain := 100 * (1 - float64(fc.TotalCycles())/float64(sc.TotalCycles()))
+	fmt.Printf("\nsegregation removed %.0f%% of execution time (paper: 24%%)\n", timeGain)
+	fmt.Printf("stall ratio slow/fast: %.2fx (paper: about half the stalls)\n", stallRatio)
+	fmt.Println("\nneither malloc/free nor garbage collection offers a way to say")
+	fmt.Println("\"these objects belong together\" — regions do")
+}

@@ -1,0 +1,46 @@
+// Quickstart reproduces the paper's opening example (Figure 1):
+//
+//	void f() {
+//	    Region r = newregion();
+//	    for (i = 0; i < 10; i++) {
+//	        int *x = ralloc(r, (i + 1) * sizeof(int));
+//	        work(i, x);
+//	    }
+//	    deleteregion(&r);
+//	}
+//
+// Each loop iteration allocates a small array in the region; one call to
+// DeleteRegion frees them all — no walking, no per-object frees.
+package main
+
+import (
+	"fmt"
+
+	"regions"
+)
+
+func main() {
+	sys := regions.New()
+
+	r := sys.NewRegion()
+	for i := 0; i < 10; i++ {
+		size := (i + 1) * 4
+		x := sys.Ralloc(r, size, sys.SizeCleanup(size))
+		work(sys, i, x, size)
+	}
+	if !sys.DeleteRegion(r) {
+		panic("deleteregion failed")
+	}
+
+	c := sys.Counters()
+	fmt.Printf("allocated %d arrays, %d bytes total\n", c.Allocs, c.BytesRequested)
+	fmt.Printf("one DeleteRegion freed everything: %d bytes live\n", c.LiveBytes)
+	fmt.Printf("memory requested from the OS: %d KB\n", sys.MappedBytes()/1024)
+}
+
+// work fills the array with i, like the paper's work(i, x).
+func work(sys *regions.System, i int, x regions.Ptr, size int) {
+	for w := 0; w < size; w += 4 {
+		sys.Store(x+regions.Ptr(w), uint32(i))
+	}
+}

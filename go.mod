@@ -1,0 +1,3 @@
+module regions
+
+go 1.22

@@ -1,0 +1,447 @@
+// Package bignum implements arbitrary-precision natural numbers stored in
+// the simulated heap, the substrate the cfrac benchmark factors with. The
+// paper's cfrac spends nearly all of its 3.8 million allocations on small
+// multi-precision numbers; this package reproduces that profile: numbers
+// are immutable, every operation allocates its result, and lifetime is the
+// caller's problem (reference counting in the malloc variant, regions in
+// the region variant).
+//
+// Representation: little-endian base-2^16 limbs, one limb per 32-bit word,
+// preceded by a length word:
+//
+//	+0  number of limbs (0 = zero)
+//	+4  limb 0 (least significant), ...
+//
+// The 16-bit base keeps every intermediate product inside uint64 range and
+// makes Knuth's Algorithm D straightforward.
+package bignum
+
+import (
+	"fmt"
+
+	"regions/internal/mem"
+)
+
+// Ptr is a simulated heap address.
+type Ptr = mem.Addr
+
+// Base is the limb radix.
+const Base = 1 << 16
+
+// Arena supplies storage for results: any allocator (malloc'd numbers with
+// a reference-count header, region allocations, GC objects) can back it.
+type Arena interface {
+	Space() *mem.Space
+	// AllocNum returns storage for a number of up to limbs limbs: a length
+	// word followed by limbs limb words. The length word is set by the
+	// bignum routines.
+	AllocNum(limbs int) Ptr
+}
+
+// NumBytes returns the allocation size for a number of n limbs.
+func NumBytes(n int) int { return (1 + n) * mem.WordSize }
+
+// Len returns the number of limbs of x.
+func Len(sp *mem.Space, x Ptr) int { return int(sp.Load(x)) }
+
+func limb(sp *mem.Space, x Ptr, i int) uint64 {
+	return uint64(sp.Load(x + Ptr(4+4*i)))
+}
+
+func setLimb(sp *mem.Space, x Ptr, i int, v uint64) {
+	sp.Store(x+Ptr(4+4*i), uint32(v&0xffff))
+}
+
+// trim stores the normalized length (no leading zero limbs) of x, scanning
+// down from n.
+func trim(sp *mem.Space, x Ptr, n int) {
+	for n > 0 && limb(sp, x, n-1) == 0 {
+		n--
+	}
+	sp.Store(x, uint32(n))
+}
+
+// FromUint64 allocates the number v.
+func FromUint64(a Arena, v uint64) Ptr {
+	sp := a.Space()
+	x := a.AllocNum(4)
+	n := 0
+	for t := v; t > 0; t >>= 16 {
+		n++
+	}
+	sp.Store(x, uint32(n))
+	for i := 0; i < n; i++ {
+		setLimb(sp, x, i, v>>(16*i))
+	}
+	return x
+}
+
+// ToUint64 converts x, panicking if it exceeds 64 bits.
+func ToUint64(sp *mem.Space, x Ptr) uint64 {
+	n := Len(sp, x)
+	if n > 4 {
+		panic("bignum: ToUint64 overflow")
+	}
+	var v uint64
+	for i := n - 1; i >= 0; i-- {
+		v = v<<16 | limb(sp, x, i)
+	}
+	return v
+}
+
+// IsZero reports whether x == 0.
+func IsZero(sp *mem.Space, x Ptr) bool { return Len(sp, x) == 0 }
+
+// IsOne reports whether x == 1.
+func IsOne(sp *mem.Space, x Ptr) bool {
+	return Len(sp, x) == 1 && limb(sp, x, 0) == 1
+}
+
+// Cmp returns -1, 0, or 1 as x <, ==, > y.
+func Cmp(sp *mem.Space, x, y Ptr) int {
+	nx, ny := Len(sp, x), Len(sp, y)
+	if nx != ny {
+		if nx < ny {
+			return -1
+		}
+		return 1
+	}
+	for i := nx - 1; i >= 0; i-- {
+		lx, ly := limb(sp, x, i), limb(sp, y, i)
+		if lx != ly {
+			if lx < ly {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Add allocates x + y.
+func Add(a Arena, x, y Ptr) Ptr {
+	sp := a.Space()
+	nx, ny := Len(sp, x), Len(sp, y)
+	n := nx
+	if ny > n {
+		n = ny
+	}
+	z := a.AllocNum(n + 1)
+	var carry uint64
+	for i := 0; i < n; i++ {
+		var s uint64 = carry
+		if i < nx {
+			s += limb(sp, x, i)
+		}
+		if i < ny {
+			s += limb(sp, y, i)
+		}
+		setLimb(sp, z, i, s)
+		carry = s >> 16
+	}
+	setLimb(sp, z, n, carry)
+	trim(sp, z, n+1)
+	return z
+}
+
+// Sub allocates x - y; x must be >= y.
+func Sub(a Arena, x, y Ptr) Ptr {
+	sp := a.Space()
+	nx, ny := Len(sp, x), Len(sp, y)
+	if nx < ny {
+		panic("bignum: Sub underflow")
+	}
+	z := a.AllocNum(nx)
+	var borrow uint64
+	for i := 0; i < nx; i++ {
+		d := limb(sp, x, i) - borrow
+		if i < ny {
+			d -= limb(sp, y, i)
+		}
+		borrow = 0
+		if d >= 1<<63 { // wrapped
+			d += Base
+			borrow = 1
+		}
+		setLimb(sp, z, i, d)
+	}
+	if borrow != 0 {
+		panic("bignum: Sub underflow")
+	}
+	trim(sp, z, nx)
+	return z
+}
+
+// MulSmall allocates x * d for a machine-word d.
+func MulSmall(a Arena, x Ptr, d uint32) Ptr {
+	sp := a.Space()
+	if d == 0 {
+		return FromUint64(a, 0)
+	}
+	nx := Len(sp, x)
+	z := a.AllocNum(nx + 3)
+	var carry uint64
+	for i := 0; i < nx; i++ {
+		p := limb(sp, x, i)*uint64(d) + carry
+		setLimb(sp, z, i, p)
+		carry = p >> 16
+	}
+	n := nx
+	for carry > 0 {
+		setLimb(sp, z, n, carry)
+		carry >>= 16
+		n++
+	}
+	trim(sp, z, n)
+	return z
+}
+
+// Mul allocates x * y (schoolbook).
+func Mul(a Arena, x, y Ptr) Ptr {
+	sp := a.Space()
+	nx, ny := Len(sp, x), Len(sp, y)
+	if nx == 0 || ny == 0 {
+		return FromUint64(a, 0)
+	}
+	z := a.AllocNum(nx + ny)
+	for i := 0; i < nx+ny; i++ {
+		setLimb(sp, z, i, 0)
+	}
+	for i := 0; i < nx; i++ {
+		xi := limb(sp, x, i)
+		var carry uint64
+		for j := 0; j < ny; j++ {
+			p := xi*limb(sp, y, j) + limb(sp, z, i+j) + carry
+			setLimb(sp, z, i+j, p)
+			carry = p >> 16
+		}
+		k := i + ny
+		for carry > 0 {
+			p := limb(sp, z, k) + carry
+			setLimb(sp, z, k, p)
+			carry = p >> 16
+			k++
+		}
+	}
+	trim(sp, z, nx+ny)
+	return z
+}
+
+// DivModSmall allocates x / d and returns it with the remainder x % d.
+// d must be nonzero and fit in 16 bits... larger d up to 2^32-1 is
+// supported via a 48-bit partial remainder.
+func DivModSmall(a Arena, x Ptr, d uint32) (q Ptr, r uint64) {
+	if d == 0 {
+		panic("bignum: division by zero")
+	}
+	sp := a.Space()
+	nx := Len(sp, x)
+	q = a.AllocNum(nx)
+	var rem uint64
+	for i := nx - 1; i >= 0; i-- {
+		rem = rem<<16 | limb(sp, x, i)
+		setLimb(sp, q, i, rem/uint64(d))
+		rem %= uint64(d)
+	}
+	trim(sp, q, nx)
+	return q, rem
+}
+
+// DivMod allocates x / y and x % y (Knuth Algorithm D over base 2^16).
+func DivMod(a Arena, x, y Ptr) (q, r Ptr) {
+	sp := a.Space()
+	ny := Len(sp, y)
+	if ny == 0 {
+		panic("bignum: division by zero")
+	}
+	if ny == 1 {
+		qq, rr := DivModSmall(a, x, uint32(limb(sp, y, 0)))
+		return qq, FromUint64(a, rr)
+	}
+	if Cmp(sp, x, y) < 0 {
+		return FromUint64(a, 0), Copy(a, x)
+	}
+	nx := Len(sp, x)
+
+	// Normalize so the divisor's top limb is >= Base/2.
+	shift := uint(0)
+	top := limb(sp, y, ny-1)
+	for top < Base/2 {
+		top <<= 1
+		shift++
+	}
+	u := shiftLeft(a, x, shift, 1) // one extra limb of headroom
+	v := shiftLeft(a, y, shift, 0)
+	nu := nx + 1
+
+	q = a.AllocNum(nx - ny + 1)
+	for i := 0; i < nx-ny+1; i++ {
+		setLimb(sp, q, i, 0)
+	}
+	vTop := limb(sp, v, ny-1)
+	vNext := limb(sp, v, ny-2)
+
+	for j := nu - ny - 1; j >= 0; j-- {
+		// Estimate the quotient digit from the top limbs.
+		num := limb(sp, u, j+ny)<<16 | limb(sp, u, j+ny-1)
+		qhat := num / vTop
+		rhat := num % vTop
+		for qhat >= Base || qhat*vNext > rhat<<16|limb(sp, u, j+ny-2) {
+			qhat--
+			rhat += vTop
+			if rhat >= Base {
+				break
+			}
+		}
+		// Multiply-subtract qhat*v from u at offset j.
+		var borrow, carry uint64
+		for i := 0; i < ny; i++ {
+			p := qhat*limb(sp, v, i) + carry
+			carry = p >> 16
+			d := limb(sp, u, j+i) - (p & 0xffff) - borrow
+			borrow = 0
+			if d >= 1<<63 {
+				d += Base
+				borrow = 1
+			}
+			setLimb(sp, u, j+i, d)
+		}
+		d := limb(sp, u, j+ny) - carry - borrow
+		borrow = 0
+		if d >= 1<<63 {
+			d += Base
+			borrow = 1
+		}
+		setLimb(sp, u, j+ny, d)
+		if borrow != 0 {
+			// qhat was one too large: add v back.
+			qhat--
+			var c uint64
+			for i := 0; i < ny; i++ {
+				s := limb(sp, u, j+i) + limb(sp, v, i) + c
+				setLimb(sp, u, j+i, s)
+				c = s >> 16
+			}
+			setLimb(sp, u, j+ny, limb(sp, u, j+ny)+c)
+		}
+		setLimb(sp, q, j, qhat)
+	}
+	trim(sp, q, nx-ny+1)
+	trim(sp, u, ny) // remainder (shifted) sits in the low limbs of u
+	r = shiftRight(a, u, shift)
+	return q, r
+}
+
+// Copy allocates a copy of x.
+func Copy(a Arena, x Ptr) Ptr {
+	sp := a.Space()
+	n := Len(sp, x)
+	z := a.AllocNum(n)
+	sp.Store(z, uint32(n))
+	for i := 0; i < n; i++ {
+		setLimb(sp, z, i, limb(sp, x, i))
+	}
+	return z
+}
+
+// shiftLeft allocates x << s (s < 16) with extra headroom limbs.
+func shiftLeft(a Arena, x Ptr, s uint, extra int) Ptr {
+	sp := a.Space()
+	n := Len(sp, x)
+	z := a.AllocNum(n + 1 + extra)
+	var carry uint64
+	for i := 0; i < n; i++ {
+		v := limb(sp, x, i)<<s | carry
+		setLimb(sp, z, i, v)
+		carry = v >> 16
+	}
+	setLimb(sp, z, n, carry)
+	for i := n + 1; i < n+1+extra; i++ {
+		setLimb(sp, z, i, 0)
+	}
+	m := n + 1
+	if extra > 0 {
+		m = n + 1 + extra
+	}
+	sp.Store(z, uint32(m)) // keep headroom limbs addressable (zero)
+	if extra == 0 {
+		trim(sp, z, n+1)
+	}
+	return z
+}
+
+// shiftRight allocates x >> s (s < 16).
+func shiftRight(a Arena, x Ptr, s uint) Ptr {
+	sp := a.Space()
+	n := Len(sp, x)
+	z := a.AllocNum(n)
+	for i := 0; i < n; i++ {
+		v := limb(sp, x, i) >> s
+		if i+1 < n {
+			v |= limb(sp, x, i+1) << (16 - s) & 0xffff
+		}
+		setLimb(sp, z, i, v)
+	}
+	trim(sp, z, n)
+	return z
+}
+
+// Mod allocates x % y.
+func Mod(a Arena, x, y Ptr) Ptr {
+	_, r := DivMod(a, x, y)
+	return r
+}
+
+// Sqrt allocates the integer square root of x (Newton's method).
+func Sqrt(a Arena, x Ptr) Ptr {
+	sp := a.Space()
+	if IsZero(sp, x) {
+		return FromUint64(a, 0)
+	}
+	// Initial guess: 2^(ceil(bits/2)).
+	bits := (Len(sp, x) - 1) * 16
+	for t := limb(sp, x, Len(sp, x)-1); t > 0; t >>= 1 {
+		bits++
+	}
+	g := FromUint64(a, 1)
+	for i := 0; i < (bits+1)/2+1; i++ {
+		g = MulSmall(a, g, 2)
+	}
+	for {
+		quo, _ := DivMod(a, x, g)
+		sum := Add(a, g, quo)
+		next, _ := DivModSmall(a, sum, 2)
+		if Cmp(sp, next, g) >= 0 {
+			return g
+		}
+		g = next
+	}
+}
+
+// GCD allocates gcd(x, y) by Euclid's algorithm.
+func GCD(a Arena, x, y Ptr) Ptr {
+	sp := a.Space()
+	x, y = Copy(a, x), Copy(a, y)
+	for !IsZero(sp, y) {
+		_, r := DivMod(a, x, y)
+		x, y = y, r
+	}
+	return x
+}
+
+// String formats x in hexadecimal (diagnostics; uncharged).
+func String(sp *mem.Space, x Ptr) string {
+	var s string
+	sp.Uncharged(func() {
+		n := Len(sp, x)
+		if n == 0 {
+			s = "0"
+			return
+		}
+		s = fmt.Sprintf("%x", limb(sp, x, n-1))
+		for i := n - 2; i >= 0; i-- {
+			s += fmt.Sprintf("%04x", limb(sp, x, i))
+		}
+	})
+	return s
+}

@@ -1,0 +1,269 @@
+package bignum
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regions/internal/mem"
+	"regions/internal/stats"
+)
+
+// testArena bump-allocates numbers straight from mapped pages.
+type testArena struct {
+	sp        *mem.Space
+	next, end Ptr
+}
+
+func newArena() *testArena {
+	sp := mem.NewSpace(&stats.Counters{})
+	return &testArena{sp: sp}
+}
+
+func (a *testArena) Space() *mem.Space { return a.sp }
+
+func (a *testArena) AllocNum(limbs int) Ptr {
+	n := Ptr(NumBytes(limbs))
+	if a.next+n > a.end {
+		pages := 64
+		a.next = a.sp.MapPages(pages)
+		a.end = a.next + Ptr(pages*mem.PageSize)
+	}
+	p := a.next
+	a.next += n
+	return p
+}
+
+func toBig(sp *mem.Space, x Ptr) *big.Int {
+	v := new(big.Int)
+	for i := Len(sp, x) - 1; i >= 0; i-- {
+		v.Lsh(v, 16)
+		v.Or(v, big.NewInt(int64(limb(sp, x, i))))
+	}
+	return v
+}
+
+func fromBig(a *testArena, v *big.Int) Ptr {
+	sp := a.Space()
+	t := new(big.Int).Set(v)
+	var limbs []uint64
+	mask := big.NewInt(0xffff)
+	for t.Sign() > 0 {
+		limbs = append(limbs, new(big.Int).And(t, mask).Uint64())
+		t.Rsh(t, 16)
+	}
+	x := a.AllocNum(len(limbs))
+	sp.Store(x, uint32(len(limbs)))
+	for i, l := range limbs {
+		setLimb(sp, x, i, l)
+	}
+	return x
+}
+
+// randBig produces a random number of up to maxBytes bytes from seed data.
+func randBig(r *rand.Rand, maxBytes int) *big.Int {
+	n := 1 + r.Intn(maxBytes)
+	b := make([]byte, n)
+	r.Read(b)
+	return new(big.Int).SetBytes(b)
+}
+
+func TestFromToUint64(t *testing.T) {
+	a := newArena()
+	for _, v := range []uint64{0, 1, 0xffff, 0x10000, 0xdeadbeefcafe, 1<<64 - 1} {
+		x := FromUint64(a, v)
+		if got := ToUint64(a.Space(), x); got != v {
+			t.Errorf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	a := newArena()
+	sp := a.Space()
+	x := FromUint64(a, 100000)
+	y := FromUint64(a, 77777)
+	if got := ToUint64(sp, Add(a, x, y)); got != 177777 {
+		t.Errorf("add: %d", got)
+	}
+	if got := ToUint64(sp, Sub(a, x, y)); got != 22223 {
+		t.Errorf("sub: %d", got)
+	}
+	if got := ToUint64(sp, Mul(a, x, y)); got != 100000*77777 {
+		t.Errorf("mul: %d", got)
+	}
+	q, r := DivMod(a, x, y)
+	if ToUint64(sp, q) != 1 || ToUint64(sp, r) != 22223 {
+		t.Errorf("divmod: %d %d", ToUint64(sp, q), ToUint64(sp, r))
+	}
+	if Cmp(sp, x, y) != 1 || Cmp(sp, y, x) != -1 || Cmp(sp, x, x) != 0 {
+		t.Error("cmp")
+	}
+}
+
+func TestSubUnderflowPanics(t *testing.T) {
+	a := newArena()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Sub(a, FromUint64(a, 5), FromUint64(a, 6))
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	a := newArena()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	DivMod(a, FromUint64(a, 5), FromUint64(a, 0))
+}
+
+func TestQuickAddSubMul(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := newArena()
+		sp := a.Space()
+		bx, by := randBig(r, 20), randBig(r, 20)
+		if bx.Cmp(by) < 0 {
+			bx, by = by, bx
+		}
+		x, y := fromBig(a, bx), fromBig(a, by)
+
+		if toBig(sp, Add(a, x, y)).Cmp(new(big.Int).Add(bx, by)) != 0 {
+			t.Log("add mismatch")
+			return false
+		}
+		if toBig(sp, Sub(a, x, y)).Cmp(new(big.Int).Sub(bx, by)) != 0 {
+			t.Log("sub mismatch")
+			return false
+		}
+		if toBig(sp, Mul(a, x, y)).Cmp(new(big.Int).Mul(bx, by)) != 0 {
+			t.Log("mul mismatch")
+			return false
+		}
+		d := uint32(r.Int63n(1<<32-2) + 1)
+		if toBig(sp, MulSmall(a, x, d)).Cmp(new(big.Int).Mul(bx, big.NewInt(int64(d)))) != 0 {
+			t.Log("mulsmall mismatch")
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDivMod(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := newArena()
+		sp := a.Space()
+		bx := randBig(r, 24)
+		by := randBig(r, 1+r.Intn(12))
+		if by.Sign() == 0 {
+			by = big.NewInt(1)
+		}
+		x, y := fromBig(a, bx), fromBig(a, by)
+		q, rem := DivMod(a, x, y)
+		wq, wr := new(big.Int).QuoRem(bx, by, new(big.Int))
+		if toBig(sp, q).Cmp(wq) != 0 || toBig(sp, rem).Cmp(wr) != 0 {
+			t.Logf("divmod mismatch: %v / %v -> got (%v, %v) want (%v, %v)",
+				bx, by, toBig(sp, q), toBig(sp, rem), wq, wr)
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivModQhatCorrection(t *testing.T) {
+	// Crafted operands that drive Knuth D's add-back path: divisor with a
+	// top limb just above Base/2 and a dividend of near-maximal limbs.
+	a := newArena()
+	sp := a.Space()
+	bx, _ := new(big.Int).SetString("ffffffffffffffffffffffffffff", 16)
+	by, _ := new(big.Int).SetString("80000000000000000001", 16)
+	q, r := DivMod(a, fromBig(a, bx), fromBig(a, by))
+	wq, wr := new(big.Int).QuoRem(bx, by, new(big.Int))
+	if toBig(sp, q).Cmp(wq) != 0 || toBig(sp, r).Cmp(wr) != 0 {
+		t.Fatalf("got (%v,%v) want (%v,%v)", toBig(sp, q), toBig(sp, r), wq, wr)
+	}
+}
+
+func TestQuickDivModSmall(t *testing.T) {
+	err := quick.Check(func(seed int64, d32 uint32) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := d32
+		if d == 0 {
+			d = 7
+		}
+		a := newArena()
+		sp := a.Space()
+		bx := randBig(r, 20)
+		q, rem := DivModSmall(a, fromBig(a, bx), d)
+		wq, wr := new(big.Int).QuoRem(bx, big.NewInt(int64(d)), new(big.Int))
+		return toBig(sp, q).Cmp(wq) == 0 && rem == wr.Uint64()
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSqrt(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := newArena()
+		sp := a.Space()
+		bx := randBig(r, 16)
+		got := toBig(sp, Sqrt(a, fromBig(a, bx)))
+		want := new(big.Int).Sqrt(bx)
+		return got.Cmp(want) == 0
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSqrtExactSquares(t *testing.T) {
+	a := newArena()
+	sp := a.Space()
+	for _, v := range []uint64{0, 1, 4, 9, 1 << 40, 999983 * 999983} {
+		got := ToUint64(sp, Sqrt(a, FromUint64(a, v)))
+		want := uint64(new(big.Int).Sqrt(big.NewInt(int64(v))).Int64())
+		if got != want {
+			t.Errorf("sqrt(%d)=%d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestQuickGCD(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := newArena()
+		sp := a.Space()
+		bx, by := randBig(r, 12), randBig(r, 12)
+		got := toBig(sp, GCD(a, fromBig(a, bx), fromBig(a, by)))
+		want := new(big.Int).GCD(nil, nil, bx, by)
+		return got.Cmp(want) == 0
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	a := newArena()
+	x := fromBig(a, big.NewInt(0xdeadbeef))
+	if got := String(a.Space(), x); got != "deadbeef" {
+		t.Errorf("String=%q", got)
+	}
+	if got := String(a.Space(), FromUint64(a, 0)); got != "0" {
+		t.Errorf("zero String=%q", got)
+	}
+}

@@ -1,0 +1,218 @@
+package grobner
+
+import (
+	"testing"
+	"testing/quick"
+
+	"regions/internal/apps/appkit"
+)
+
+const testScale = 1
+
+func TestAllVariantsAgree(t *testing.T) {
+	var want uint32
+	first := true
+	check := func(name string, got uint32) {
+		if first {
+			want, first = got, false
+			return
+		}
+		if got != want {
+			t.Fatalf("%s checksum %#x, want %#x", name, got, want)
+		}
+	}
+	for _, kind := range appkit.MallocKinds {
+		check("malloc/"+kind, RunMalloc(appkit.NewMallocEnv(kind, appkit.Config{}), testScale))
+	}
+	for _, kind := range appkit.RegionKinds {
+		check("region/"+kind, RunRegion(appkit.NewRegionEnv(kind, appkit.Config{}), testScale))
+	}
+}
+
+func TestMallocVariantFreesEverything(t *testing.T) {
+	e := appkit.NewMallocEnv("Sun", appkit.Config{})
+	RunMalloc(e, testScale)
+	c := e.Counters()
+	if c.LiveBytes != 0 {
+		t.Fatalf("%d bytes leaked", c.LiveBytes)
+	}
+	if c.Allocs != c.FreeCalls {
+		t.Fatalf("allocs=%d frees=%d", c.Allocs, c.FreeCalls)
+	}
+}
+
+func TestRegionVariantManyShortLivedRegions(t *testing.T) {
+	// The paper's Table 2 shows gröbner creating thousands of regions with
+	// only a few live at once.
+	e := appkit.NewRegionEnv("safe", appkit.Config{})
+	RunRegion(e, testScale)
+	c := e.Counters()
+	if c.LiveRegions != 0 {
+		t.Fatalf("%d regions leaked", c.LiveRegions)
+	}
+	if c.RegionsCreated < 20 {
+		t.Fatalf("only %d regions created", c.RegionsCreated)
+	}
+	if c.MaxLiveRegions > 4 {
+		t.Fatalf("max live regions %d, want a small constant", c.MaxLiveRegions)
+	}
+	if c.LiveBytes != 0 {
+		t.Fatalf("%d bytes live at end", c.LiveBytes)
+	}
+}
+
+func TestFieldArithmetic(t *testing.T) {
+	if got := fAdd(P-1, 5); got != 4 {
+		t.Errorf("fAdd wraps wrong: %d", got)
+	}
+	if got := fSub(3, 10); got != P-7 {
+		t.Errorf("fSub: %d", got)
+	}
+	if got := fMul(P-1, P-1); got != 1 {
+		t.Errorf("(-1)*(-1) = %d", got)
+	}
+	err := quick.Check(func(a uint32) bool {
+		a = a%(P-1) + 1 // 1..P-1
+		return fMul(a, fInv(a)) == 1
+	}, nil)
+	if err != nil {
+		t.Fatalf("inverse property: %v", err)
+	}
+}
+
+func TestMonomialOps(t *testing.T) {
+	x2 := mono(2, 0, 0)
+	xy := mono(1, 1, 0)
+	if !monoDivides(mono(1, 0, 0), x2) {
+		t.Error("x should divide x^2")
+	}
+	if monoDivides(x2, xy) {
+		t.Error("x^2 should not divide xy")
+	}
+	if got := monoLCM(x2, xy); got != mono(2, 1, 0) {
+		t.Errorf("lcm(x^2, xy) = %#x", got)
+	}
+	if got := monoMul(xy, xy); got != mono(2, 2, 0) {
+		t.Errorf("xy*xy = %#x", got)
+	}
+	if got := monoDiv(mono(2, 1, 0), xy); got != mono(1, 0, 0) {
+		t.Errorf("x^2y/xy = %#x", got)
+	}
+	// Lex order: x > y > z.
+	if !(mono(1, 0, 0) > mono(0, 9, 9)) {
+		t.Error("lex order violated")
+	}
+}
+
+func TestMonoMulOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on exponent overflow")
+		}
+	}()
+	monoMul(mono(maxExp, 0, 0), mono(1, 0, 0))
+}
+
+// TestKnownGrobnerBasis checks Buchberger on a textbook system:
+// f1 = x^2 - y, f2 = x^3 - z over GF(P) with x > y > z lex.
+// The reduced elements include y^3 - z^2 (eliminating x).
+func TestKnownGrobnerBasis(t *testing.T) {
+	e := appkit.NewMallocEnv("Lea", appkit.Config{})
+	sp := e.Space()
+	f := e.PushFrame(6)
+	defer e.PopFrame()
+
+	basis := e.Alloc(maxBasis * 4)
+	f.Set(0, basis)
+	for i := 0; i < maxBasis; i++ {
+		sp.Store(basis+appkit.Ptr(i*4), 0)
+	}
+	nb := 0
+	insert := func(p appkit.Ptr) {
+		normalizeM(sp, p)
+		sp.Store(basis+appkit.Ptr(nb*4), p)
+		nb++
+	}
+	f1 := buildPolyM(e, f, 3, []genTerm{{1, mono(2, 0, 0)}, {P - 1, mono(0, 1, 0)}})
+	insert(f1)
+	f2 := buildPolyM(e, f, 3, []genTerm{{1, mono(3, 0, 0)}, {P - 1, mono(0, 0, 1)}})
+	insert(f2)
+
+	type pair struct{ i, j int }
+	queue := []pair{{0, 1}}
+	for len(queue) > 0 {
+		pq := queue[0]
+		queue = queue[1:]
+		gi := sp.Load(basis + appkit.Ptr(pq.i*4))
+		gj := sp.Load(basis + appkit.Ptr(pq.j*4))
+		mi, mj := sp.Load(gi+tMono), sp.Load(gj+tMono)
+		if monoLCM(mi, mj) == monoMul(mi, mj) {
+			continue
+		}
+		s := spolyM(e, f, gi, gj)
+		f.Set(4, s)
+		r := normalFormM(e, f, s, basis, nb)
+		f.Set(4, 0)
+		if r != 0 {
+			old := nb
+			insert(r)
+			for i := 0; i < old; i++ {
+				queue = append(queue, pair{i, old})
+			}
+		}
+	}
+
+	// Look for an x-free element with leading monomial y^3 (from
+	// y^3 = x^2·x·... elimination: y^3 - z^2).
+	found := false
+	for i := 0; i < nb; i++ {
+		p := sp.Load(basis + appkit.Ptr(i*4))
+		if sp.Load(p+tMono) == mono(0, 3, 0) {
+			// Expect exactly y^3 - z^2 (monic).
+			second := sp.Load(p + tNext)
+			if second != 0 && sp.Load(second+tMono) == mono(0, 0, 2) &&
+				sp.Load(second+tCoef) == P-1 && sp.Load(second+tNext) == 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("y^3 - z^2 not in basis (nb=%d)", nb)
+	}
+}
+
+func TestNormalFormReducesToZeroForMembers(t *testing.T) {
+	// The S-polynomial of f and f (trivially) and any multiple of a basis
+	// element must reduce to zero.
+	e := appkit.NewMallocEnv("BSD", appkit.Config{})
+	sp := e.Space()
+	f := e.PushFrame(6)
+	defer e.PopFrame()
+	basis := e.Alloc(maxBasis * 4)
+	f.Set(0, basis)
+	for i := 0; i < maxBasis; i++ {
+		sp.Store(basis+appkit.Ptr(i*4), 0)
+	}
+	g := buildPolyM(e, f, 3, []genTerm{{1, mono(1, 1, 0)}, {5, mono(0, 0, 1)}})
+	normalizeM(sp, g)
+	sp.Store(basis, g)
+
+	// h = (x + 3) * g, built as combine(x·g, 3·g).
+	xg := combineM(e, f, 0, g, 1, mono(1, 0, 0))
+	f.Set(3, xg)
+	h := combineM(e, f, xg, g, 3, 0)
+	f.Set(3, 0)
+	f.Set(4, h)
+	r := normalFormM(e, f, h, basis, 1)
+	if r != 0 {
+		t.Fatalf("member did not reduce to zero (lead %#x)", sp.Load(r+tMono))
+	}
+}
+
+func TestDifferentScalesDiffer(t *testing.T) {
+	a := RunMalloc(appkit.NewMallocEnv("Lea", appkit.Config{}), 1)
+	b := RunMalloc(appkit.NewMallocEnv("Lea", appkit.Config{}), 2)
+	if a == b {
+		t.Fatal("scales 1 and 2 gave identical checksums")
+	}
+}

@@ -1,0 +1,275 @@
+package grobner
+
+import (
+	"regions/internal/apps/appkit"
+	"regions/internal/mem"
+)
+
+// Term node layout: +0 next, +4 coefficient, +8 packed monomial.
+const (
+	tNext, tCoef, tMono = 0, 4, 8
+	termSize            = 12
+)
+
+// RunMalloc is the malloc/free variant of gröbner: every intermediate
+// polynomial is freed as soon as it is superseded, and each system's basis
+// is torn down before the next system starts.
+func RunMalloc(e appkit.MallocEnv, scale int) uint32 {
+	sp := e.Space()
+	var parts []uint32
+
+	for _, sys := range systems(scale) {
+		f := e.PushFrame(6)
+		const (
+			sBasis = iota
+			sCur
+			sRes
+			sTmp
+			sSpoly
+			sScratch
+		)
+		basis := e.Alloc(maxBasis * 4)
+		f.Set(sBasis, basis)
+		for i := 0; i < maxBasis; i++ {
+			sp.Store(basis+appkit.Ptr(i*4), 0)
+		}
+		nb := 0
+
+		insert := func(p appkit.Ptr) {
+			if nb == maxBasis {
+				panic("grobner: basis overflow")
+			}
+			normalizeM(sp, p)
+			sp.Store(basis+appkit.Ptr(nb*4), p)
+			nb++
+		}
+
+		// Seed the basis with the reduced generators.
+		for _, gen := range sys {
+			g := buildPolyM(e, f, sTmp, gen)
+			f.Set(sCur, g)
+			r := normalFormM(e, f, g, basis, nb)
+			f.Set(sCur, 0)
+			if r != 0 {
+				insert(r)
+			}
+		}
+
+		// Buchberger pair loop.
+		type pair struct{ i, j int }
+		var queue []pair
+		for i := 0; i < nb; i++ {
+			for j := i + 1; j < nb; j++ {
+				queue = append(queue, pair{i, j})
+			}
+		}
+		processed := 0
+		for len(queue) > 0 && processed < maxPairsPerSystem {
+			pq := queue[0]
+			queue = queue[1:]
+			processed++
+			gi := sp.Load(basis + appkit.Ptr(pq.i*4))
+			gj := sp.Load(basis + appkit.Ptr(pq.j*4))
+			mi, mj := sp.Load(gi+tMono), sp.Load(gj+tMono)
+			if monoLCM(mi, mj) == monoMul(mi, mj) {
+				continue // product criterion: coprime leads reduce to zero
+			}
+			s := spolyM(e, f, gi, gj)
+			f.Set(sSpoly, s)
+			r := normalFormM(e, f, s, basis, nb)
+			f.Set(sSpoly, 0)
+			if r != 0 {
+				old := nb
+				insert(r)
+				for i := 0; i < old; i++ {
+					queue = append(queue, pair{i, old})
+				}
+			}
+		}
+
+		parts = append(parts, summarize(sp, basis, nb, processed)...)
+
+		// Tear down: every basis polynomial, then the array.
+		for i := 0; i < nb; i++ {
+			freePolyM(e, sp.Load(basis+appkit.Ptr(i*4)))
+		}
+		e.Free(basis)
+		e.PopFrame()
+	}
+	e.Finalize()
+	return checksum(parts)
+}
+
+// buildPolyM converts host-side generator terms into a heap term list.
+func buildPolyM(e appkit.MallocEnv, f appkit.Frame, slot int, terms []genTerm) appkit.Ptr {
+	sp := e.Space()
+	var head, tail appkit.Ptr
+	for _, t := range terms {
+		n := e.Alloc(termSize)
+		sp.Store(n+tNext, 0)
+		sp.Store(n+tCoef, t.coef)
+		sp.Store(n+tMono, t.mono)
+		if head == 0 {
+			head = n
+			f.Set(slot, head)
+		} else {
+			sp.Store(tail+tNext, n)
+		}
+		tail = n
+	}
+	f.Set(slot, 0)
+	return head
+}
+
+func freePolyM(e appkit.MallocEnv, p appkit.Ptr) {
+	sp := e.Space()
+	for p != 0 {
+		next := sp.Load(p + tNext)
+		e.Free(p)
+		p = next
+	}
+}
+
+// combineM returns a + cB·mB·b as a fresh term list (descending monomials,
+// zero coefficients dropped). The scratch frame slot keeps the result chain
+// rooted while it grows.
+func combineM(e appkit.MallocEnv, f appkit.Frame, a, b appkit.Ptr, cB, mB uint32) appkit.Ptr {
+	sp := e.Space()
+	const slot = 5 // sScratch
+	var head, tail appkit.Ptr
+	emit := func(coef, mono uint32) {
+		if coef == 0 {
+			return
+		}
+		n := e.Alloc(termSize)
+		sp.Store(n+tNext, 0)
+		sp.Store(n+tCoef, coef)
+		sp.Store(n+tMono, mono)
+		if head == 0 {
+			head = n
+			f.Set(slot, head)
+		} else {
+			sp.Store(tail+tNext, n)
+		}
+		tail = n
+	}
+	for a != 0 || b != 0 {
+		switch {
+		case b == 0:
+			emit(sp.Load(a+tCoef), sp.Load(a+tMono))
+			a = sp.Load(a + tNext)
+		case a == 0:
+			emit(fMul(cB, sp.Load(b+tCoef)), monoMul(mB, sp.Load(b+tMono)))
+			b = sp.Load(b + tNext)
+		default:
+			am := sp.Load(a + tMono)
+			bm := monoMul(mB, sp.Load(b+tMono))
+			switch {
+			case am > bm:
+				emit(sp.Load(a+tCoef), am)
+				a = sp.Load(a + tNext)
+			case bm > am:
+				emit(fMul(cB, sp.Load(b+tCoef)), bm)
+				b = sp.Load(b + tNext)
+			default:
+				emit(fAdd(sp.Load(a+tCoef), fMul(cB, sp.Load(b+tCoef))), am)
+				a = sp.Load(a + tNext)
+				b = sp.Load(b + tNext)
+			}
+		}
+	}
+	f.Set(slot, 0)
+	return head
+}
+
+// normalFormM reduces f (consuming it) by the basis and returns the
+// remainder as a fresh/relinked term list.
+func normalFormM(e appkit.MallocEnv, fr appkit.Frame, f appkit.Ptr, basis appkit.Ptr, nb int) appkit.Ptr {
+	sp := e.Space()
+	const (
+		sCur = 1
+		sRes = 2
+	)
+	var resHead, resTail appkit.Ptr
+	cur := f
+	fr.Set(sCur, cur)
+	steps := 0
+	for cur != 0 {
+		ltm := sp.Load(cur + tMono)
+		ltc := sp.Load(cur + tCoef)
+		var g appkit.Ptr
+		if steps < maxReduceSteps {
+			for i := 0; i < nb; i++ {
+				cand := sp.Load(basis + appkit.Ptr(i*4))
+				if monoDivides(sp.Load(cand+tMono), ltm) {
+					g = cand
+					break
+				}
+			}
+		}
+		if g == 0 {
+			// Move the irreducible head term to the remainder.
+			next := sp.Load(cur + tNext)
+			sp.Store(cur+tNext, 0)
+			if resHead == 0 {
+				resHead = cur
+				fr.Set(sRes, resHead)
+			} else {
+				sp.Store(resTail+tNext, cur)
+			}
+			resTail = cur
+			cur = next
+			fr.Set(sCur, cur)
+			continue
+		}
+		// cur -= ltc · (ltm / lt(g)) · g   (g is monic)
+		steps++
+		next := combineM(e, fr, cur, g, P-ltc, monoDiv(ltm, sp.Load(g+tMono)))
+		freePolyM(e, cur)
+		cur = next
+		fr.Set(sCur, cur)
+		e.Safepoint()
+	}
+	fr.Set(sCur, 0)
+	fr.Set(sRes, 0)
+	return resHead
+}
+
+// spolyM builds the S-polynomial of two monic basis elements.
+func spolyM(e appkit.MallocEnv, f appkit.Frame, gi, gj appkit.Ptr) appkit.Ptr {
+	sp := e.Space()
+	mi, mj := sp.Load(gi+tMono), sp.Load(gj+tMono)
+	l := monoLCM(mi, mj)
+	// (l/mi)·gi built first, then subtract (l/mj)·gj.
+	left := combineM(e, f, 0, gi, 1, monoDiv(l, mi))
+	f.Set(3, left) // sTmp
+	s := combineM(e, f, left, gj, P-1, monoDiv(l, mj))
+	freePolyM(e, left)
+	f.Set(3, 0)
+	return s
+}
+
+// normalizeM rescales p in place so its leading coefficient is one.
+func normalizeM(sp *mem.Space, p appkit.Ptr) {
+	if p == 0 {
+		return
+	}
+	inv := fInv(sp.Load(p + tCoef))
+	for t := p; t != 0; t = sp.Load(t + tNext) {
+		sp.Store(t+tCoef, fMul(inv, sp.Load(t+tCoef)))
+	}
+}
+
+// summarize folds one system's basis into checksum parts.
+func summarize(sp *mem.Space, basis appkit.Ptr, nb, processed int) []uint32 {
+	parts := []uint32{uint32(nb), uint32(processed)}
+	for i := 0; i < nb; i++ {
+		var terms, csum uint32
+		for t := sp.Load(basis + appkit.Ptr(i*4)); t != 0; t = sp.Load(t + tNext) {
+			terms++
+			csum = fAdd(csum, sp.Load(t+tCoef))
+		}
+		parts = append(parts, sp.Load(sp.Load(basis+appkit.Ptr(i*4))+tMono), terms, csum)
+	}
+	return parts
+}

@@ -1,0 +1,292 @@
+package grobner
+
+import "regions/internal/apps/appkit"
+
+// RunRegion is the region variant of gröbner, following the paper's port:
+// each S-polynomial reduction runs in a scratch region deleted right after
+// the pair is processed, and polynomials that join the basis are copied
+// into the system's result region.
+func RunRegion(e appkit.RegionEnv, scale int) uint32 {
+	sp := e.Space()
+	clnTerm := e.RegisterCleanup("grobner.term", func(e appkit.RegionEnv, obj appkit.Ptr) int {
+		e.Destroy(e.Space().Load(obj + tNext))
+		return termSize
+	})
+	clnPtr := e.RegisterCleanup("grobner.ptr", func(e appkit.RegionEnv, obj appkit.Ptr) int {
+		e.Destroy(e.Space().Load(obj))
+		return 4
+	})
+
+	var parts []uint32
+	for _, sys := range systems(scale) {
+		f := e.PushFrame(6)
+		const (
+			sBasis = iota
+			sCur
+			sRes
+			sTmp
+			sSpoly
+			sScratch
+		)
+		basisReg := e.NewRegion()
+		basis := e.RarrayAlloc(basisReg, maxBasis, 4, clnPtr)
+		f.Set(sBasis, basis)
+		nb := 0
+
+		insert := func(p appkit.Ptr) {
+			if nb == maxBasis {
+				panic("grobner: basis overflow")
+			}
+			normalizeM(sp, p)
+			e.StorePtr(basis+appkit.Ptr(nb*4), p)
+			nb++
+		}
+
+		for _, gen := range sys {
+			tmp := e.NewRegion()
+			g := buildPolyR(e, clnTerm, tmp, f, sTmp, gen)
+			f.Set(sCur, g)
+			r, tmp := normalFormR(e, clnTerm, tmp, f, g, basis, nb)
+			if r != 0 {
+				// The remainder stays rooted at sRes while the copy into
+				// the basis region is built (rooted at sTmp).
+				head, _ := copyPolyR(e, clnTerm, basisReg, f, sTmp, r)
+				insert(head)
+			}
+			f.Set(sRes, 0)
+			f.Set(sTmp, 0)
+			if !e.DeleteRegion(tmp) {
+				panic("grobner: scratch region not deletable")
+			}
+		}
+
+		type pair struct{ i, j int }
+		var queue []pair
+		for i := 0; i < nb; i++ {
+			for j := i + 1; j < nb; j++ {
+				queue = append(queue, pair{i, j})
+			}
+		}
+		processed := 0
+		for len(queue) > 0 && processed < maxPairsPerSystem {
+			pq := queue[0]
+			queue = queue[1:]
+			processed++
+			gi := sp.Load(basis + appkit.Ptr(pq.i*4))
+			gj := sp.Load(basis + appkit.Ptr(pq.j*4))
+			mi, mj := sp.Load(gi+tMono), sp.Load(gj+tMono)
+			if monoLCM(mi, mj) == monoMul(mi, mj) {
+				continue
+			}
+			tmp := e.NewRegion()
+			s := spolyR(e, clnTerm, tmp, f, gi, gj)
+			// normalFormR roots s immediately and may rotate the scratch
+			// region, so no slot may still point into the original tmp.
+			r, tmp := normalFormR(e, clnTerm, tmp, f, s, basis, nb)
+			if r != 0 {
+				old := nb
+				head, _ := copyPolyR(e, clnTerm, basisReg, f, sTmp, r)
+				insert(head)
+				for i := 0; i < old; i++ {
+					queue = append(queue, pair{i, old})
+				}
+			}
+			// Clear every local still pointing into the scratch region so
+			// it can be deleted — the paper's "stale pointers" lesson.
+			f.Set(sRes, 0)
+			f.Set(sTmp, 0)
+			if !e.DeleteRegion(tmp) {
+				panic("grobner: scratch region not deletable")
+			}
+		}
+
+		parts = append(parts, summarize(sp, basis, nb, processed)...)
+
+		// The whole basis dies with its region; every local must be dead.
+		for i := 0; i < 6; i++ {
+			f.Set(i, 0)
+		}
+		if !e.DeleteRegion(basisReg) {
+			panic("grobner: basis region not deletable")
+		}
+		e.PopFrame()
+	}
+	e.Finalize()
+	return checksum(parts)
+}
+
+// buildPolyR converts generator terms into a term list in region r.
+func buildPolyR(e appkit.RegionEnv, cln appkit.CleanupID, r appkit.Region,
+	f appkit.Frame, slot int, terms []genTerm) appkit.Ptr {
+	sp := e.Space()
+	var head, tail appkit.Ptr
+	for _, t := range terms {
+		n := e.Ralloc(r, termSize, cln)
+		sp.Store(n+tCoef, t.coef)
+		sp.Store(n+tMono, t.mono)
+		if head == 0 {
+			head = n
+			f.Set(slot, head)
+		} else {
+			e.StorePtr(tail+tNext, n)
+		}
+		tail = n
+	}
+	f.Set(slot, 0)
+	return head
+}
+
+// copyPolyR copies p into region dst (the paper's explicit copy of partial
+// solutions and basis polynomials into longer-lived regions). It returns
+// the copy's head and tail.
+func copyPolyR(e appkit.RegionEnv, cln appkit.CleanupID, dst appkit.Region,
+	f appkit.Frame, slot int, p appkit.Ptr) (head, tail appkit.Ptr) {
+	sp := e.Space()
+	for ; p != 0; p = sp.Load(p + tNext) {
+		n := e.Ralloc(dst, termSize, cln)
+		sp.Store(n+tCoef, sp.Load(p+tCoef))
+		sp.Store(n+tMono, sp.Load(p+tMono))
+		if head == 0 {
+			head = n
+			f.Set(slot, head)
+		} else {
+			e.StorePtr(tail+tNext, n)
+		}
+		tail = n
+	}
+	return head, tail
+}
+
+// combineR is combineM allocating into region r.
+func combineR(e appkit.RegionEnv, cln appkit.CleanupID, r appkit.Region,
+	f appkit.Frame, a, b appkit.Ptr, cB, mB uint32) appkit.Ptr {
+	sp := e.Space()
+	const slot = 5 // sScratch
+	var head, tail appkit.Ptr
+	emit := func(coef, mono uint32) {
+		if coef == 0 {
+			return
+		}
+		n := e.Ralloc(r, termSize, cln)
+		sp.Store(n+tCoef, coef)
+		sp.Store(n+tMono, mono)
+		if head == 0 {
+			head = n
+			f.Set(slot, head)
+		} else {
+			e.StorePtr(tail+tNext, n)
+		}
+		tail = n
+	}
+	for a != 0 || b != 0 {
+		switch {
+		case b == 0:
+			emit(sp.Load(a+tCoef), sp.Load(a+tMono))
+			a = sp.Load(a + tNext)
+		case a == 0:
+			emit(fMul(cB, sp.Load(b+tCoef)), monoMul(mB, sp.Load(b+tMono)))
+			b = sp.Load(b + tNext)
+		default:
+			am := sp.Load(a + tMono)
+			bm := monoMul(mB, sp.Load(b+tMono))
+			switch {
+			case am > bm:
+				emit(sp.Load(a+tCoef), am)
+				a = sp.Load(a + tNext)
+			case bm > am:
+				emit(fMul(cB, sp.Load(b+tCoef)), bm)
+				b = sp.Load(b + tNext)
+			default:
+				emit(fAdd(sp.Load(a+tCoef), fMul(cB, sp.Load(b+tCoef))), am)
+				a = sp.Load(a + tNext)
+				b = sp.Load(b + tNext)
+			}
+		}
+	}
+	f.Set(slot, 0)
+	return head
+}
+
+// normalFormR reduces f inside scratch region tmp. Superseded intermediates
+// are simply abandoned — the region reclaims them all at once, which is the
+// region version's whole point (the paper: "many frees are replaced by
+// clearing the corresponding pointer"). Every rotateSteps reduction steps
+// the live polynomials are copied into a fresh scratch region and the old
+// one is deleted, bounding the scratch footprint; the caller must delete
+// the returned region, which may differ from tmp.
+func normalFormR(e appkit.RegionEnv, cln appkit.CleanupID, tmp appkit.Region,
+	fr appkit.Frame, f appkit.Ptr, basis appkit.Ptr, nb int) (appkit.Ptr, appkit.Region) {
+	sp := e.Space()
+	const (
+		sCur        = 1
+		sRes        = 2
+		sScratch    = 5
+		rotateSteps = 6
+	)
+	var resHead, resTail appkit.Ptr
+	cur := f
+	fr.Set(sCur, cur)
+	steps := 0
+	for cur != 0 {
+		ltm := sp.Load(cur + tMono)
+		ltc := sp.Load(cur + tCoef)
+		var g appkit.Ptr
+		if steps < maxReduceSteps {
+			for i := 0; i < nb; i++ {
+				cand := sp.Load(basis + appkit.Ptr(i*4))
+				if monoDivides(sp.Load(cand+tMono), ltm) {
+					g = cand
+					break
+				}
+			}
+		}
+		if g == 0 {
+			next := sp.Load(cur + tNext)
+			e.StorePtr(cur+tNext, 0)
+			if resHead == 0 {
+				resHead = cur
+				fr.Set(sRes, resHead)
+			} else {
+				e.StorePtr(resTail+tNext, cur)
+			}
+			resTail = cur
+			cur = next
+			fr.Set(sCur, cur)
+			continue
+		}
+		steps++
+		cur = combineR(e, cln, tmp, fr, cur, g, P-ltc, monoDiv(ltm, sp.Load(g+tMono)))
+		fr.Set(sCur, cur)
+		if steps%rotateSteps == 0 {
+			next := e.NewRegion()
+			cur, _ = copyPolyR(e, cln, next, fr, sScratch, cur)
+			fr.Set(sCur, cur)
+			if resHead != 0 {
+				resHead, resTail = copyPolyR(e, cln, next, fr, sScratch, resHead)
+				fr.Set(sRes, resHead)
+			}
+			fr.Set(sScratch, 0)
+			if !e.DeleteRegion(tmp) {
+				panic("grobner: scratch region not deletable")
+			}
+			tmp = next
+		}
+		e.Safepoint()
+	}
+	fr.Set(sCur, 0)
+	// The remainder stays rooted at sRes; the caller clears it.
+	return resHead, tmp
+}
+
+// spolyR builds the S-polynomial in scratch region tmp.
+func spolyR(e appkit.RegionEnv, cln appkit.CleanupID, tmp appkit.Region,
+	f appkit.Frame, gi, gj appkit.Ptr) appkit.Ptr {
+	sp := e.Space()
+	mi, mj := sp.Load(gi+tMono), sp.Load(gj+tMono)
+	l := monoLCM(mi, mj)
+	left := combineR(e, cln, tmp, f, 0, gi, 1, monoDiv(l, mi))
+	f.Set(3, left) // sTmp
+	s := combineR(e, cln, tmp, f, left, gj, P-1, monoDiv(l, mj))
+	f.Set(3, 0)
+	return s
+}

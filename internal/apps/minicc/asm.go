@@ -1,0 +1,293 @@
+package minicc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"regions/internal/apps/appkit"
+)
+
+// This file is minicc's second backend: a pseudo-SPARC assembly printer
+// with linear-scan register allocation, the role lcc's real code generator
+// plays (the paper's lcc targets the SPARC). The three-address module is
+// lowered onto six allocatable registers (%l0-%l5) plus two scratch
+// registers (%g1, %g2) for spill traffic; virtual registers that do not fit
+// live in frame slots ([%fp-N]).
+//
+// The backend is optional — `minicc -S` and the tests use it; the
+// benchmark harness measures the quad pipeline the interpreter executes —
+// and it is validated differentially: an assembly evaluator runs the
+// emitted text and must agree with the quad interpreter on every program.
+
+const (
+	asmRegs    = 6 // allocatable registers
+	asmScratch = 2 // reserved for spill reloads
+)
+
+// interval is a virtual register's live range in quad indices.
+type interval struct {
+	vreg       int
+	start, end int
+}
+
+// regAlloc maps virtual registers to physical registers or spill slots.
+type regAlloc struct {
+	phys  map[int]int // vreg -> physical register (0..asmRegs-1)
+	slot  map[int]int // vreg -> spill slot
+	slots int
+}
+
+// linearScan is the Poletto–Sarkar algorithm over one function's quads.
+func linearScan(intervals []interval) *regAlloc {
+	ra := &regAlloc{phys: map[int]int{}, slot: map[int]int{}}
+	sort.Slice(intervals, func(i, j int) bool { return intervals[i].start < intervals[j].start })
+	type activeRange struct {
+		interval
+		reg int
+	}
+	var active []activeRange
+	free := make([]int, 0, asmRegs)
+	for r := asmRegs - 1; r >= 0; r-- {
+		free = append(free, r)
+	}
+	expire := func(now int) {
+		kept := active[:0]
+		for _, a := range active {
+			if a.end < now {
+				free = append(free, a.reg)
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		active = kept
+	}
+	spillSlot := func(v int) int {
+		s := ra.slots
+		ra.slots++
+		ra.slot[v] = s
+		return s
+	}
+	for _, iv := range intervals {
+		expire(iv.start)
+		if len(free) == 0 {
+			// Spill the active interval with the furthest end.
+			worst := -1
+			for i, a := range active {
+				if worst < 0 || a.end > active[worst].end {
+					worst = i
+				}
+			}
+			if active[worst].end > iv.end {
+				victim := active[worst]
+				spillSlot(victim.vreg)
+				delete(ra.phys, victim.vreg)
+				ra.phys[iv.vreg] = victim.reg
+				active[worst] = activeRange{interval: iv, reg: victim.reg}
+			} else {
+				spillSlot(iv.vreg)
+			}
+			continue
+		}
+		r := free[len(free)-1]
+		free = free[:len(free)-1]
+		ra.phys[iv.vreg] = r
+		active = append(active, activeRange{interval: iv, reg: r})
+	}
+	return ra
+}
+
+// intervalsOf computes live ranges from a function's quads in the module.
+func (c *compiler) intervalsOf(fnIdx int) []interval {
+	sp := c.sp
+	meta := c.f.Get(sMeta)
+	module := c.f.Get(sModule)
+	off := int(sp.Load(meta + appkit.Ptr(fnIdx*metaEntry)))
+	nq := int(sp.Load(meta + appkit.Ptr(fnIdx*metaEntry+4)))
+	nparams := int(sp.Load(meta + appkit.Ptr(fnIdx*metaEntry+8)))
+
+	touch := map[int]*interval{}
+	note := func(v, at int) {
+		iv := touch[v]
+		if iv == nil {
+			touch[v] = &interval{vreg: v, start: at, end: at}
+			return
+		}
+		if at > iv.end {
+			iv.end = at
+		}
+	}
+	for p := 0; p < nparams; p++ {
+		note(p, -1)
+	}
+	for q := 0; q < nq; q++ {
+		base := module + appkit.Ptr((off+q)*quadBytes)
+		op := int32(sp.Load(base))
+		a := int(int32(sp.Load(base + 4)))
+		b := int(int32(sp.Load(base + 8)))
+		dst := int(int32(sp.Load(base + 12)))
+		switch op {
+		case irConst:
+			note(dst, q)
+		case irMov, irNeg:
+			note(a, q)
+			note(dst, q)
+		case irAdd, irSub, irMul, irDiv, irMod, irLt, irLe, irEq, irNe:
+			note(a, q)
+			note(b, q)
+			note(dst, q)
+		case irJz, irParam, irRet:
+			note(a, q)
+		case irCall:
+			note(dst, q)
+		case irLoadG:
+			note(dst, q)
+		case irStoreG:
+			note(a, q)
+		}
+	}
+	// Jumps can re-enter earlier code (while loops), so any vreg live at a
+	// backward branch target must stay live through the branch: extend
+	// every interval that spans a loop to the loop's last quad.
+	for q := 0; q < nq; q++ {
+		base := module + appkit.Ptr((off+q)*quadBytes)
+		op := int32(sp.Load(base))
+		if op != irJmp && op != irJz {
+			continue
+		}
+		target := int(sp.Load(base + 8))
+		if target >= q {
+			continue // forward branch
+		}
+		for _, iv := range touch {
+			if iv.start <= q && iv.end >= target && iv.end < q {
+				iv.end = q
+			}
+		}
+	}
+	out := make([]interval, 0, len(touch))
+	for _, iv := range touch {
+		out = append(out, *iv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].vreg < out[j].vreg })
+	return out
+}
+
+var asmOpNames = map[int32]string{
+	irAdd: "add", irSub: "sub", irMul: "smul", irDiv: "sdiv", irMod: "srem",
+	irLt: "slt", irLe: "sle", irEq: "seq", irNe: "sne",
+}
+
+// EmitAsm lowers the compiled module to pseudo-SPARC text.
+func (c *compiler) EmitAsm() string {
+	sp := c.sp
+	meta := c.f.Get(sMeta)
+	module := c.f.Get(sModule)
+	var b strings.Builder
+
+	for fn := 0; fn < c.nfns; fn++ {
+		off := int(sp.Load(meta + appkit.Ptr(fn*metaEntry)))
+		nq := int(sp.Load(meta + appkit.Ptr(fn*metaEntry+4)))
+		nparams := int(sp.Load(meta + appkit.Ptr(fn*metaEntry+8)))
+		ra := linearScan(c.intervalsOf(fn))
+
+		fmt.Fprintf(&b, "f%d:  ! %d params, %d quads, %d spill slots\n",
+			fn, nparams, nq, ra.slots)
+
+		// use returns the operand register for vreg v, reloading spills
+		// into a scratch register first.
+		use := func(v, scratch int) string {
+			if r, ok := ra.phys[v]; ok {
+				return fmt.Sprintf("%%l%d", r)
+			}
+			s := ra.slot[v]
+			fmt.Fprintf(&b, "\tld [%%fp-%d], %%g%d\n", 4*(s+1), scratch+1)
+			return fmt.Sprintf("%%g%d", scratch+1)
+		}
+		// def returns the destination register for v and the store that
+		// must follow if v is spilled.
+		def := func(v int) (string, string) {
+			if r, ok := ra.phys[v]; ok {
+				return fmt.Sprintf("%%l%d", r), ""
+			}
+			s := ra.slot[v]
+			return "%g1", fmt.Sprintf("\tst %%g1, [%%fp-%d]\n", 4*(s+1))
+		}
+		// Parameters arrive in %i0..: move them to their homes.
+		for p := 0; p < nparams; p++ {
+			dst, fix := def(p)
+			fmt.Fprintf(&b, "\tmov %%i%d, %s\n", p, dst)
+			b.WriteString(fix)
+		}
+
+		for q := 0; q < nq; q++ {
+			base := module + appkit.Ptr((off+q)*quadBytes)
+			op := int32(sp.Load(base))
+			a := int(int32(sp.Load(base + 4)))
+			bb := int(int32(sp.Load(base + 8)))
+			dst := int(int32(sp.Load(base + 12)))
+			fmt.Fprintf(&b, ".L%d_%d:\n", fn, q)
+			switch op {
+			case irConst:
+				d, fix := def(dst)
+				fmt.Fprintf(&b, "\tset %d, %s\n", a, d)
+				b.WriteString(fix)
+			case irMov:
+				s := use(a, 0)
+				d, fix := def(dst)
+				fmt.Fprintf(&b, "\tmov %s, %s\n", s, d)
+				b.WriteString(fix)
+			case irNeg:
+				s := use(a, 0)
+				d, fix := def(dst)
+				fmt.Fprintf(&b, "\tneg %s, %s\n", s, d)
+				b.WriteString(fix)
+			case irAdd, irSub, irMul, irDiv, irMod, irLt, irLe, irEq, irNe:
+				s1 := use(a, 0)
+				s2 := use(bb, 1)
+				d, fix := def(dst)
+				fmt.Fprintf(&b, "\t%s %s, %s, %s\n", asmOpNames[op], s1, s2, d)
+				b.WriteString(fix)
+			case irJz:
+				s := use(a, 0)
+				fmt.Fprintf(&b, "\tbeqz %s, .L%d_%d\n", s, fn, bb)
+			case irJmp:
+				fmt.Fprintf(&b, "\tb .L%d_%d\n", fn, bb)
+			case irParam:
+				s := use(a, 0)
+				fmt.Fprintf(&b, "\tparam %s\n", s)
+			case irCall:
+				d, fix := def(dst)
+				fmt.Fprintf(&b, "\tcall f%d, %d\n\tmov %%o0, %s\n", a, bb, d)
+				b.WriteString(fix)
+			case irRet:
+				s := use(a, 0)
+				fmt.Fprintf(&b, "\tret %s\n", s)
+			case irLoadG:
+				d, fix := def(dst)
+				fmt.Fprintf(&b, "\tldg g%d, %s\n", a, d)
+				b.WriteString(fix)
+			case irStoreG:
+				s := use(a, 0)
+				fmt.Fprintf(&b, "\tstg %s, g%d\n", s, bb)
+			default:
+				panic("minicc: bad opcode in asm emitter")
+			}
+		}
+	}
+	return b.String()
+}
+
+// CompileToAsm compiles src once on an unsafe region environment and
+// returns the pseudo-SPARC text plus main's result (validated by running
+// the emitted assembly through RunAsm).
+func CompileToAsm(src []byte) (string, int32) {
+	e := appkit.NewRegionEnv("unsafe", appkit.Config{})
+	var text string
+	c := &compiler{e: e, sp: e.Space(), asmOut: &text}
+	c.registerCleanups()
+	c.f = e.PushFrame(numSlots)
+	defer e.PopFrame()
+	c.compileFile(src)
+	return text, RunAsm(text, fmt.Sprintf("f%d", c.asmMain), nGlobals)
+}

@@ -1,0 +1,118 @@
+package minicc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"regions/internal/apps/appkit"
+)
+
+// compileBoth compiles src and returns the quad interpreter's result plus
+// the emitted assembly and main's label.
+func compileBoth(t *testing.T, src string) (int32, string, string) {
+	t.Helper()
+	e := appkit.NewRegionEnv("unsafe", appkit.Config{})
+	var text string
+	c := &compiler{e: e, sp: e.Space(), asmOut: &text}
+	c.registerCleanups()
+	c.f = e.PushFrame(numSlots)
+	defer e.PopFrame()
+	result, _ := c.compileFile([]byte(src))
+	return result, text, fmt.Sprintf("f%d", c.asmMain)
+}
+
+func TestAsmMatchesInterpreter(t *testing.T) {
+	cases := []string{
+		"int main() { return 42; }",
+		"int main() { return (2 + 3 * 4); }",
+		"int main() { return (-(17 % 5)); }",
+		"int main() { if (1 < 2) { return 10; } else { return 20; } return 0; }",
+		"int main() { int i = 0; int s = 0; while (i < 7) { s = (s + i); i = (i + 1); } return s; }",
+		"int f(int p0, int p1) { return (p0 * p1); } int main() { return f(6, 7); }",
+		"int g; int set(int p0) { g = p0; return 0; } int main() { int x = set(9); return (g + x); }",
+		"int add(int p0) { return (p0 + 1); } int main() { return add(add(add(0))); }",
+	}
+	for _, src := range cases {
+		want, text, mainLabel := compileBoth(t, src)
+		got := RunAsm(text, mainLabel, nGlobals)
+		if got != want {
+			t.Errorf("%s: asm=%d interp=%d\n%s", src, got, want, text)
+		}
+	}
+}
+
+// TestAsmSpillPaths forces register pressure far beyond the six allocatable
+// registers: many simultaneously-live locals, all used at the end.
+func TestAsmSpillPaths(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("int main() {\n")
+	const n = 18
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "  int v%d = %d;\n", i, i+1)
+	}
+	sb.WriteString("  int sum = 0;\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "  sum = (sum + (v%d * %d));\n", i, i+1)
+	}
+	sb.WriteString("  return sum; }\n")
+
+	want, text, mainLabel := compileBoth(t, sb.String())
+	if !strings.Contains(text, "[%fp-") {
+		t.Fatal("no spill code generated under heavy register pressure")
+	}
+	if got := RunAsm(text, mainLabel, nGlobals); got != want {
+		t.Fatalf("asm=%d interp=%d", got, want)
+	}
+	// Only the six allocatable plus two scratch registers may appear.
+	for _, bad := range []string{"%l6", "%l7", "%l8", "%g3"} {
+		if strings.Contains(text, bad) {
+			t.Fatalf("illegal register %s in output", bad)
+		}
+	}
+}
+
+func TestAsmLoopsWithSpills(t *testing.T) {
+	// Loop-carried locals under pressure: the interval extension across
+	// backward branches must keep them alive.
+	var sb strings.Builder
+	sb.WriteString("int main() {\n")
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&sb, "  int k%d = %d;\n", i, i)
+	}
+	sb.WriteString("  int i = 0; int s = 0;\n")
+	sb.WriteString("  while (i < 5) {\n    s = (s + (((k0 + k1) + (k2 + k3)) + (((k4 + k5) + (k6 + k7)) + (k8 + k9))));\n    i = (i + 1);\n  }\n")
+	sb.WriteString("  return s; }\n")
+	want, text, mainLabel := compileBoth(t, sb.String())
+	if got := RunAsm(text, mainLabel, nGlobals); got != want {
+		t.Fatalf("asm=%d interp=%d\n%s", got, want, text)
+	}
+	if want != 5*45 {
+		t.Fatalf("sanity: want=%d", want)
+	}
+}
+
+// TestAsmWholeProgramDifferential runs the full generated program and
+// several fuzz seeds through both back ends.
+func TestAsmWholeProgramDifferential(t *testing.T) {
+	srcs := [][]byte{Source()}
+	for seed := uint32(30); seed < 34; seed++ {
+		srcs = append(srcs, SourceSeeded(seed))
+	}
+	for i, src := range srcs {
+		want, text, mainLabel := compileBoth(t, string(src))
+		if got := RunAsm(text, mainLabel, nGlobals); got != want {
+			t.Fatalf("program %d: asm=%d interp=%d", i, got, want)
+		}
+	}
+}
+
+func TestCompileToAsm(t *testing.T) {
+	text, result := CompileToAsm([]byte("int main() { return (6 * 7); }"))
+	if result != 42 {
+		t.Fatalf("result=%d", result)
+	}
+	if !strings.Contains(text, "f0:") || !strings.Contains(text, "ret") {
+		t.Fatalf("suspicious asm:\n%s", text)
+	}
+}

@@ -1,0 +1,141 @@
+package minicc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// RunAsm executes the pseudo-SPARC text produced by EmitAsm and returns
+// main's result. It exists to validate the assembly backend — register
+// allocation, spill code, branch labels — differentially against the quad
+// interpreter; see the asm tests.
+func RunAsm(asm string, mainName string, nGlobals int) int32 {
+	type instr struct {
+		op   string
+		args []string
+	}
+	var code []instr
+	labels := map[string]int{}
+	for _, raw := range strings.Split(asm, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '!'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			labels[strings.TrimSuffix(line, ":")] = len(code)
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool { return r == ' ' || r == ',' || r == '\t' })
+		code = append(code, instr{op: fields[0], args: fields[1:]})
+	}
+
+	type frame struct {
+		regs   map[string]int32
+		spills map[string]int32
+		retPC  int
+	}
+	globals := make([]int32, nGlobals)
+	var params []int32
+	var stack []*frame
+
+	newFrame := func(argc, retPC int) *frame {
+		f := &frame{regs: map[string]int32{}, spills: map[string]int32{}, retPC: retPC}
+		for i := 0; i < argc; i++ {
+			f.regs[fmt.Sprintf("%%i%d", i)] = params[len(params)-argc+i]
+		}
+		params = params[:len(params)-argc]
+		return f
+	}
+
+	val := func(f *frame, s string) int32 {
+		if strings.HasPrefix(s, "%") {
+			return f.regs[s]
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			panic("minicc asm: bad operand " + s)
+		}
+		return int32(v)
+	}
+
+	start, ok := labels[mainName]
+	if !ok {
+		panic("minicc asm: no label " + mainName)
+	}
+	stack = append(stack, &frame{regs: map[string]int32{}, spills: map[string]int32{}, retPC: -1})
+	pc := start
+	var result int32
+	for steps := 0; len(stack) > 0; steps++ {
+		if steps > 30_000_000 {
+			panic("minicc asm: step limit exceeded")
+		}
+		f := stack[len(stack)-1]
+		in := code[pc]
+		pc++
+		switch in.op {
+		case "set":
+			f.regs[in.args[1]] = val(f, in.args[0])
+		case "mov":
+			f.regs[in.args[1]] = val(f, in.args[0])
+		case "neg":
+			f.regs[in.args[1]] = -val(f, in.args[0])
+		case "add":
+			f.regs[in.args[2]] = val(f, in.args[0]) + val(f, in.args[1])
+		case "sub":
+			f.regs[in.args[2]] = val(f, in.args[0]) - val(f, in.args[1])
+		case "smul":
+			f.regs[in.args[2]] = val(f, in.args[0]) * val(f, in.args[1])
+		case "sdiv":
+			f.regs[in.args[2]] = val(f, in.args[0]) / val(f, in.args[1])
+		case "srem":
+			f.regs[in.args[2]] = val(f, in.args[0]) % val(f, in.args[1])
+		case "slt":
+			f.regs[in.args[2]] = b2i(val(f, in.args[0]) < val(f, in.args[1]))
+		case "sle":
+			f.regs[in.args[2]] = b2i(val(f, in.args[0]) <= val(f, in.args[1]))
+		case "seq":
+			f.regs[in.args[2]] = b2i(val(f, in.args[0]) == val(f, in.args[1]))
+		case "sne":
+			f.regs[in.args[2]] = b2i(val(f, in.args[0]) != val(f, in.args[1]))
+		case "ld": // ld [%fp-N] %gX
+			f.regs[in.args[1]] = f.spills[in.args[0]]
+		case "st": // st %gX [%fp-N]
+			f.spills[in.args[1]] = val(f, in.args[0])
+		case "beqz":
+			if val(f, in.args[0]) == 0 {
+				pc = labels[in.args[1]]
+			}
+		case "b":
+			pc = labels[in.args[0]]
+		case "param":
+			params = append(params, val(f, in.args[0]))
+		case "call": // call fK argc
+			argc, _ := strconv.Atoi(in.args[1])
+			stack = append(stack, newFrame(argc, pc))
+			pc = labels[in.args[0]]
+		case "ret":
+			v := val(f, in.args[0])
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				result = v
+				break
+			}
+			caller := stack[len(stack)-1]
+			caller.regs["%o0"] = v
+			pc = f.retPC
+		case "ldg":
+			slot, _ := strconv.Atoi(strings.TrimPrefix(in.args[0], "g"))
+			f.regs[in.args[1]] = globals[slot]
+		case "stg":
+			slot, _ := strconv.Atoi(strings.TrimPrefix(in.args[1], "g"))
+			globals[slot] = val(f, in.args[0])
+		default:
+			panic("minicc asm: bad instruction " + in.op)
+		}
+	}
+	return result
+}

@@ -1,0 +1,105 @@
+package minicc
+
+import (
+	"testing"
+
+	"regions/internal/apps/appkit"
+)
+
+// compileOpts compiles with chosen passes and returns result + quad count.
+func compileOpts(t *testing.T, src string, noFold, noDCE bool) (int32, int) {
+	t.Helper()
+	e := appkit.NewRegionEnv("unsafe", appkit.Config{})
+	c := &compiler{e: e, sp: e.Space(), noFold: noFold, noDCE: noDCE}
+	c.registerCleanups()
+	c.f = e.PushFrame(numSlots)
+	defer e.PopFrame()
+	result, _ := c.compileFile([]byte(src))
+	return result, c.quadOff
+}
+
+func TestDCERemovesUnusedLocals(t *testing.T) {
+	src := "int main() { int unused = (3 * 4); int x = 7; return x; }"
+	resOn, qOn := compileOpts(t, src, true, false)
+	resOff, qOff := compileOpts(t, src, true, true)
+	if resOn != resOff || resOn != 7 {
+		t.Fatalf("results %d / %d", resOn, resOff)
+	}
+	if qOn >= qOff {
+		t.Fatalf("DCE did not shrink: %d vs %d quads", qOn, qOff)
+	}
+}
+
+func TestDCEKeepsSideEffects(t *testing.T) {
+	// The call's result is unused but the call must stay (it writes g);
+	// likewise a dead store to a global must stay.
+	src := `int g;
+int bump(int p0) { g = (g + p0); return g; }
+int main() { int dead = bump(5); int dead2 = bump(7); return g; }`
+	got, _ := compileOpts(t, src, true, false)
+	if got != 12 {
+		t.Fatalf("side effects lost: got %d, want 12", got)
+	}
+}
+
+func TestDCEKeepsTrappingOps(t *testing.T) {
+	// A dead division by a runtime value must not be removed silently?
+	// Our conservative rule keeps irDiv/irMod even when dead, so the
+	// program still traps — matching the unoptimized semantics.
+	src := "int z; int main() { z = 0; int dead = (1 / z); return 5; }"
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dead trapping division was removed")
+		}
+	}()
+	compileOpts(t, src, true, false)
+}
+
+func TestDCEBranchRetargeting(t *testing.T) {
+	// Dead code interleaved with control flow: targets must be remapped.
+	src := `int main() {
+  int d0 = 1; int s = 0; int i = 0;
+  while (i < 4) { int d1 = (i * 3); s = (s + i); i = (i + 1); }
+  if (s == 6) { int d2 = 9; return 100; } else { return 200; }
+  return 0; }`
+	resOn, qOn := compileOpts(t, src, true, false)
+	resOff, qOff := compileOpts(t, src, true, true)
+	if resOn != resOff || resOn != 100 {
+		t.Fatalf("results %d / %d", resOn, resOff)
+	}
+	if qOn >= qOff {
+		t.Fatalf("no shrink: %d vs %d", qOn, qOff)
+	}
+}
+
+func TestDCEWholeProgramDifferential(t *testing.T) {
+	for seed := uint32(40); seed < 45; seed++ {
+		src := string(SourceSeeded(seed))
+		on, qOn := compileOpts(t, src, false, false)
+		off, qOff := compileOpts(t, src, false, true)
+		if on != off {
+			t.Fatalf("seed %d: %d vs %d", seed, on, off)
+		}
+		if qOn > qOff {
+			t.Fatalf("seed %d: DCE grew code", seed)
+		}
+	}
+	src := string(Source())
+	on, qOn := compileOpts(t, src, false, false)
+	off, qOff := compileOpts(t, src, false, true)
+	if on != off {
+		t.Fatalf("generated program: %d vs %d", on, off)
+	}
+	t.Logf("quads: %d with DCE vs %d without (%.1f%% smaller)",
+		qOn, qOff, 100*(1-float64(qOn)/float64(qOff)))
+}
+
+func TestDCEPlusAsmDifferential(t *testing.T) {
+	// All three backend stages together: fold + DCE + asm.
+	for seed := uint32(50); seed < 53; seed++ {
+		want, text, mainLabel := compileBoth(t, string(SourceSeeded(seed)))
+		if got := RunAsm(text, mainLabel, nGlobals); got != want {
+			t.Fatalf("seed %d: asm=%d interp=%d", seed, got, want)
+		}
+	}
+}

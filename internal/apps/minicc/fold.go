@@ -1,0 +1,119 @@
+package minicc
+
+import "regions/internal/apps/appkit"
+
+// Constant folding: binary operations and negations whose operands are
+// literals are evaluated at compile time and rewritten in place to eNum
+// nodes. The abandoned operand nodes simply die with the working region —
+// a pass structure regions make particularly cheap, since no freeing
+// accompanies the rewriting (lcc's own arenas serve the same role).
+
+// foldExpr folds n in place and reports whether n is now a literal.
+func (c *compiler) foldExpr(n appkit.Ptr) bool {
+	sp := c.sp
+	switch sp.Load(n+aKind) & 0xff {
+	case eNum:
+		return true
+	case eVar:
+		return false
+	case eNeg:
+		if c.foldExpr(sp.Load(n + aA)) {
+			v := int32(sp.Load(sp.Load(n+aA) + aA))
+			c.rewriteNum(n, -v)
+			return true
+		}
+		return false
+	case eBin:
+		op := sp.Load(n+aKind) >> 8
+		la := c.foldExpr(sp.Load(n + aA))
+		lb := c.foldExpr(sp.Load(n + aB))
+		if !la || !lb {
+			return false
+		}
+		a := int32(sp.Load(sp.Load(n+aA) + aA))
+		b := int32(sp.Load(sp.Load(n+aB) + aA))
+		v, ok := evalConst(op, a, b)
+		if !ok {
+			return false // e.g. division by a constant zero: leave for runtime
+		}
+		c.rewriteNum(n, v)
+		return true
+	case eCall:
+		for arg := sp.Load(n + aB); arg != 0; arg = sp.Load(arg + 4) {
+			c.foldExpr(sp.Load(arg))
+		}
+		return false
+	}
+	panic("minicc: bad expression node in fold")
+}
+
+// rewriteNum turns n into a literal in place. The old operand subtrees
+// become garbage inside the working region.
+func (c *compiler) rewriteNum(n appkit.Ptr, v int32) {
+	sp := c.sp
+	sp.Store(n+aKind, eNum)
+	// Clear the operand pointers through the barrier so the node's cleanup
+	// (which now sees an eNum) stays consistent with the counts.
+	c.e.StorePtr(n+aA, 0)
+	c.e.StorePtr(n+aB, 0)
+	c.e.StorePtr(n+aC, 0)
+	sp.Store(n+aA, uint32(v))
+}
+
+// evalConst evaluates a folded binary operation with the interpreter's
+// exact semantics.
+func evalConst(op uint32, a, b int32) (int32, bool) {
+	switch op {
+	case irAdd:
+		return a + b, true
+	case irSub:
+		return a - b, true
+	case irMul:
+		return a * b, true
+	case irDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case irMod:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case irLt:
+		return b2i(a < b), true
+	case irLe:
+		return b2i(a <= b), true
+	case irEq:
+		return b2i(a == b), true
+	case irNe:
+		return b2i(a != b), true
+	}
+	return 0, false
+}
+
+// foldStmt runs constant folding over a statement subtree.
+func (c *compiler) foldStmt(n appkit.Ptr) {
+	sp := c.sp
+	switch sp.Load(n+aKind) & 0xff {
+	case sBlock:
+		for s := sp.Load(n + aA); s != 0; s = sp.Load(s + 4) {
+			c.foldStmt(sp.Load(s))
+		}
+	case sDecl, sAssign:
+		c.foldExpr(sp.Load(n + aB))
+	case sIf:
+		c.foldExpr(sp.Load(n + aA))
+		c.foldStmt(sp.Load(n + aB))
+		if e := sp.Load(n + aC); e != 0 {
+			c.foldStmt(e)
+		}
+	case sWhile:
+		c.foldExpr(sp.Load(n + aA))
+		c.foldStmt(sp.Load(n + aB))
+	case sRet:
+		c.foldExpr(sp.Load(n + aA))
+	default:
+		panic("minicc: bad statement node in fold")
+	}
+}

@@ -1,0 +1,125 @@
+package minicc
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"regions/internal/apps/appkit"
+)
+
+// compileCounted compiles src and returns main's result plus the module's
+// quad count, with folding optionally disabled.
+func compileCounted(t *testing.T, src string, noFold bool) (int32, int) {
+	t.Helper()
+	e := appkit.NewRegionEnv("unsafe", appkit.Config{})
+	c := &compiler{e: e, sp: e.Space(), noFold: noFold}
+	c.registerCleanups()
+	c.f = e.PushFrame(numSlots)
+	defer e.PopFrame()
+	result, _ := c.compileFile([]byte(src))
+	return result, c.quadOff
+}
+
+func TestFoldingPreservesSemantics(t *testing.T) {
+	cases := []string{
+		"int main() { return (2 + 3 * 4); }",
+		"int main() { return ((1 + 2) * (3 + 4)); }",
+		"int main() { return (-(2 + 3)); }",
+		"int main() { return (100 / 7 + 100 % 7); }",
+		"int main() { return (1 < 2); }",
+		"int main() { if ((2 * 3) == 6) { return 1; } return 0; }",
+		"int main() { int x = (5 * 5); return (x + (2 - 2)); }",
+		"int g; int main() { g = (7 * 3); return (g + (10 / 2)); }",
+		"int f(int p0) { return (p0 * (2 + 2)); } int main() { return f(3); }",
+		"int main() { int i = 0; int s = 0; while (i < (2 + 3)) { s = (s + (1 * 2)); i = (i + 1); } return s; }",
+	}
+	for _, src := range cases {
+		folded, fq := compileCounted(t, src, false)
+		plain, pq := compileCounted(t, src, true)
+		if folded != plain {
+			t.Errorf("%s: folded=%d plain=%d", src, folded, plain)
+		}
+		if fq > pq {
+			t.Errorf("%s: folding grew code %d -> %d quads", src, pq, fq)
+		}
+	}
+}
+
+func TestFoldingShrinksConstantExpressions(t *testing.T) {
+	src := "int main() { return (((1 + 2) * (3 + 4)) - (5 * (6 + 7))); }"
+	_, folded := compileCounted(t, src, false)
+	_, plain := compileCounted(t, src, true)
+	if folded >= plain {
+		t.Fatalf("folding did not shrink: %d vs %d quads", folded, plain)
+	}
+	// Fully constant body: one const load, one ret, plus the epilogue.
+	if folded > 4 {
+		t.Fatalf("fully constant main compiled to %d quads", folded)
+	}
+}
+
+func TestFoldingLeavesDivisionByZeroForRuntime(t *testing.T) {
+	// (1 / 0) must not be folded away silently; it still compiles and only
+	// traps if executed.
+	src := "int main() { if (0 != 0) { return (1 / 0); } return 9; }"
+	got, _ := compileCounted(t, src, false)
+	if got != 9 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestFoldingWholeProgramMatches(t *testing.T) {
+	// The generated 2000-line program must compute the same result with
+	// and without the optimizer.
+	src := string(Source())
+	folded, fq := compileCounted(t, src, false)
+	plain, pq := compileCounted(t, src, true)
+	if folded != plain {
+		t.Fatalf("folded=%d plain=%d", folded, plain)
+	}
+	if fq >= pq {
+		t.Fatalf("no code shrink on the generated program: %d vs %d", fq, pq)
+	}
+	t.Logf("quads: %d unoptimized -> %d folded (%.1f%% smaller)",
+		pq, fq, 100*(1-float64(fq)/float64(pq)))
+}
+
+func TestQuickEvalConstMatchesInterpreter(t *testing.T) {
+	ops := []uint32{irAdd, irSub, irMul, irDiv, irMod, irLt, irLe, irEq, irNe}
+	err := quick.Check(func(a, b int32, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		v, ok := evalConst(op, a, b)
+		if (op == irDiv || op == irMod) && b == 0 {
+			return !ok
+		}
+		if !ok {
+			return false
+		}
+		// Compile a program computing the same expression at runtime
+		// (folding disabled) and compare.
+		opStr := map[uint32]string{
+			irAdd: "+", irSub: "-", irMul: "*", irDiv: "/", irMod: "%",
+			irLt: "<", irLe: "<=", irEq: "==", irNe: "!=",
+		}[op]
+		src := fmt.Sprintf(
+			"int id(int p0) { return p0; } int main() { return (id(%s) %s id(%s)); }",
+			lit(a), opStr, lit(b))
+		got, _ := compileCounted(t, src, true)
+		return got == v
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lit renders a possibly-negative literal with the grammar's unary minus.
+func lit(v int32) string {
+	if v < 0 {
+		if v == -2147483648 {
+			return "(-2147483647 - 1)"
+		}
+		return fmt.Sprintf("(-%d)", -v)
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,46 @@
+package minicc
+
+import (
+	"strings"
+	"testing"
+
+	"regions/internal/apps/appkit"
+)
+
+// FuzzCompiler feeds arbitrary bytes to the whole pipeline. The property:
+// the compiler either succeeds (and the produced code executes within the
+// VM's step bound) or rejects the input with one of its own "minicc:"
+// diagnostics — it never fails in an uncontrolled way and never trips the
+// region runtime's internal invariants (rc underflow, undeletable region).
+func FuzzCompiler(f *testing.F) {
+	f.Add("int main() { return 42; }")
+	f.Add("int g; int f(int p0) { return (p0 + g); } int main() { g = 2; return f(1); }")
+	f.Add("int main() { int i = 0; while (i < 3) { i = (i + 1); } return i; }")
+	f.Add("{}((")
+	f.Add("int int int")
+	f.Add("int main() { return (1 /")
+	f.Add(string(SourceSeeded(99)[:500]))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		e := appkit.NewRegionEnv("safe", appkit.Config{})
+		c := &compiler{e: e, sp: e.Space()}
+		c.registerCleanups()
+		c.f = e.PushFrame(numSlots)
+		defer e.PopFrame()
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.HasPrefix(msg, "minicc") {
+				panic(r) // not one of the compiler's own diagnostics
+			}
+		}()
+		c.compileFile([]byte(src))
+		// On success the safe runtime must have deleted everything.
+		if e.Counters().LiveRegions != 0 {
+			t.Fatalf("regions leaked on input %q", src)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package minicc
+
+import (
+	"fmt"
+
+	"regions/internal/apps/appkit"
+)
+
+// run executes function mainIdx of the compiled module, reading quads and
+// globals out of the simulated heap. The generated programs contain only
+// bounded loops; the step cap is defensive.
+func (c *compiler) run(mainIdx int) int32 {
+	sp := c.sp
+	module := c.f.Get(sModule)
+	meta := c.f.Get(sMeta)
+	globals := c.f.Get(sGlobals)
+
+	metaAt := func(idx, field int) int {
+		return int(sp.Load(meta + appkit.Ptr(idx*metaEntry+field*4)))
+	}
+	quad := func(q, w int) int32 {
+		return int32(sp.Load(module + appkit.Ptr(q*quadBytes+w*4)))
+	}
+
+	type frame struct {
+		regs  []int32
+		base  int // function-relative pc base (quad offset in module)
+		pc    int // function-relative
+		retTo *int32
+	}
+	var stack []*frame
+	var pending []int32
+
+	call := func(idx int, args []int32, retTo *int32) {
+		if len(args) != metaAt(idx, 2) {
+			panic(fmt.Sprintf("minicc vm: arity mismatch for f%d", idx))
+		}
+		fr := &frame{
+			regs:  make([]int32, metaAt(idx, 3)),
+			base:  metaAt(idx, 0),
+			retTo: retTo,
+		}
+		copy(fr.regs, args)
+		stack = append(stack, fr)
+	}
+
+	var result int32
+	call(mainIdx, nil, &result)
+	for steps := 0; len(stack) > 0; steps++ {
+		if steps > 20_000_000 {
+			panic("minicc vm: step limit exceeded")
+		}
+		fr := stack[len(stack)-1]
+		q := fr.base + fr.pc
+		op := quad(q, 0)
+		a, b, dst := quad(q, 1), quad(q, 2), quad(q, 3)
+		fr.pc++
+		switch op {
+		case irConst:
+			fr.regs[dst] = a
+		case irMov:
+			fr.regs[dst] = fr.regs[a]
+		case irAdd:
+			fr.regs[dst] = fr.regs[a] + fr.regs[b]
+		case irSub:
+			fr.regs[dst] = fr.regs[a] - fr.regs[b]
+		case irMul:
+			fr.regs[dst] = fr.regs[a] * fr.regs[b]
+		case irDiv:
+			if fr.regs[b] == 0 {
+				panic("minicc vm: division by zero")
+			}
+			fr.regs[dst] = fr.regs[a] / fr.regs[b]
+		case irMod:
+			if fr.regs[b] == 0 {
+				panic("minicc vm: modulo by zero")
+			}
+			fr.regs[dst] = fr.regs[a] % fr.regs[b]
+		case irLt:
+			fr.regs[dst] = b2i(fr.regs[a] < fr.regs[b])
+		case irLe:
+			fr.regs[dst] = b2i(fr.regs[a] <= fr.regs[b])
+		case irEq:
+			fr.regs[dst] = b2i(fr.regs[a] == fr.regs[b])
+		case irNe:
+			fr.regs[dst] = b2i(fr.regs[a] != fr.regs[b])
+		case irNeg:
+			fr.regs[dst] = -fr.regs[a]
+		case irJz:
+			if fr.regs[a] == 0 {
+				fr.pc = int(b)
+			}
+		case irJmp:
+			fr.pc = int(b)
+		case irParam:
+			pending = append(pending, fr.regs[a])
+		case irCall:
+			args := make([]int32, b)
+			copy(args, pending[len(pending)-int(b):])
+			pending = pending[:len(pending)-int(b)]
+			call(int(a), args, &fr.regs[dst])
+		case irRet:
+			v := fr.regs[a]
+			*fr.retTo = v
+			stack = stack[:len(stack)-1]
+		case irLoadG:
+			fr.regs[dst] = int32(sp.Load(globals + appkit.Ptr(a*4)))
+		case irStoreG:
+			sp.Store(globals+appkit.Ptr(b*4), uint32(fr.regs[a]))
+		default:
+			panic(fmt.Sprintf("minicc vm: bad opcode %d at quad %d", op, q))
+		}
+	}
+	return result
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,29 @@
+package moss
+
+// Object layouts shared by the variants, in byte offsets.
+//
+// Posting node (small, frequently accessed during pair scoring):
+//
+//	+0  next posting in index bucket
+//	+4  fingerprint hash
+//	+8  document id << 16 | position
+//	+12 pointer to the context snippet
+//
+// Snippet (large, written once and rarely read):
+//
+//	+0 length
+//	+4 snippet bytes (snippetLen, padded)
+//
+// Text buffer: +0 length, +4 raw document bytes.
+const (
+	pNext, pHash, pDocPos, pSnippet = 0, 4, 8, 12
+	postingSize                     = 16
+
+	snipLen, snipBytes = 0, 4
+
+	txtLen, txtBytes = 0, 4
+)
+
+func snippetObjSize() int { return snipBytes + (snippetLen+3)&^3 }
+
+func textObjSize(n int) int { return txtBytes + (n+3)&^3 }

@@ -1,0 +1,120 @@
+package moss
+
+import "regions/internal/apps/appkit"
+
+// RunRegion is the optimized region variant of moss from the paper's
+// Section 5.5: two regions, one for the small frequently-accessed objects
+// (index buckets and postings) and one for the large infrequently-accessed
+// ones (text buffers, snippets, the pair matrix). Packing the postings
+// densely is what buys the paper's 24% improvement and roughly half the
+// stalls.
+func RunRegion(e appkit.RegionEnv, scale int) uint32 {
+	return runRegion(e, scale, false)
+}
+
+// RunSlowRegion is the paper's original moss region version: a single
+// region, so small postings and large snippets interleave on its pages.
+func RunSlowRegion(e appkit.RegionEnv, scale int) uint32 {
+	return runRegion(e, scale, true)
+}
+
+func runRegion(e appkit.RegionEnv, scale int, single bool) uint32 {
+	sp := e.Space()
+	docs := Inputs(scale)
+
+	clnPost := e.RegisterCleanup("moss.posting", func(e appkit.RegionEnv, obj appkit.Ptr) int {
+		e.Destroy(e.Space().Load(obj + pNext))
+		e.Destroy(e.Space().Load(obj + pSnippet))
+		return postingSize
+	})
+	clnPtr := e.RegisterCleanup("moss.ptr", func(e appkit.RegionEnv, obj appkit.Ptr) int {
+		e.Destroy(e.Space().Load(obj))
+		return 4
+	})
+	clnSnip := e.SizeCleanup(snippetObjSize())
+
+	f := e.PushFrame(4)
+	defer e.PopFrame()
+	const (
+		sBuckets = iota
+		sMatrix
+		sText
+		sPost
+	)
+
+	small := e.NewRegion()
+	large := small
+	if !single {
+		large = e.NewRegion()
+	}
+
+	// Index buckets with the postings; matrix and texts with the large data.
+	buckets := e.RarrayAlloc(small, idxBuckets, 4, clnPtr)
+	f.Set(sBuckets, buckets)
+	matrix := e.RstrAlloc(large, scale*scale*4)
+	f.Set(sMatrix, matrix)
+	for i := 0; i < scale*scale; i++ {
+		sp.Store(matrix+appkit.Ptr(i*4), 0)
+	}
+
+	postings := 0
+	for d, doc := range docs {
+		text := e.RstrAlloc(large, textObjSize(len(doc)))
+		f.Set(sText, text)
+		sp.Store(text+txtLen, uint32(len(doc)))
+		appkit.StoreBytes(sp, text+txtBytes, doc)
+
+		for _, fp := range fingerprintDoc(sp, text) {
+			post := e.Ralloc(small, postingSize, clnPost)
+			b := buckets + appkit.Ptr(fp.hash%idxBuckets*4)
+			e.StorePtr(post+pNext, sp.Load(b))
+			sp.Store(post+pHash, fp.hash)
+			sp.Store(post+pDocPos, pairKey(d, fp.pos))
+			e.StorePtr(b, post)
+			f.Set(sPost, post)
+
+			// In the slow version the snippet is rallocated right next to
+			// the posting, interleaving large write-once data with the hot
+			// small nodes; the optimized version segregates it.
+			var snip appkit.Ptr
+			if single {
+				snip = e.Ralloc(large, snippetObjSize(), clnSnip)
+			} else {
+				snip = e.RstrAlloc(large, snippetObjSize())
+			}
+			writeSnippet(sp, snip, doc, fp.pos)
+			e.StorePtr(post+pSnippet, snip)
+			f.Set(sPost, 0)
+			postings++
+			e.Safepoint()
+		}
+		f.Set(sText, 0)
+		// Texts die with the large region; nothing to free here.
+	}
+
+	scorePairs(sp, buckets, matrix, scale)
+	matches := collectMatches(sp, matrix, scale)
+	cov := e.RstrAlloc(large, scale*4)
+	f.Set(sText, cov)
+	coveragePass(sp, buckets, cov, scale)
+	for d := 0; d < scale; d++ {
+		matches = append(matches, sp.Load(cov+appkit.Ptr(d*4)))
+	}
+	f.Set(sText, 0)
+	sum := checksum(postings, matches)
+
+	f.Set(sBuckets, 0)
+	f.Set(sMatrix, 0)
+	// The postings hold counted pointers into the large region, so the
+	// small region must go first; its cleanups release those references.
+	if !e.DeleteRegion(small) {
+		panic("moss: small region not deletable")
+	}
+	if !single {
+		if !e.DeleteRegion(large) {
+			panic("moss: large region not deletable")
+		}
+	}
+	e.Finalize()
+	return sum
+}

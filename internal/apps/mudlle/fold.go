@@ -1,0 +1,84 @@
+package mudlle
+
+import "regions/internal/apps/appkit"
+
+// Constant folding for the byte-code compiler: primitives whose arguments
+// are all literals are evaluated at compile time, and conditionals with a
+// literal condition are replaced by the taken branch. As in minicc, the
+// abandoned subtrees simply die with the file region.
+
+// fold rewrites the expression tree under n and returns its (possibly
+// different) root.
+func (c *compiler) fold(n appkit.Ptr) appkit.Ptr {
+	sp := c.sp
+	switch sp.Load(n + nKind) {
+	case nNum, nVar:
+		return n
+	case nLet:
+		c.e.StorePtr(n+nY, c.fold(sp.Load(n+nY)))
+		c.e.StorePtr(n+nZ, c.fold(sp.Load(n+nZ)))
+		return n
+	case nCall:
+		c.foldArgs(sp.Load(n + nY))
+		return n
+	case nIf:
+		cond := c.fold(sp.Load(n + nX))
+		c.e.StorePtr(n+nX, cond)
+		c.e.StorePtr(n+nY, c.fold(sp.Load(n+nY)))
+		c.e.StorePtr(n+nZ, c.fold(sp.Load(n+nZ)))
+		if sp.Load(cond+nKind) == nNum {
+			if sp.Load(cond+nX) != 0 {
+				return sp.Load(n + nY)
+			}
+			return sp.Load(n + nZ)
+		}
+		return n
+	case nPrim:
+		c.foldArgs(sp.Load(n + nY))
+		// Binary primitive with two literal arguments?
+		args := sp.Load(n + nY)
+		if args == 0 {
+			return n
+		}
+		a1 := sp.Load(args)
+		rest := sp.Load(args + 4)
+		if rest == 0 || sp.Load(rest+4) != 0 {
+			return n
+		}
+		a2 := sp.Load(rest)
+		if sp.Load(a1+nKind) != nNum || sp.Load(a2+nKind) != nNum {
+			return n
+		}
+		x, y := int32(sp.Load(a1+nX)), int32(sp.Load(a2+nX))
+		var v int32
+		switch sp.Load(n + nX) {
+		case primAdd:
+			v = x + y
+		case primSub:
+			v = x - y
+		case primMul:
+			v = x * y
+		case primLess:
+			if x < y {
+				v = 1
+			}
+		default:
+			return n
+		}
+		// Rewrite n in place to a literal; its cleanup must stop seeing
+		// the arguments, so clear the pointer field through the barrier.
+		c.e.StorePtr(n+nY, 0)
+		sp.Store(n+nKind, nNum)
+		sp.Store(n+nX, uint32(v))
+		return n
+	}
+	panic("mudlle: bad node kind in fold")
+}
+
+// foldArgs folds each argument in a cons list in place.
+func (c *compiler) foldArgs(args appkit.Ptr) {
+	sp := c.sp
+	for a := args; a != 0; a = sp.Load(a + 4) {
+		c.e.StorePtr(a, c.fold(sp.Load(a)))
+	}
+}

@@ -1,0 +1,94 @@
+package mudlle
+
+import (
+	"strings"
+	"testing"
+
+	"regions/internal/apps/appkit"
+)
+
+// compileCounted compiles src and returns main's result and the module
+// size in bytes, with folding optionally disabled.
+func compileCounted(t *testing.T, src string, noFold bool) (int32, int) {
+	t.Helper()
+	e := appkit.NewRegionEnv("unsafe", appkit.Config{})
+	c := &compiler{e: e, sp: e.Space(), noFold: noFold}
+	c.registerCleanups()
+	c.f = e.PushFrame(numSlots)
+	defer e.PopFrame()
+	result, _ := c.compileFile([]byte(src))
+	return result, c.moduleOff
+}
+
+func TestFoldingPreservesSemantics(t *testing.T) {
+	cases := []string{
+		"(define (main) (+ 2 3))",
+		"(define (main) (* (+ 1 2) (- 7 3)))",
+		"(define (main) (if (< 1 2) 10 20))",
+		"(define (main) (if (< 2 1) 10 20))",
+		"(define (main) (let ((x (* 3 3))) (+ x (- 5 5))))",
+		"(define (f p0) (* p0 (+ 2 2))) (define (main) (f 5))",
+		"(define (main) (if (< (+ 1 1) 3) (* 2 (+ 3 4)) 0))",
+	}
+	for _, src := range cases {
+		folded, fsz := compileCounted(t, src, false)
+		plain, psz := compileCounted(t, src, true)
+		if folded != plain {
+			t.Errorf("%s: folded=%d plain=%d", src, folded, plain)
+		}
+		if fsz > psz {
+			t.Errorf("%s: folding grew code %d -> %d bytes", src, psz, fsz)
+		}
+	}
+}
+
+func TestFoldingShrinksCode(t *testing.T) {
+	src := "(define (main) (+ (* 2 3) (* 4 5)))"
+	_, fsz := compileCounted(t, src, false)
+	_, psz := compileCounted(t, src, true)
+	if fsz >= psz {
+		t.Fatalf("no shrink: %d vs %d", fsz, psz)
+	}
+}
+
+func TestFoldingDeadBranchElimination(t *testing.T) {
+	// The untaken branch of a constant conditional disappears entirely,
+	// including the unbound... rather, even an expensive subtree.
+	src := "(define (main) (if (< 1 2) 7 (* (* (* 9 9) (* 9 9)) (* (* 9 9) (* 9 9)))))"
+	_, fsz := compileCounted(t, src, false)
+	_, psz := compileCounted(t, src, true)
+	if got, _ := compileCounted(t, src, false); got != 7 {
+		t.Fatalf("result %d", got)
+	}
+	if fsz*3 > psz {
+		t.Fatalf("dead branch not eliminated: %d vs %d bytes", fsz, psz)
+	}
+}
+
+func TestFoldingWholeProgram(t *testing.T) {
+	src := string(Source())
+	folded, fsz := compileCounted(t, src, false)
+	plain, psz := compileCounted(t, src, true)
+	if folded != plain {
+		t.Fatalf("folded=%d plain=%d", folded, plain)
+	}
+	if fsz >= psz {
+		t.Fatalf("no shrink on generated program: %d vs %d", fsz, psz)
+	}
+	t.Logf("module bytes: %d unoptimized -> %d folded (%.1f%% smaller)",
+		psz, fsz, 100*(1-float64(fsz)/float64(psz)))
+	if !strings.Contains(src, "(define (main)") {
+		t.Fatal("sanity")
+	}
+}
+
+func TestFoldingSeededPrograms(t *testing.T) {
+	for seed := uint32(20); seed < 26; seed++ {
+		src := string(SourceSeeded(seed))
+		folded, _ := compileCounted(t, src, false)
+		plain, _ := compileCounted(t, src, true)
+		if folded != plain {
+			t.Fatalf("seed %d: folded=%d plain=%d", seed, folded, plain)
+		}
+	}
+}

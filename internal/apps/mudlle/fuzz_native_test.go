@@ -1,0 +1,43 @@
+package mudlle
+
+import (
+	"strings"
+	"testing"
+
+	"regions/internal/apps/appkit"
+)
+
+// FuzzCompiler feeds arbitrary bytes to the byte-code compiler: it must
+// either succeed or reject the input with one of its own "mudlle"
+// diagnostics, without tripping the safe region runtime's invariants.
+func FuzzCompiler(f *testing.F) {
+	f.Add("(define (main) 42)")
+	f.Add("(define (f p0) (* p0 p0)) (define (main) (f 7))")
+	f.Add("(define (main) (let ((x 1)) (+ x 2)))")
+	f.Add("((((")
+	f.Add("(define")
+	f.Add(")")
+	f.Add(string(SourceSeeded(42)[:300]))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		e := appkit.NewRegionEnv("safe", appkit.Config{})
+		c := &compiler{e: e, sp: e.Space()}
+		c.registerCleanups()
+		c.f = e.PushFrame(numSlots)
+		defer e.PopFrame()
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.HasPrefix(msg, "mudlle") {
+				panic(r)
+			}
+		}()
+		c.compileFile([]byte(src))
+		if e.Counters().LiveRegions != 0 {
+			t.Fatalf("regions leaked on input %q", src)
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package tile
+
+// Object layouts shared by the malloc and region variants, in byte offsets.
+//
+// Word node (vocabulary hash table entry, variable size):
+//
+//	+0  next node in bucket
+//	+4  word id
+//	+8  occurrence count
+//	+12 word length in bytes
+//	+16 word bytes (padded to a word)
+//
+// Token chunk (the token stream, a list of fixed arrays):
+//
+//	+0  next chunk
+//	+4  tokens used in this chunk
+//	+8  token ids (chunkCap words)
+//
+// Gap-table node (per-window word counts, fixed size):
+//
+//	+0 next
+//	+4 word id
+//	+8 count
+const (
+	wNext, wID, wCount, wLen, wChars = 0, 4, 8, 12, 16
+
+	tNext, tN, tIDs = 0, 4, 8
+	chunkCap        = 256
+
+	gNext, gID, gCount = 0, 4, 8
+	gapBuckets         = 64
+	gapStride          = 5 // compute similarity every gapStride-th gap
+)
+
+func wordNodeSize(wordLen int) int { return wChars + (wordLen+3)&^3 }
+
+func tokenChunkSize() int { return tIDs + chunkCap*4 }

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// WriteJSON runs the standard measurement matrix (every app on every
+// malloc environment and on safe/unsafe regions, with and without the
+// cache model where the figures need it) and writes all results as JSON,
+// for plotting or regression tracking outside this repository.
+func WriteJSON(w io.Writer, s *Suite) error {
+	for _, app := range Apps() {
+		for _, kind := range mallocColumns {
+			s.MallocRun(app, kind, false)
+			s.MallocRun(app, kind, true)
+		}
+		s.RegionRun(app, "safe", false, false)
+		s.RegionRun(app, "safe", false, true)
+		s.RegionRun(app, "unsafe", false, false)
+		if app.SlowRegion != nil {
+			s.RegionRun(app, "safe", true, false)
+			s.RegionRun(app, "safe", true, true)
+		}
+	}
+	keys := make([]string, 0, len(s.cache))
+	for k := range s.cache {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	type jsonResult struct {
+		App         string `json:"app"`
+		Env         string `json:"env"`
+		Slow        bool   `json:"slow,omitempty"`
+		Checksum    uint32 `json:"checksum"`
+		Allocs      uint64 `json:"allocs"`
+		BytesKB     uint64 `json:"requestedKB"`
+		MaxLiveKB   uint64 `json:"maxLiveKB"`
+		Regions     uint64 `json:"regionsCreated,omitempty"`
+		OSKB        uint64 `json:"osKB"`
+		BaseCycles  uint64 `json:"baseCycles"`
+		MemCycles   uint64 `json:"memCycles"`
+		ReadStalls  uint64 `json:"readStalls,omitempty"`
+		WriteStalls uint64 `json:"writeStalls,omitempty"`
+	}
+	out := make([]jsonResult, 0, len(keys))
+	for _, k := range keys {
+		r := s.cache[k]
+		c := r.Counters
+		out = append(out, jsonResult{
+			App:         r.App,
+			Env:         r.Env,
+			Slow:        r.Slow,
+			Checksum:    r.Checksum,
+			Allocs:      c.Allocs,
+			BytesKB:     c.BytesRequested / 1024,
+			MaxLiveKB:   uint64(c.MaxLiveBytes) / 1024,
+			Regions:     c.RegionsCreated,
+			OSKB:        r.OSBytes / 1024,
+			BaseCycles:  c.BaseCycles(),
+			MemCycles:   c.MemCycles(),
+			ReadStalls:  c.ReadStalls,
+			WriteStalls: c.WriteStalls,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"regions/internal/mem"
+	"regions/internal/stats"
+	"regions/internal/xmalloc"
+)
+
+func jsonUnmarshal(b []byte, v interface{}) error { return json.Unmarshal(b, v) }
+
+func TestVmallocPoliciesRender(t *testing.T) {
+	var buf bytes.Buffer
+	VmallocPolicies(&buf)
+	out := buf.String()
+	for _, want := range []string{"last", "pool", "bestfit", "close only"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestVmallocPolicyOrdering pins the design-space claim: pure-region (last)
+// allocation is the cheapest discipline, pools are close behind, and
+// general best-fit with per-object free costs the most.
+func TestVmallocPolicyOrdering(t *testing.T) {
+	run := func(policy xmalloc.VmPolicy) uint64 {
+		c := &stats.Counters{}
+		sp := mem.NewSpace(c)
+		v := xmalloc.NewVmalloc(sp)
+		var wave []mem.Addr
+		for round := 0; round < 10; round++ {
+			r := v.Open(policy, 24)
+			for i := 0; i < 500; i++ {
+				wave = append(wave, v.Alloc(r, 24))
+			}
+			if policy != xmalloc.VmLast {
+				for _, p := range wave {
+					v.Free(r, p)
+				}
+			}
+			wave = wave[:0]
+			v.Close(r)
+		}
+		return c.Cycles[stats.ModeAlloc] + c.Cycles[stats.ModeFree]
+	}
+	last, pool, best := run(xmalloc.VmLast), run(xmalloc.VmPool), run(xmalloc.VmBestFit)
+	if !(last <= pool && pool <= best) {
+		t.Fatalf("expected last <= pool <= bestfit, got %d / %d / %d", last, pool, best)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, quickSuite()); err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]interface{}
+	if err := jsonUnmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rows) < 6*6 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	apps := map[string]bool{}
+	for _, r := range rows {
+		apps[r["app"].(string)] = true
+		if r["baseCycles"].(float64) <= 0 {
+			t.Fatalf("bad cycles in row %v", r)
+		}
+	}
+	if len(apps) != 6 {
+		t.Fatalf("apps covered: %d", len(apps))
+	}
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"regions/internal/textdiff"
+)
+
+// Table1 regenerates "Table 1: Complexity of benchmark changes": per app,
+// the source size and the lines changed between the malloc/free version and
+// the region version. Apps that were already region-based (mudlle, lcc)
+// have no malloc source; for them the paper reports the changes needed for
+// safe regions, which our single source subsumes, so they are reported as
+// region-native.
+func Table1(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Table 1: Complexity of benchmark changes")
+	fmt.Fprintln(tw, "Name\tLines\tChanged lines\tNote")
+	for _, app := range Apps() {
+		regionLines := len(textdiff.Lines(app.RegionSource))
+		if app.MallocSource == "" {
+			fmt.Fprintf(tw, "%s\t%d\t-\toriginally region-based\n", app.Name, regionLines)
+			continue
+		}
+		mallocLines := len(textdiff.Lines(app.MallocSource))
+		e := textdiff.DiffTexts(app.MallocSource, app.RegionSource)
+		fmt.Fprintf(tw, "%s\t%d\t%d\tregion version is %d lines\n",
+			app.Name, mallocLines, e.Changed(), regionLines)
+	}
+	tw.Flush()
+}
+
+// Table2 regenerates "Table 2: Allocation behaviour with regions".
+func Table2(w io.Writer, s *Suite) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Table 2: Allocation behaviour with regions")
+	fmt.Fprintln(tw, "Name\tTotal allocs\tTotal kbytes\tMax kbytes\tTotal regions\tMax regions\tMax kb in region\tAvg kb per region\tAvg allocs per region")
+	for _, app := range Apps() {
+		r := s.RegionRun(app, "safe", false, false)
+		c := r.Counters
+		regions := c.RegionsCreated
+		if regions == 0 {
+			regions = 1
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.1f\t%d\t%d\t%.1f\t%.2f\t%.0f\n",
+			app.Name, c.Allocs, kb(c.BytesRequested), kb(uint64(c.MaxLiveBytes)),
+			c.RegionsCreated, c.MaxLiveRegions, kb(c.MaxRegionBytes),
+			kb(c.BytesRequested)/float64(regions), float64(c.Allocs)/float64(regions))
+	}
+	tw.Flush()
+}
+
+// Table3 regenerates "Table 3: Allocation behaviour with malloc". For the
+// originally region-based apps the paper shows the raw numbers and a
+// "(w/o overhead)" row removing the emulation library's link words.
+func Table3(w io.Writer, s *Suite) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Table 3: Allocation behaviour with malloc")
+	fmt.Fprintln(tw, "Name\tTotal allocs\tTotal kbytes\tMax kbytes")
+	for _, app := range Apps() {
+		r := s.MallocRun(app, "Lea", false)
+		c := r.Counters
+		// For emulation-measured apps the program's effective requests
+		// include one link word per object; the "(w/o overhead)" row
+		// removes them, as in the paper.
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.1f\n",
+			app.Name, c.Allocs, kb(c.BytesRequested+r.EmuLink), kb(uint64(c.MaxLiveBytes)))
+		if app.UsesEmulation {
+			fmt.Fprintf(tw, "  (w/o overhead)\t%d\t%.0f\t%.1f\n",
+				c.Allocs, kb(c.BytesRequested), kb(uint64(c.MaxLiveBytes)))
+		}
+	}
+	tw.Flush()
+}

@@ -1,0 +1,161 @@
+// Package cachesim models the memory hierarchy of the paper's test machine,
+// a 167 MHz UltraSparc-I, closely enough to reproduce Figure 10: processor
+// cycles lost to read stalls (waiting for the result of a load) and write
+// stalls (store buffer full).
+//
+// The model is a two-level set-associative cache with LRU replacement and a
+// leaky-bucket store buffer. Each simulated memory access is pushed through
+// Access, which returns the stall cycles that access causes. The model is
+// deterministic: the same access trace always yields the same stall counts.
+package cachesim
+
+// Config describes the cache hierarchy. The zero value is not useful; use
+// UltraSparcI for the paper's machine.
+type Config struct {
+	L1Size  int // bytes
+	L1Assoc int // ways
+	L2Size  int // bytes
+	L2Assoc int // ways
+	// LineSize is shared by both levels, in bytes. The paper offsets region
+	// headers by the 64-byte second-level line size.
+	LineSize int
+
+	L1MissPenalty int // read-stall cycles on an L1 miss that hits in L2
+	L2MissPenalty int // read-stall cycles on an L2 miss (memory access)
+
+	// Store buffer model: a write miss occupies the buffer for the relevant
+	// miss penalty; every access drains DrainPerAccess cycles of pending
+	// write work. When more than StoreBufferCap cycles of writes are
+	// pending, the processor stalls for the excess.
+	StoreBufferCap int
+	DrainPerAccess int
+}
+
+// UltraSparcI returns a configuration approximating the paper's machine:
+// 16 KB direct-mapped L1 data cache, 512 KB unified L2, 64-byte L2 lines.
+func UltraSparcI() Config {
+	return Config{
+		L1Size:         16 * 1024,
+		L1Assoc:        1,
+		L2Size:         512 * 1024,
+		L2Assoc:        1,
+		LineSize:       64,
+		L1MissPenalty:  6,
+		L2MissPenalty:  42,
+		StoreBufferCap: 128,
+		DrainPerAccess: 3,
+	}
+}
+
+type set struct {
+	tags []uint32 // line tags, most recently used first; 0 means empty
+}
+
+type level struct {
+	sets     []set
+	assoc    int
+	setShift uint // log2(lineSize)
+	setMask  uint32
+}
+
+func newLevel(size, assoc, lineSize int) *level {
+	nsets := size / (assoc * lineSize)
+	if nsets < 1 {
+		nsets = 1
+	}
+	l := &level{
+		sets:    make([]set, nsets),
+		assoc:   assoc,
+		setMask: uint32(nsets - 1),
+	}
+	for s := lineSize; s > 1; s >>= 1 {
+		l.setShift++
+	}
+	for i := range l.sets {
+		l.sets[i].tags = make([]uint32, 0, assoc)
+	}
+	return l
+}
+
+// access returns true on a hit, inserting the line on a miss.
+// Tags are the full line address plus one so that 0 can mean "empty".
+func (l *level) access(addr uint32) bool {
+	line := (addr >> l.setShift) + 1
+	s := &l.sets[line&l.setMask]
+	for i, t := range s.tags {
+		if t == line {
+			// Move to front (LRU).
+			copy(s.tags[1:i+1], s.tags[:i])
+			s.tags[0] = line
+			return true
+		}
+	}
+	if len(s.tags) < l.assoc {
+		s.tags = append(s.tags, 0)
+	}
+	copy(s.tags[1:], s.tags)
+	s.tags[0] = line
+	return false
+}
+
+// Cache is a two-level cache plus store-buffer model.
+type Cache struct {
+	cfg     Config
+	l1, l2  *level
+	pending int // cycles of write work queued in the store buffer
+
+	Reads       uint64
+	Writes      uint64
+	L1Misses    uint64
+	L2Misses    uint64
+	ReadStalls  uint64
+	WriteStalls uint64
+}
+
+// New builds a cache from cfg. Sizes must be powers of two.
+func New(cfg Config) *Cache {
+	return &Cache{
+		cfg: cfg,
+		l1:  newLevel(cfg.L1Size, cfg.L1Assoc, cfg.LineSize),
+		l2:  newLevel(cfg.L2Size, cfg.L2Assoc, cfg.LineSize),
+	}
+}
+
+// Access simulates one memory access and returns (readStall, writeStall)
+// cycles caused by it. Both caches are write-allocate, so reads and writes
+// probe identically; only the stall attribution differs.
+func (c *Cache) Access(addr uint32, write bool) (readStall, writeStall uint64) {
+	// Drain the store buffer.
+	c.pending -= c.cfg.DrainPerAccess
+	if c.pending < 0 {
+		c.pending = 0
+	}
+
+	penalty := 0
+	if !c.l1.access(addr) {
+		c.L1Misses++
+		if c.l2.access(addr) {
+			penalty = c.cfg.L1MissPenalty
+		} else {
+			c.L2Misses++
+			penalty = c.cfg.L2MissPenalty
+		}
+	}
+
+	if write {
+		c.Writes++
+		// The write's miss handling is buffered; the processor only stalls
+		// if the buffer overflows.
+		c.pending += penalty
+		if c.pending > c.cfg.StoreBufferCap {
+			over := uint64(c.pending - c.cfg.StoreBufferCap)
+			c.pending = c.cfg.StoreBufferCap
+			c.WriteStalls += over
+			return 0, over
+		}
+		return 0, 0
+	}
+	c.Reads++
+	c.ReadStalls += uint64(penalty)
+	return uint64(penalty), 0
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"regions/internal/mem"
+	"regions/internal/stats"
+)
+
+// CleanupID identifies a registered cleanup function. The zero value is not
+// a valid id; every ralloc'd object carries one, as in the paper, where the
+// cleanup pointer doubles as the object header and a NULL header marks the
+// end of a page's filled prefix (Figure 7).
+type CleanupID int32
+
+// CleanupFunc is the paper's cleanup_t: given the address of an object's
+// data, it must call rt.Destroy on every region pointer stored in the object
+// and return the object's data size in bytes. For array allocations the same
+// function is applied per element (the count and element size are stored in
+// the array header) and its return value is ignored.
+//
+// The user supplies cleanups for the same reason the paper requires them: in
+// C, unions make it impossible for the compiler to locate region pointers.
+// Cleanups also provide object finalization.
+type CleanupFunc func(rt *Runtime, obj Ptr) int
+
+type cleanupEntry struct {
+	name string
+	fn   CleanupFunc
+}
+
+// RegisterCleanup registers fn under a diagnostic name and returns its id.
+func (rt *Runtime) RegisterCleanup(name string, fn CleanupFunc) CleanupID {
+	if fn == nil {
+		panic("core: nil cleanup function")
+	}
+	rt.cleanups = append(rt.cleanups, cleanupEntry{name, fn})
+	return CleanupID(len(rt.cleanups))
+}
+
+// SizeCleanup returns a cleanup for pointer-free objects of exactly size
+// bytes. Results are cached per size. Such objects could use RstrAlloc
+// instead; SizeCleanup exists for data that must live among scanned objects
+// or wants ralloc's clearing.
+func (rt *Runtime) SizeCleanup(size int) CleanupID {
+	if rt.sizeCleanups == nil {
+		rt.sizeCleanups = make(map[int]CleanupID)
+	}
+	if id, ok := rt.sizeCleanups[size]; ok {
+		return id
+	}
+	id := rt.RegisterCleanup(fmt.Sprintf("size%d", size),
+		func(_ *Runtime, _ Ptr) int { return size })
+	rt.sizeCleanups[size] = id
+	return id
+}
+
+// encodeCleanup builds the object header word: id (1-based, so headers are
+// never zero) plus an array flag bit.
+func (rt *Runtime) encodeCleanup(cln CleanupID, array bool) Word {
+	if cln <= 0 || int(cln) > len(rt.cleanups) {
+		panic(fmt.Sprintf("core: invalid cleanup id %d", cln))
+	}
+	w := Word(cln)
+	if array {
+		w |= arrayFlag
+	}
+	return w
+}
+
+// Destroy is called by cleanup functions on every region pointer in a dying
+// object (the paper's destroy). It decrements the target region's reference
+// count unless the pointer is nil, points outside any region, or points back
+// into the region being deleted (sameregion pointers were never counted).
+func (rt *Runtime) Destroy(p Ptr) {
+	if !rt.safe {
+		return
+	}
+	rt.c.DestroyCalls++
+	rt.charge(stats.ModeCleanup, 2)
+	if p == 0 {
+		return
+	}
+	reg := rt.RegionOf(p)
+	if reg == nil || reg == rt.deleting {
+		return
+	}
+	if reg.deleted {
+		panic("core: Destroy found a pointer into a deleted region")
+	}
+	rt.rcDec(reg)
+}
+
+// runCleanups walks every normal-allocator page entry of r and invokes each
+// object's cleanup, following Figure 7 of the paper. The end of an entry's
+// filled prefix is marked by a zero header word.
+func (rt *Runtime) runCleanups(r *Region) {
+	old := rt.space.SetMode(stats.ModeCleanup)
+	defer rt.space.SetMode(old)
+	rt.deleting = r
+	defer func() { rt.deleting = nil }()
+
+	homePage := r.hdr &^ Ptr(mem.PageSize-1)
+	entry := rt.space.Load(r.hdr + offNormalFirst)
+	for entry != 0 {
+		link := rt.space.Load(entry + pageLink)
+		next := link &^ Ptr(mem.PageSize-1)
+		count := int(link&(mem.PageSize-1)) + 1
+		end := entry + Ptr(count*mem.PageSize)
+
+		deleting := entry + mem.WordSize
+		if entry == homePage {
+			deleting = r.hdr + hdrBytes // skip the region structure
+		}
+		for deleting < end {
+			hdr := rt.space.Load(deleting)
+			if hdr == 0 {
+				break // end of filled prefix
+			}
+			rt.c.CleanupCalls++
+			rt.charge(stats.ModeCleanup, 3)
+			id := CleanupID(hdr &^ arrayFlag)
+			if id <= 0 || int(id) > len(rt.cleanups) {
+				panic(fmt.Sprintf("core: corrupt object header %#x at %#x", hdr, deleting))
+			}
+			fn := rt.cleanups[id-1].fn
+			if hdr&arrayFlag != 0 {
+				n := int(rt.space.Load(deleting + 4))
+				esz := int(rt.space.Load(deleting + 8))
+				obj := deleting + 3*mem.WordSize
+				for i := 0; i < n; i++ {
+					fn(rt, obj+Ptr(i*esz))
+				}
+				deleting += Ptr(3*mem.WordSize + n*esz)
+			} else {
+				size := fn(rt, deleting+mem.WordSize)
+				deleting += Ptr(mem.WordSize + align4(size))
+			}
+		}
+		entry = next
+	}
+}

@@ -1,0 +1,488 @@
+// Package core implements the paper's contribution: safe region-based
+// memory management (Gay & Aiken, "Memory Management with Explicit Regions",
+// PLDI 1998, Sections 3 and 4).
+//
+// A Runtime owns a simulated address space and plays the role of the C@
+// compiler plus runtime library:
+//
+//   - Regions are lists of 4 KB pages with bump allocation on the first page
+//     of the list. Each region contains two allocators, one for normal data
+//     (ralloc/rarrayalloc: scanned at deletion, cleared on allocation) and
+//     one for region-pointer-free data (rstralloc: never scanned, no
+//     bookkeeping). The region structure itself — reference count and the
+//     two allocators — lives in the region's first page, colored by 64-byte
+//     offsets to reduce cache conflicts between region structures.
+//   - Safety comes from region reference counting: exact counts for
+//     pointers stored in regions and global storage (write barriers with
+//     the sameregion optimization, Figure 5), and deferred counts for local
+//     variables using a shadow stack with a high-water mark (Section 4.2.1).
+//   - DeleteRegion (the paper's deleteregion) scans the unscanned part of
+//     the stack, checks that the exact reference count is zero, runs the
+//     region's cleanup functions (Figure 7), and returns the region's pages
+//     to a free page list. It is a failing no-op when external references
+//     remain.
+//
+// An unsafe Runtime is identical except that every operation maintaining or
+// testing reference counts is disabled, matching the paper's unsafe library.
+package core
+
+import (
+	"fmt"
+
+	"regions/internal/mem"
+	"regions/internal/stats"
+)
+
+// Ptr is a pointer into the simulated heap. The nil pointer is 0.
+type Ptr = mem.Addr
+
+const (
+	// hdrWords is the size of the in-heap region structure: reference
+	// count, normal allocator (first page, allocation offset), string
+	// allocator (first page, allocation offset).
+	hdrWords = 5
+	hdrBytes = hdrWords * mem.WordSize
+
+	// pageLink is the offset of the next-page link word in every region
+	// page. The link's low 12 bits carry the entry's page count minus one,
+	// so multi-page allocations (a lifting of the paper prototype's
+	// one-page limit) live on the same list.
+	pageLink = 0
+
+	// colorStep and colorMax implement the paper's region-structure
+	// coloring: successive regions are offset by 64 bytes (the second-level
+	// cache line size) in their first page, up to a maximum offset of 512.
+	colorStep = 64
+	colorMax  = 512
+
+	// arrayFlag marks an object header word as an array allocation.
+	arrayFlag = 1 << 31
+
+	// Barrier overheads, in instructions, from Figure 5 of the paper. The
+	// barrier's own memory accesses are charged as they happen, so the
+	// extra charge is the paper's count minus the typical access count.
+	globalWriteExtra = 16 - 4
+	regionWriteExtra = 23 - 6
+	// dynamicWriteExtra is the "more expensive runtime routine" used when a
+	// write cannot be statically classified (Section 4.2.2).
+	dynamicWriteExtra = 30 - 6
+)
+
+// Region header field offsets (bytes from the header address).
+const (
+	offRC          = 0
+	offNormalFirst = 4
+	offNormalAvail = 8 // allocation offset within the first page
+	offStringFirst = 12
+	offStringAvail = 16
+
+	errDeleted = "core: operation on deleted region"
+)
+
+// Region is a handle to a region. As in the paper, the handle itself is not
+// a counted region pointer: deleteregion(Region *x) explicitly excepts *x,
+// and our generalization is that Region handles held by Go code are
+// untracked while Ptr values in frame slots and heap words are tracked.
+type Region struct {
+	rt  *Runtime
+	id  int32
+	hdr Ptr // address of the in-heap region structure
+
+	bytes   uint64 // program-requested bytes, for Table 2
+	allocs  uint64
+	deleted bool
+}
+
+// Options configures a Runtime beyond the paper's two libraries, enabling
+// the ablation experiments.
+type Options struct {
+	// Safe enables reference counting, stack scanning, and cleanups.
+	Safe bool
+	// NoColoring disables the 64-byte offsets of region structures in
+	// their first pages (Section 4.1's cache-conflict mitigation).
+	NoColoring bool
+	// EagerLocals replaces the deferred high-water-mark scheme of Section
+	// 4.2.1 with exact counting of local variables: every frame-slot write
+	// pays a barrier and deletion needs no stack scan. This is the
+	// expensive design the paper's deferred scheme exists to avoid.
+	EagerLocals bool
+}
+
+// Runtime is one region-based memory management instance over one simulated
+// address space.
+type Runtime struct {
+	space *mem.Space
+	c     *stats.Counters
+	safe  bool
+	opts  Options
+
+	regions   []*Region
+	pageOwner []int32       // page number -> region id, -1 if none
+	freePages []Ptr         // single free pages available for reuse
+	freeSpans map[int][]Ptr // freed multi-page entries by page count
+	colorSeq  int
+
+	cleanups     []cleanupEntry
+	sizeCleanups map[int]CleanupID
+
+	stack stack
+
+	globalSeg  Ptr // bump segment for global region-pointer variables
+	globalNext Ptr
+	globalEnd  Ptr
+
+	deleting *Region // region currently being cleaned up, for Destroy
+}
+
+// NewRuntime creates a region runtime on the given space. If safe is false,
+// all reference counting, stack scanning and cleanup support is disabled, as
+// in the paper's unsafe library.
+func NewRuntime(space *mem.Space, safe bool) *Runtime {
+	return NewRuntimeOpts(space, Options{Safe: safe})
+}
+
+// NewRuntimeOpts creates a region runtime with explicit options.
+func NewRuntimeOpts(space *mem.Space, opts Options) *Runtime {
+	rt := &Runtime{
+		space: space,
+		c:     space.Counters(),
+		safe:  opts.Safe,
+		opts:  opts,
+	}
+	rt.stack.rt = rt
+	return rt
+}
+
+// Space returns the simulated address space the runtime allocates from.
+func (rt *Runtime) Space() *mem.Space { return rt.space }
+
+// Safe reports whether this runtime maintains reference counts.
+func (rt *Runtime) Safe() bool { return rt.safe }
+
+// Counters returns the statistics sink shared with the space.
+func (rt *Runtime) Counters() *stats.Counters { return rt.c }
+
+// charge adds n instruction cycles to mode without touching memory.
+func (rt *Runtime) charge(mode stats.Mode, n uint64) {
+	rt.c.Cycles[mode] += n
+}
+
+// ---------------------------------------------------------------------------
+// Pages and the page-to-region map
+
+func (rt *Runtime) notePages(first Ptr, n int, id int32) {
+	firstNo := int(first >> mem.PageShift)
+	for len(rt.pageOwner) < firstNo+n {
+		rt.pageOwner = append(rt.pageOwner, -1)
+	}
+	for i := 0; i < n; i++ {
+		rt.pageOwner[firstNo+i] = id
+	}
+}
+
+// acquirePages returns n contiguous zeroed pages owned by region id.
+// Single pages come from the free page list; freed multi-page spans are
+// reused for allocations of the same page count.
+func (rt *Runtime) acquirePages(n int, id int32) Ptr {
+	rt.charge(stats.ModeAlloc, 2) // list manipulation
+	if n == 1 && len(rt.freePages) > 0 {
+		p := rt.freePages[len(rt.freePages)-1]
+		rt.freePages = rt.freePages[:len(rt.freePages)-1]
+		rt.space.ZeroPageFree(p)
+		rt.notePages(p, 1, id)
+		return p
+	}
+	if spans := rt.freeSpans[n]; n > 1 && len(spans) > 0 {
+		p := spans[len(spans)-1]
+		rt.freeSpans[n] = spans[:len(spans)-1]
+		for i := 0; i < n; i++ {
+			rt.space.ZeroPageFree(p + Ptr(i)<<mem.PageShift)
+		}
+		rt.notePages(p, n, id)
+		return p
+	}
+	p := rt.space.MapPages(n)
+	rt.notePages(p, n, id)
+	return p
+}
+
+// releaseEntry returns a page-list entry to the free lists and clears its
+// region ownership.
+func (rt *Runtime) releaseEntry(first Ptr, n int) {
+	rt.charge(stats.ModeFree, uint64(1+n))
+	rt.notePages(first, n, -1)
+	if n > 1 {
+		if rt.freeSpans == nil {
+			rt.freeSpans = map[int][]Ptr{}
+		}
+		rt.freeSpans[n] = append(rt.freeSpans[n], first)
+		return
+	}
+	rt.freePages = append(rt.freePages, first)
+}
+
+// RegionOf returns the region containing p, or nil if p is not a region
+// address (nil, global storage, or allocator-free space). This is the
+// paper's regionof, backed by the page-to-region map (Section 4.1).
+func (rt *Runtime) RegionOf(p Ptr) *Region {
+	if p == 0 {
+		return nil
+	}
+	pg := int(p >> mem.PageShift)
+	if pg >= len(rt.pageOwner) {
+		return nil
+	}
+	id := rt.pageOwner[pg]
+	if id < 0 {
+		return nil
+	}
+	return rt.regions[id]
+}
+
+// ---------------------------------------------------------------------------
+// Region creation and allocation
+
+// NewRegion creates an empty region (the paper's newregion). The region
+// structure is stored in the region's own first page at a colored offset.
+func (rt *Runtime) NewRegion() *Region {
+	old := rt.space.SetMode(stats.ModeAlloc)
+	defer rt.space.SetMode(old)
+	rt.charge(stats.ModeAlloc, 3)
+
+	r := &Region{rt: rt, id: int32(len(rt.regions))}
+	rt.regions = append(rt.regions, r)
+
+	page := rt.acquirePages(1, r.id)
+	color := Ptr(rt.colorSeq*colorStep) % (colorMax + colorStep)
+	if rt.opts.NoColoring {
+		color = 0
+	}
+	rt.colorSeq++
+	hdr := page + mem.WordSize + color
+	r.hdr = hdr
+
+	rt.space.Store(page+pageLink, 0) // single-page entry, end of list
+	rt.space.Store(hdr+offRC, 0)
+	rt.space.Store(hdr+offNormalFirst, page)
+	rt.space.Store(hdr+offNormalAvail, hdr+hdrBytes-page)
+	rt.space.Store(hdr+offStringFirst, 0)
+	rt.space.Store(hdr+offStringAvail, mem.PageSize)
+
+	rt.c.RegionCreated()
+	return r
+}
+
+func align4(n int) int { return (n + 3) &^ 3 }
+
+// bump allocates total bytes from the allocator whose fields are at
+// hdr+firstOff/availOff, growing the page list as needed.
+func (rt *Runtime) bump(r *Region, firstOff, availOff Ptr, total int) Ptr {
+	hdr := r.hdr
+	avail := rt.space.Load(hdr + availOff)
+	first := rt.space.Load(hdr + firstOff)
+	if int(avail)+total <= mem.PageSize && first != 0 {
+		p := first + avail
+		rt.space.Store(hdr+availOff, avail+Ptr(total))
+		return p
+	}
+	// The link word of an entry is nextEntryAddr | (thisEntryPageCount-1);
+	// entry addresses are page-aligned so the two never collide.
+	npages := (total + mem.WordSize + mem.PageSize - 1) / mem.PageSize
+	if npages == 1 {
+		// New head page; allocation continues from it.
+		page := rt.acquirePages(1, r.id)
+		rt.space.Store(page+pageLink, first)
+		rt.space.Store(hdr+firstOff, page)
+		rt.space.Store(hdr+availOff, mem.WordSize+Ptr(total))
+		return page + mem.WordSize
+	}
+	// Multi-page entry, a lifting of the paper prototype's one-page limit:
+	// link it behind the current head so small allocations keep filling the
+	// head page's remaining space.
+	span := rt.acquirePages(npages, r.id)
+	if first == 0 {
+		rt.space.Store(span+pageLink, Ptr(npages-1))
+		rt.space.Store(hdr+firstOff, span)
+		rt.space.Store(hdr+availOff, mem.PageSize) // span is head but full
+	} else {
+		headLink := rt.space.Load(first + pageLink)
+		headNext := headLink &^ Ptr(mem.PageSize-1)
+		headCount := headLink & (mem.PageSize - 1)
+		rt.space.Store(span+pageLink, headNext|Ptr(npages-1))
+		rt.space.Store(first+pageLink, span|headCount)
+	}
+	return span + mem.WordSize
+}
+
+func (rt *Runtime) checkLive(r *Region) {
+	if r == nil {
+		panic("core: nil region")
+	}
+	if r.deleted {
+		panic(errDeleted)
+	}
+}
+
+// Ralloc allocates size bytes of cleared memory with the given cleanup in
+// region r (the paper's ralloc). One word of bookkeeping precedes the data.
+func (rt *Runtime) Ralloc(r *Region, size int, cln CleanupID) Ptr {
+	rt.checkLive(r)
+	old := rt.space.SetMode(stats.ModeAlloc)
+	defer rt.space.SetMode(old)
+	rt.charge(stats.ModeAlloc, 4)
+
+	data := align4(size)
+	p := rt.bump(r, offNormalFirst, offNormalAvail, data+mem.WordSize)
+	rt.space.Store(p, rt.encodeCleanup(cln, false))
+	rt.space.ZeroRange(p+mem.WordSize, data)
+
+	r.bytes += uint64(data)
+	r.allocs++
+	rt.c.AddAlloc(int64(data))
+	return p + mem.WordSize
+}
+
+// RarrayAlloc allocates a cleared array of n elements of elemSize bytes in
+// region r (the paper's rarrayalloc). Three words of bookkeeping — cleanup,
+// count, element size — precede the data, the paper's twelve bytes.
+func (rt *Runtime) RarrayAlloc(r *Region, n, elemSize int, cln CleanupID) Ptr {
+	rt.checkLive(r)
+	if n < 0 || elemSize < 0 {
+		panic("core: negative array allocation")
+	}
+	old := rt.space.SetMode(stats.ModeAlloc)
+	defer rt.space.SetMode(old)
+	rt.charge(stats.ModeAlloc, 5)
+
+	esz := align4(elemSize)
+	data := esz * n
+	p := rt.bump(r, offNormalFirst, offNormalAvail, data+3*mem.WordSize)
+	rt.space.Store(p, rt.encodeCleanup(cln, true))
+	rt.space.Store(p+4, Ptr(n))
+	rt.space.Store(p+8, Ptr(esz))
+	rt.space.ZeroRange(p+12, data)
+
+	r.bytes += uint64(data)
+	r.allocs++
+	rt.c.AddAlloc(int64(data))
+	return p + 3*mem.WordSize
+}
+
+// RstrAlloc allocates size bytes of region-pointer-free memory in region r
+// (the paper's rstralloc). The memory is not cleared, carries no
+// bookkeeping, and is never scanned at deletion.
+func (rt *Runtime) RstrAlloc(r *Region, size int) Ptr {
+	rt.checkLive(r)
+	old := rt.space.SetMode(stats.ModeAlloc)
+	defer rt.space.SetMode(old)
+	rt.charge(stats.ModeAlloc, 4)
+
+	data := align4(size)
+	p := rt.bump(r, offStringFirst, offStringAvail, data)
+
+	r.bytes += uint64(data)
+	r.allocs++
+	rt.c.AddAlloc(int64(data))
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Deletion
+
+// DeleteRegion attempts to delete r (the paper's deleteregion). Under a safe
+// runtime the deletion succeeds only if there are no external references to
+// objects in r: the unscanned portion of the shadow stack is scanned first
+// so the region's reference count is exact, and a nonzero count makes
+// DeleteRegion a failing no-op. On success the region's cleanups run and all
+// its pages return to the free page list.
+//
+// Deleting an already-deleted region panics: the paper's API nulls the
+// caller's handle on success, which Go handles cannot express.
+func (rt *Runtime) DeleteRegion(r *Region) bool {
+	rt.checkLive(r)
+
+	if rt.safe {
+		// Scan all frames but the active one; the active frame (which plays
+		// the role of deleteregion's own frame, not itself scanned) is
+		// counted temporarily so the reference count read below is exact.
+		// Under the EagerLocals ablation the count is always exact and no
+		// scanning happens.
+		var active *Frame
+		if !rt.opts.EagerLocals {
+			rt.stack.scanForDelete()
+			if n := len(rt.stack.frames); n > 0 {
+				active = rt.stack.frames[n-1]
+			}
+		}
+		mode := rt.space.SetMode(stats.ModeScan)
+		if active != nil {
+			rt.stack.countFrame(active, +1)
+		}
+		rc := rt.space.Load(r.hdr + offRC)
+		if active != nil {
+			rt.stack.countFrame(active, -1)
+		}
+		rt.space.SetMode(mode)
+		if rc != 0 {
+			return false
+		}
+		rt.runCleanups(r)
+	}
+
+	// Return every page-list entry of both allocators to the free list.
+	old := rt.space.SetMode(stats.ModeFree)
+	for _, firstOff := range []Ptr{offNormalFirst, offStringFirst} {
+		entry := rt.space.Load(r.hdr + firstOff)
+		for entry != 0 {
+			link := rt.space.Load(entry + pageLink)
+			next := link &^ Ptr(mem.PageSize-1)
+			count := int(link&(mem.PageSize-1)) + 1
+			rt.releaseEntry(entry, count)
+			entry = next
+		}
+	}
+	rt.space.SetMode(old)
+
+	r.deleted = true
+	rt.c.RegionDeleted(r.bytes)
+	return true
+}
+
+// FinalizeStats folds regions still live at the end of a run into the
+// statistics (the Max. kbytes in region column counts them too).
+func (rt *Runtime) FinalizeStats() {
+	for _, r := range rt.regions {
+		if !r.deleted && r.bytes > rt.c.MaxRegionBytes {
+			rt.c.MaxRegionBytes = r.bytes
+		}
+	}
+}
+
+// Bytes returns the total program-requested bytes allocated in r so far.
+func (r *Region) Bytes() uint64 { return r.bytes }
+
+// Allocs returns the number of allocations made in r so far.
+func (r *Region) Allocs() uint64 { return r.allocs }
+
+// Deleted reports whether r has been successfully deleted.
+func (r *Region) Deleted() bool { return r.deleted }
+
+// RC returns r's current (deferred, not necessarily exact) reference count.
+// It exists for tests and diagnostics and charges no cycles.
+func (r *Region) RC() Word {
+	var rc Word
+	r.rt.space.Uncharged(func() { rc = r.rt.space.Load(r.hdr + offRC) })
+	return rc
+}
+
+// Word is re-exported for convenience in package users.
+type Word = mem.Word
+
+// String implements fmt.Stringer for diagnostics.
+func (r *Region) String() string {
+	state := "live"
+	if r.deleted {
+		state = "deleted"
+	}
+	return fmt.Sprintf("region#%d(%s, %d bytes, %d allocs)", r.id, state, r.bytes, r.allocs)
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"regions/internal/mem"
+)
+
+// This file is the "environment for debugging regions" the paper wishes
+// for in Section 5.1: "The other difficulty is finding stale pointers that
+// prevent a region from being deleted; an environment for debugging regions
+// would be helpful here." Referrers answers the question a failing
+// DeleteRegion raises — who still points into this region?
+
+// RefKind classifies where a reference into a region was found.
+type RefKind string
+
+// Reference locations.
+const (
+	RefHeap   RefKind = "heap"   // a word inside another region's scanned data
+	RefGlobal RefKind = "global" // a word in global storage
+	RefFrame  RefKind = "frame"  // a live local variable slot
+)
+
+// Ref is one location that holds (or conservatively appears to hold) a
+// pointer into the region under investigation.
+type Ref struct {
+	Kind  RefKind
+	Addr  Ptr     // heap address of the referring word (heap/global refs)
+	From  *Region // region containing the referring word (heap refs)
+	Frame int     // frame depth, outermost = 0 (frame refs)
+	Slot  int     // slot within the frame (frame refs)
+	Value Ptr     // the pointer found
+}
+
+// String formats a reference for diagnostics.
+func (r Ref) String() string {
+	switch r.Kind {
+	case RefHeap:
+		return fmt.Sprintf("heap word %#x in %v -> %#x", r.Addr, r.From, r.Value)
+	case RefGlobal:
+		return fmt.Sprintf("global word %#x -> %#x", r.Addr, r.Value)
+	default:
+		return fmt.Sprintf("frame %d slot %d -> %#x", r.Frame, r.Slot, r.Value)
+	}
+}
+
+// Referrers conservatively locates every tracked reference into target: the
+// scanned (normal-allocator) data of all other live regions, global
+// storage, and every shadow-stack frame slot. It is a debugging aid — it
+// charges no cycles and may over-report words whose integer value happens
+// to alias an address in target. String-allocator data is not scanned,
+// matching its "no region pointers" contract; a pointer hidden there is
+// exactly the kind of unsafe cast the paper's C@ rules out.
+func (rt *Runtime) Referrers(target *Region) []Ref {
+	if target == nil || target.deleted {
+		return nil
+	}
+	var refs []Ref
+	rt.space.Uncharged(func() {
+		pointsIn := func(v Ptr) bool { return v != 0 && rt.RegionOf(v) == target }
+
+		for _, reg := range rt.regions {
+			if reg.deleted || reg == target {
+				continue
+			}
+			homePage := reg.hdr &^ Ptr(mem.PageSize-1)
+			entry := rt.space.Load(reg.hdr + offNormalFirst)
+			for entry != 0 {
+				link := rt.space.Load(entry + pageLink)
+				next := link &^ Ptr(mem.PageSize-1)
+				count := int(link&(mem.PageSize-1)) + 1
+				start := entry + mem.WordSize
+				if entry == homePage {
+					start = reg.hdr + hdrBytes
+				}
+				end := entry + Ptr(count*mem.PageSize)
+				for a := start; a < end; a += mem.WordSize {
+					if v := rt.space.Load(a); pointsIn(v) {
+						refs = append(refs, Ref{Kind: RefHeap, Addr: a, From: reg, Value: v})
+					}
+				}
+				entry = next
+			}
+		}
+		for a := rt.globalSeg; a < rt.globalNext; a += mem.WordSize {
+			if v := rt.space.Load(a); pointsIn(v) {
+				refs = append(refs, Ref{Kind: RefGlobal, Addr: a, Value: v})
+			}
+		}
+		for fi, f := range rt.stack.frames {
+			for si, v := range f.slots {
+				if pointsIn(v) {
+					refs = append(refs, Ref{Kind: RefFrame, Frame: fi, Slot: si, Value: v})
+				}
+			}
+		}
+	})
+	return refs
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the paper's parallel extension (Section 1):
+//
+//	"The only operations that require synchronization amongst all processes
+//	are region creation and deletion. Each process keeps a local reference
+//	count for each region which counts the references created or deleted by
+//	that process. A region can be deleted if the sum of all its local
+//	reference counts is zero. Writes of references to regions must be done
+//	with an atomic exchange (rather than a simple write) to prevent
+//	incorrect behaviour in the presence of data races, however the local
+//	reference counts can be adjusted without synchronization or
+//	communication."
+//
+// The extension is modelled on Go values rather than the single-threaded
+// simulated heap: the algorithmic content is the counting protocol, not the
+// allocator. Local counts use atomic adds only to satisfy the Go memory
+// model; each is still strictly worker-local state requiring no
+// communication, as in the paper.
+
+// ParWorld is a group of workers sharing a set of parallel regions.
+// Region creation and deletion synchronize on the world's mutex — the
+// paper's global synchronization points.
+type ParWorld struct {
+	mu      sync.Mutex
+	workers int
+	regions []*ParRegion
+}
+
+// ParRegion is a region with one local reference count per worker.
+// The region is deletable exactly when the counts sum to zero; individual
+// counts may be negative (a pointer created by one worker and destroyed by
+// another).
+type ParRegion struct {
+	id      int
+	local   []paddedCount
+	deleted atomic.Bool
+}
+
+type paddedCount struct {
+	n atomic.Int64
+	_ [7]int64 // avoid false sharing between workers' counts
+}
+
+// NewParWorld creates a world for the given number of workers.
+func NewParWorld(workers int) *ParWorld {
+	if workers <= 0 {
+		panic("core: ParWorld needs at least one worker")
+	}
+	return &ParWorld{workers: workers}
+}
+
+// NewParRegion creates a region (a globally synchronized operation).
+func (w *ParWorld) NewParRegion() *ParRegion {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	r := &ParRegion{id: len(w.regions), local: make([]paddedCount, w.workers)}
+	w.regions = append(w.regions, r)
+	return r
+}
+
+// Worker returns the handle for worker id.
+func (w *ParWorld) Worker(id int) *ParWorker {
+	if id < 0 || id >= w.workers {
+		panic("core: worker id out of range")
+	}
+	return &ParWorker{world: w, id: id}
+}
+
+// TryDelete deletes r if the sum of its local reference counts is zero.
+// Like the sequential deleteregion it is a failing no-op otherwise. The sum
+// is taken under the world lock, the paper's global synchronization.
+func (w *ParWorld) TryDelete(r *ParRegion) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if r.deleted.Load() {
+		panic(errDeleted)
+	}
+	var sum int64
+	for i := range r.local {
+		sum += r.local[i].n.Load()
+	}
+	if sum != 0 {
+		return false
+	}
+	r.deleted.Store(true)
+	return true
+}
+
+// Deleted reports whether r has been deleted.
+func (r *ParRegion) Deleted() bool { return r.deleted.Load() }
+
+// RCSum returns the current sum of local counts (diagnostic; racy unless
+// the workers are quiescent).
+func (r *ParRegion) RCSum() int64 {
+	var sum int64
+	for i := range r.local {
+		sum += r.local[i].n.Load()
+	}
+	return sum
+}
+
+// ParWorker is one process's view of the world. Its count adjustments touch
+// only its own slots.
+type ParWorker struct {
+	world *ParWorld
+	id    int
+}
+
+// ParSlot is a shared pointer cell. Writes go through an atomic exchange so
+// that every overwritten value is observed by exactly one writer, which is
+// what keeps the distributed counts consistent under races.
+type ParSlot struct {
+	v atomic.Uint32
+}
+
+// Load returns the slot's current value.
+func (s *ParSlot) Load() Ptr { return s.v.Load() }
+
+// Write performs *slot = val with the parallel barrier: an atomic exchange
+// retrieves the old value, then the worker adjusts its local counts for the
+// old and new target regions. regionOf maps a pointer to its region (nil
+// for non-region pointers).
+func (wk *ParWorker) Write(slot *ParSlot, val Ptr, regionOf func(Ptr) *ParRegion) {
+	old := slot.v.Swap(val)
+	if r := regionOf(old); r != nil {
+		wk.adjust(r, -1)
+	}
+	if r := regionOf(val); r != nil {
+		wk.adjust(r, +1)
+	}
+}
+
+// Created records that the worker materialized a new counted reference
+// (e.g. into a local that will outlive barrier-tracked storage).
+func (wk *ParWorker) Created(r *ParRegion) { wk.adjust(r, +1) }
+
+// Destroyed records that the worker destroyed a counted reference.
+func (wk *ParWorker) Destroyed(r *ParRegion) { wk.adjust(r, -1) }
+
+func (wk *ParWorker) adjust(r *ParRegion, delta int64) {
+	if r.deleted.Load() {
+		panic(errDeleted)
+	}
+	r.local[wk.id].n.Add(delta)
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestParBasicCounting(t *testing.T) {
+	w := NewParWorld(2)
+	r := w.NewParRegion()
+	regionOf := func(p Ptr) *ParRegion {
+		if p != 0 {
+			return r
+		}
+		return nil
+	}
+	var slot ParSlot
+	w.Worker(0).Write(&slot, 100, regionOf)
+	if r.RCSum() != 1 {
+		t.Fatalf("sum=%d, want 1", r.RCSum())
+	}
+	if w.TryDelete(r) {
+		t.Fatal("delete succeeded with a live reference")
+	}
+	// A different worker clears the slot: its local count goes negative,
+	// the sum goes to zero.
+	w.Worker(1).Write(&slot, 0, regionOf)
+	if r.local[0].n.Load() != 1 || r.local[1].n.Load() != -1 {
+		t.Fatalf("local counts (%d,%d), want (1,-1)",
+			r.local[0].n.Load(), r.local[1].n.Load())
+	}
+	if !w.TryDelete(r) {
+		t.Fatal("delete failed with zero sum")
+	}
+	if !r.Deleted() {
+		t.Fatal("region not marked deleted")
+	}
+}
+
+func TestParDoubleDeletePanics(t *testing.T) {
+	w := NewParWorld(1)
+	r := w.NewParRegion()
+	w.TryDelete(r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double delete did not panic")
+		}
+	}()
+	w.TryDelete(r)
+}
+
+// TestParRaceConsistency hammers shared slots from many workers. The atomic
+// exchange guarantees every overwritten value is decremented exactly once,
+// so after quiescence the sum of local counts equals the number of live
+// references — and only then is the region deletable.
+func TestParRaceConsistency(t *testing.T) {
+	const workers = 8
+	const slots = 16
+	const writesPerWorker = 5000
+
+	w := NewParWorld(workers)
+	r := w.NewParRegion()
+	regionOf := func(p Ptr) *ParRegion {
+		if p != 0 {
+			return r
+		}
+		return nil
+	}
+	shared := make([]ParSlot, slots)
+
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			wk := w.Worker(id)
+			x := uint32(id + 1)
+			for i := 0; i < writesPerWorker; i++ {
+				x = x*1664525 + 1013904223
+				slot := &shared[x%slots]
+				val := Ptr(0)
+				if x&4 != 0 {
+					val = 4096 + x%1000*4
+				}
+				wk.Write(slot, val, regionOf)
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	live := 0
+	for i := range shared {
+		if shared[i].Load() != 0 {
+			live++
+		}
+	}
+	if got := r.RCSum(); got != int64(live) {
+		t.Fatalf("sum=%d, live references=%d", got, live)
+	}
+	if live > 0 && w.TryDelete(r) {
+		t.Fatal("delete succeeded with live references")
+	}
+	wk := w.Worker(0)
+	for i := range shared {
+		wk.Write(&shared[i], 0, regionOf)
+	}
+	if !w.TryDelete(r) {
+		t.Fatalf("delete failed after clearing all slots (sum=%d)", r.RCSum())
+	}
+}
+
+func TestParManyRegions(t *testing.T) {
+	const workers = 4
+	w := NewParWorld(workers)
+	regs := make([]*ParRegion, 10)
+	for i := range regs {
+		regs[i] = w.NewParRegion()
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			wk := w.Worker(id)
+			for i := 0; i < 1000; i++ {
+				r := regs[(i+id)%len(regs)]
+				wk.Created(r)
+				wk.Destroyed(r)
+			}
+		}(id)
+	}
+	wg.Wait()
+	for i, r := range regs {
+		if !w.TryDelete(r) {
+			t.Fatalf("region %d not deletable after balanced create/destroy (sum=%d)", i, r.RCSum())
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"regions/internal/mem"
+	"regions/internal/stats"
+)
+
+// rcInc increments r's reference count. The count lives in the region's
+// header word in the simulated heap, so the update is a traced memory
+// access charged to the current accounting mode.
+func (rt *Runtime) rcInc(r *Region) {
+	v := rt.space.Load(r.hdr + offRC)
+	rt.space.Store(r.hdr+offRC, v+1)
+}
+
+// rcDec decrements r's reference count, panicking on underflow — an
+// underflow means the barrier discipline was violated.
+func (rt *Runtime) rcDec(r *Region) {
+	v := rt.space.Load(r.hdr + offRC)
+	if v == 0 {
+		panic("core: reference count underflow")
+	}
+	rt.space.Store(r.hdr+offRC, v-1)
+}
+
+// StorePtr implements *slot = val where slot is a word inside a region
+// object: the paper's "region write" barrier (Figure 5, 23 instructions).
+// Sameregion pointers — val in the same region as slot — cost no count
+// update; pointers whose old or new target shares slot's region skip the
+// corresponding half of the update.
+//
+// Under an unsafe runtime this is a plain one-cycle store.
+func (rt *Runtime) StorePtr(slot, val Ptr) {
+	if !rt.safe {
+		rt.space.Store(slot, val)
+		return
+	}
+	old := rt.space.SetMode(stats.ModeRC)
+	rt.charge(stats.ModeRC, regionWriteExtra)
+	rt.c.Barriers.Region++
+
+	t := rt.space.Load(slot)
+	ra := rt.RegionOf(slot)
+	rold := rt.RegionOf(t)
+	rnew := rt.RegionOf(val)
+	if rnew != nil && rnew == ra {
+		rt.c.Barriers.SameRegion++
+	}
+	if rold != rnew {
+		if rold != nil && rold != ra {
+			rt.rcDec(rold)
+		}
+		if rnew != nil && rnew != ra {
+			rt.rcInc(rnew)
+		}
+	}
+	rt.space.Store(slot, val)
+	rt.space.SetMode(old)
+}
+
+// StoreGlobalPtr implements *slot = val where slot is in global storage:
+// the paper's "global write" barrier (Figure 5, 16 instructions). Global
+// storage belongs to no region, so there are no sameregion pointers.
+func (rt *Runtime) StoreGlobalPtr(slot, val Ptr) {
+	if !rt.safe {
+		rt.space.Store(slot, val)
+		return
+	}
+	old := rt.space.SetMode(stats.ModeRC)
+	rt.charge(stats.ModeRC, globalWriteExtra)
+	rt.c.Barriers.Global++
+
+	t := rt.space.Load(slot)
+	rold := rt.RegionOf(t)
+	rnew := rt.RegionOf(val)
+	if rold != rnew {
+		if rold != nil {
+			rt.rcDec(rold)
+		}
+		if rnew != nil {
+			rt.rcInc(rnew)
+		}
+	}
+	rt.space.Store(slot, val)
+	rt.space.SetMode(old)
+}
+
+// StorePtrDynamic is the "more expensive runtime routine" the paper uses
+// when a write cannot be statically classified as a global or region write
+// (Section 4.2.2): it classifies slot at run time and applies the right
+// barrier, charging extra for the classification.
+func (rt *Runtime) StorePtrDynamic(slot, val Ptr) {
+	if !rt.safe {
+		rt.space.Store(slot, val)
+		return
+	}
+	rt.charge(stats.ModeRC, dynamicWriteExtra-regionWriteExtra)
+	if rt.RegionOf(slot) != nil {
+		rt.StorePtr(slot, val)
+	} else {
+		rt.charge(stats.ModeRC, regionWriteExtra-globalWriteExtra)
+		rt.StoreGlobalPtr(slot, val)
+	}
+}
+
+// AllocGlobals reserves nwords consecutive words of global storage and
+// returns the address of the first. Global storage belongs to no region;
+// region pointers stored in it are counted exactly via StoreGlobalPtr.
+func (rt *Runtime) AllocGlobals(nwords int) Ptr {
+	need := Ptr(nwords * mem.WordSize)
+	if rt.globalNext+need > rt.globalEnd || rt.globalSeg == 0 {
+		pages := (int(need) + mem.PageSize - 1) / mem.PageSize
+		if pages < 4 {
+			pages = 4
+		}
+		seg := rt.space.MapPages(pages)
+		rt.notePages(seg, pages, -1)
+		rt.globalSeg = seg
+		rt.globalNext = seg
+		rt.globalEnd = seg + Ptr(pages*mem.PageSize)
+	}
+	p := rt.globalNext
+	rt.globalNext += need
+	return p
+}

@@ -1,0 +1,212 @@
+// Package mem provides the simulated machine underneath every allocator in
+// this repository: a 32-bit byte-addressed, word-granular address space made
+// of 4 KB pages, handed out by a simulated operating system that tracks the
+// total memory "requested from the OS" (the OS bar of the paper's Figure 8).
+//
+// All allocators — the region library, the three malloc implementations, and
+// the conservative collector — place both program data and their own
+// metadata (free lists, boundary tags, region headers, page links) in this
+// space, so space overhead and locality are measured rather than modelled.
+// Every load and store costs one simulated cycle, charged to the accounting
+// mode active at the time, and is optionally pushed through a cache
+// simulator to obtain stall cycles.
+package mem
+
+import (
+	"fmt"
+
+	"regions/internal/cachesim"
+	"regions/internal/stats"
+)
+
+// Addr is a simulated 32-bit byte address. Address 0 is the nil pointer and
+// is never mapped.
+type Addr = uint32
+
+// Word is the 32-bit contents of one aligned memory word.
+type Word = uint32
+
+const (
+	// PageSize is the simulated page size, as in the paper's allocators.
+	PageSize = 4096
+	// WordSize is the machine word size in bytes.
+	WordSize = 4
+	// PageWords is the number of words per page.
+	PageWords = PageSize / WordSize
+	// PageShift converts between addresses and page numbers.
+	PageShift = 12
+
+	// AppComputeFactor is the cycles charged per application-mode memory
+	// access: one for the access itself plus surrounding ALU and control
+	// work. Typical RISC instruction mixes run several non-memory
+	// instructions per load or store; without this factor the fixed-cost
+	// pieces of memory management (e.g. the paper's 16/23-instruction
+	// write barriers) would look several times more expensive relative to
+	// the program than they did on the paper's machine. Memory-management
+	// modes are memory-bound and charge one cycle per access.
+	AppComputeFactor = 4
+)
+
+type page struct {
+	words [PageWords]Word
+}
+
+// Space is one simulated address space. It is not safe for concurrent use;
+// each experiment run owns its own Space.
+type Space struct {
+	pages []*page // index = page number; nil entries are unmapped
+
+	mappedBytes uint64
+
+	mode  stats.Mode
+	c     *stats.Counters
+	cache *cachesim.Cache
+
+	// charge disables cycle accounting when false (used while an allocator
+	// initializes pages it has not yet handed to anyone).
+	charge bool
+}
+
+// NewSpace returns an empty address space whose accesses are charged to c.
+// Page 0 is reserved so that address 0 stays invalid.
+func NewSpace(c *stats.Counters) *Space {
+	return &Space{
+		pages:  make([]*page, 1, 1024),
+		c:      c,
+		charge: true,
+	}
+}
+
+// AttachCache routes subsequent accesses through the given cache model.
+func (s *Space) AttachCache(cache *cachesim.Cache) { s.cache = cache }
+
+// Cache returns the attached cache model, or nil.
+func (s *Space) Cache() *cachesim.Cache { return s.cache }
+
+// Counters returns the counters this space charges cycles to.
+func (s *Space) Counters() *stats.Counters { return s.c }
+
+// SetMode switches the accounting mode for subsequent accesses and returns
+// the previous mode so callers can restore it:
+//
+//	defer s.SetMode(s.SetMode(stats.ModeAlloc))
+func (s *Space) SetMode(m stats.Mode) stats.Mode {
+	old := s.mode
+	s.mode = m
+	return old
+}
+
+// Mode returns the current accounting mode.
+func (s *Space) Mode() stats.Mode { return s.mode }
+
+// MappedBytes returns the total memory requested from the simulated OS.
+// It never shrinks: like sbrk, the simulated OS only grows.
+func (s *Space) MappedBytes() uint64 { return s.mappedBytes }
+
+// MapPages maps n fresh zeroed pages contiguously and returns the address of
+// the first. It panics if the 32-bit address space is exhausted, which is an
+// experiment configuration error.
+func (s *Space) MapPages(n int) Addr {
+	if n <= 0 {
+		panic("mem: MapPages of non-positive count")
+	}
+	first := len(s.pages)
+	if uint64(first+n) > 1<<(32-PageShift) {
+		panic("mem: simulated address space exhausted")
+	}
+	for i := 0; i < n; i++ {
+		s.pages = append(s.pages, &page{})
+	}
+	s.mappedBytes += uint64(n) * PageSize
+	return Addr(first) << PageShift
+}
+
+// Mapped reports whether a is inside a mapped page.
+func (s *Space) Mapped(a Addr) bool {
+	p := int(a >> PageShift)
+	return p > 0 && p < len(s.pages) && s.pages[p] != nil
+}
+
+// NumPages returns the number of page slots, including the reserved page 0.
+func (s *Space) NumPages() int { return len(s.pages) }
+
+func (s *Space) access(a Addr, write bool) {
+	if !s.charge {
+		return
+	}
+	if s.mode == stats.ModeApp {
+		s.c.Cycles[stats.ModeApp] += AppComputeFactor
+	} else {
+		s.c.Cycles[s.mode]++
+	}
+	if s.cache != nil {
+		r, w := s.cache.Access(a, write)
+		s.c.ReadStalls += r
+		s.c.WriteStalls += w
+	}
+}
+
+func (s *Space) page(a Addr) *page {
+	if a&(WordSize-1) != 0 {
+		panic(fmt.Sprintf("mem: unaligned access at %#x", a))
+	}
+	p := int(a >> PageShift)
+	if p <= 0 || p >= len(s.pages) || s.pages[p] == nil {
+		panic(fmt.Sprintf("mem: access to unmapped address %#x", a))
+	}
+	return s.pages[p]
+}
+
+// Load returns the word at the 4-byte-aligned address a.
+func (s *Space) Load(a Addr) Word {
+	s.access(a, false)
+	return s.page(a).words[(a%PageSize)/WordSize]
+}
+
+// Store writes v to the 4-byte-aligned address a.
+func (s *Space) Store(a Addr, v Word) {
+	s.access(a, true)
+	s.page(a).words[(a%PageSize)/WordSize] = v
+}
+
+// LoadByte returns the byte at address a (no alignment requirement).
+// Byte order within a word is little-endian.
+func (s *Space) LoadByte(a Addr) byte {
+	w := s.Load(a &^ (WordSize - 1))
+	return byte(w >> (8 * (a & (WordSize - 1))))
+}
+
+// StoreByte writes b at address a, preserving the other bytes of the word.
+func (s *Space) StoreByte(a Addr, b byte) {
+	aligned := a &^ Addr(WordSize-1)
+	shift := 8 * (a & (WordSize - 1))
+	w := s.Load(aligned)
+	w = w&^(0xff<<shift) | Word(b)<<shift
+	s.Store(aligned, w)
+}
+
+// ZeroRange zeroes size bytes starting at a (both word-aligned), charging
+// one cycle per word as the paper's ralloc clearing does.
+func (s *Space) ZeroRange(a Addr, size int) {
+	for off := 0; off < size; off += WordSize {
+		s.Store(a+Addr(off), 0)
+	}
+}
+
+// ZeroPageFree zeroes the page containing a without charging cycles. It is
+// used when an allocator recycles a page it owns: the paper's region library
+// reuses pages from its free page list, and freshly OS-mapped pages arrive
+// zeroed either way.
+func (s *Space) ZeroPageFree(a Addr) {
+	p := s.page(a &^ (PageSize - 1))
+	p.words = [PageWords]Word{}
+}
+
+// Uncharged runs f with cycle accounting disabled. It exists for test
+// oracles and statistics gathering that must not perturb measurements.
+func (s *Space) Uncharged(f func()) {
+	old := s.charge
+	s.charge = false
+	defer func() { s.charge = old }()
+	f()
+}

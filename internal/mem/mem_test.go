@@ -1,0 +1,207 @@
+package mem
+
+import (
+	"testing"
+
+	"regions/internal/cachesim"
+	"regions/internal/stats"
+)
+
+func newSpace() (*Space, *stats.Counters) {
+	c := &stats.Counters{}
+	return NewSpace(c), c
+}
+
+func TestMapPagesAndAccounting(t *testing.T) {
+	s, _ := newSpace()
+	a := s.MapPages(2)
+	if a != PageSize {
+		t.Fatalf("first mapping at %#x, want %#x (page 0 reserved)", a, PageSize)
+	}
+	b := s.MapPages(1)
+	if b != 3*PageSize {
+		t.Fatalf("second mapping at %#x, want %#x", b, 3*PageSize)
+	}
+	if s.MappedBytes() != 3*PageSize {
+		t.Fatalf("MappedBytes=%d, want %d", s.MappedBytes(), 3*PageSize)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	s, _ := newSpace()
+	a := s.MapPages(1)
+	s.Store(a+8, 0xdeadbeef)
+	if got := s.Load(a + 8); got != 0xdeadbeef {
+		t.Fatalf("Load=%#x", got)
+	}
+	if got := s.Load(a + 12); got != 0 {
+		t.Fatalf("fresh page word = %#x, want 0", got)
+	}
+}
+
+func TestCycleCharging(t *testing.T) {
+	s, c := newSpace()
+	a := s.MapPages(1)
+	s.Store(a, 1)
+	s.Load(a)
+	if c.Cycles[stats.ModeApp] != 2*AppComputeFactor {
+		t.Fatalf("app cycles=%d, want %d", c.Cycles[stats.ModeApp], 2*AppComputeFactor)
+	}
+	old := s.SetMode(stats.ModeAlloc)
+	if old != stats.ModeApp {
+		t.Fatalf("SetMode returned %v, want app", old)
+	}
+	s.Store(a, 2)
+	s.SetMode(old)
+	if c.Cycles[stats.ModeAlloc] != 1 {
+		t.Fatalf("alloc cycles=%d, want 1", c.Cycles[stats.ModeAlloc])
+	}
+	if s.Mode() != stats.ModeApp {
+		t.Fatalf("mode not restored: %v", s.Mode())
+	}
+}
+
+func TestUncharged(t *testing.T) {
+	s, c := newSpace()
+	a := s.MapPages(1)
+	s.Uncharged(func() {
+		for i := 0; i < 100; i++ {
+			s.Load(a)
+		}
+	})
+	if c.Cycles[stats.ModeApp] != 0 {
+		t.Fatalf("uncharged accesses cost %d cycles", c.Cycles[stats.ModeApp])
+	}
+}
+
+func TestByteAccess(t *testing.T) {
+	s, _ := newSpace()
+	a := s.MapPages(1)
+	for i, b := range []byte{0x11, 0x22, 0x33, 0x44} {
+		s.StoreByte(a+Addr(i), b)
+	}
+	if got := s.Load(a); got != 0x44332211 {
+		t.Fatalf("word after byte stores = %#x, want 0x44332211 (little-endian)", got)
+	}
+	for i, want := range []byte{0x11, 0x22, 0x33, 0x44} {
+		if got := s.LoadByte(a + Addr(i)); got != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, got, want)
+		}
+	}
+	// Overwriting one byte must preserve the rest.
+	s.StoreByte(a+1, 0xee)
+	if got := s.Load(a); got != 0x4433ee11 {
+		t.Fatalf("after partial overwrite: %#x", got)
+	}
+}
+
+func TestZeroRange(t *testing.T) {
+	s, _ := newSpace()
+	a := s.MapPages(1)
+	for i := 0; i < 16; i += 4 {
+		s.Store(a+Addr(i), 0xffffffff)
+	}
+	s.ZeroRange(a+4, 8)
+	want := []Word{0xffffffff, 0, 0, 0xffffffff}
+	for i, w := range want {
+		if got := s.Load(a + Addr(i*4)); got != w {
+			t.Fatalf("word %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestZeroPageFree(t *testing.T) {
+	s, c := newSpace()
+	a := s.MapPages(1)
+	s.Store(a+100*4, 7)
+	before := c.Cycles[stats.ModeApp]
+	s.ZeroPageFree(a + 8) // any address within the page
+	if c.Cycles[stats.ModeApp] != before {
+		t.Fatal("ZeroPageFree must not charge cycles")
+	}
+	if got := s.Load(a + 100*4); got != 0 {
+		t.Fatalf("page not zeroed: %#x", got)
+	}
+}
+
+func TestMapped(t *testing.T) {
+	s, _ := newSpace()
+	a := s.MapPages(1)
+	if s.Mapped(0) {
+		t.Fatal("address 0 must be unmapped")
+	}
+	if !s.Mapped(a) || !s.Mapped(a+PageSize-4) {
+		t.Fatal("mapped page reported unmapped")
+	}
+	if s.Mapped(a + PageSize) {
+		t.Fatal("page past end reported mapped")
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	s, _ := newSpace()
+	a := s.MapPages(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned Load did not panic")
+		}
+	}()
+	s.Load(a + 2)
+}
+
+func TestUnmappedPanics(t *testing.T) {
+	s, _ := newSpace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmapped Load did not panic")
+		}
+	}()
+	s.Load(8)
+}
+
+func TestNilAddressPanics(t *testing.T) {
+	s, _ := newSpace()
+	s.MapPages(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Load(0) did not panic")
+		}
+	}()
+	s.Load(0)
+}
+
+func TestCacheAttachment(t *testing.T) {
+	s, c := newSpace()
+	s.AttachCache(cachesim.New(cachesim.UltraSparcI()))
+	a := s.MapPages(4)
+	for i := 0; i < PageWords; i++ {
+		s.Load(a + Addr(i*4))
+	}
+	if c.ReadStalls == 0 {
+		t.Fatal("cold scan through cache produced no read stalls")
+	}
+	if s.Cache().Reads == 0 {
+		t.Fatal("cache saw no reads")
+	}
+}
+
+func TestMapPagesZeroPanics(t *testing.T) {
+	s, _ := newSpace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MapPages(0) did not panic")
+		}
+	}()
+	s.MapPages(0)
+}
+
+func TestNumPages(t *testing.T) {
+	s, _ := newSpace()
+	if s.NumPages() != 1 {
+		t.Fatalf("fresh space has %d page slots, want 1 (reserved page 0)", s.NumPages())
+	}
+	s.MapPages(3)
+	if s.NumPages() != 4 {
+		t.Fatalf("NumPages=%d, want 4", s.NumPages())
+	}
+}

@@ -1,0 +1,142 @@
+// Package stats collects the measurements the paper reports: allocation
+// counts and volumes (Tables 2 and 3), memory-management cycle accounting
+// split by activity (Figures 9 and 11), and cache-stall cycles (Figure 10).
+//
+// Every simulated memory access costs one cycle and is attributed to the
+// accounting Mode active at the time of the access. "Base" execution time is
+// the application's own accesses plus stall cycles; everything else is
+// memory-management overhead.
+package stats
+
+// Mode identifies the activity a simulated cycle is charged to.
+type Mode int
+
+// Accounting modes. ModeApp is the application itself; all other modes are
+// memory management and together form the "memory" bar of Figure 9.
+const (
+	ModeApp     Mode = iota // application work
+	ModeAlloc               // object/region allocation
+	ModeFree                // explicit deallocation (free, deleteregion page release)
+	ModeRC                  // reference-count write barriers
+	ModeScan                // stack scan and unscan
+	ModeCleanup             // cleanup scan of deleted regions
+	ModeGC                  // garbage collector marking and sweeping
+	NumModes
+)
+
+var modeNames = [NumModes]string{"app", "alloc", "free", "rc", "scan", "cleanup", "gc"}
+
+// String returns the short lowercase name of the mode.
+func (m Mode) String() string {
+	if m < 0 || m >= NumModes {
+		return "invalid"
+	}
+	return modeNames[m]
+}
+
+// BarrierCounts breaks down pointer-write barriers by kind.
+type BarrierCounts struct {
+	Global     uint64 // writes of region pointers into global storage
+	Region     uint64 // writes of region pointers into region objects
+	SameRegion uint64 // region writes where source and target share a region
+}
+
+// Counters accumulates every statistic a single experiment run produces.
+// A Counters value is plain data; the zero value is ready to use.
+type Counters struct {
+	// Cycle accounting per mode plus cache stalls.
+	Cycles      [NumModes]uint64
+	ReadStalls  uint64 // cycles lost waiting for loads (Figure 10)
+	WriteStalls uint64 // cycles lost to a full store buffer (Figure 10)
+
+	// Allocation volume (Tables 2 and 3).
+	Allocs         uint64 // number of allocation requests
+	FreeCalls      uint64 // number of explicit frees
+	BytesRequested uint64 // program-requested bytes, rounded up to 4
+	LiveBytes      int64  // currently live program-requested bytes
+	MaxLiveBytes   int64  // high-water mark of LiveBytes
+
+	// Region statistics (Table 2).
+	RegionsCreated uint64
+	RegionsDeleted uint64
+	LiveRegions    int64
+	MaxLiveRegions int64
+	MaxRegionBytes uint64 // largest region observed, program-requested bytes
+
+	// Safety cost detail (Figure 11).
+	Barriers        BarrierCounts
+	FramesScanned   uint64
+	SlotsScanned    uint64
+	FramesUnscanned uint64
+	CleanupCalls    uint64
+	DestroyCalls    uint64
+
+	// Collector detail.
+	GCCollections uint64
+}
+
+// AddAlloc records an allocation of size program-requested bytes
+// (already rounded by the caller) and updates live high-water marks.
+func (c *Counters) AddAlloc(size int64) {
+	c.Allocs++
+	c.BytesRequested += uint64(size)
+	c.LiveBytes += size
+	if c.LiveBytes > c.MaxLiveBytes {
+		c.MaxLiveBytes = c.LiveBytes
+	}
+}
+
+// AddFree records that size program-requested bytes stopped being live.
+func (c *Counters) AddFree(size int64) {
+	c.FreeCalls++
+	c.LiveBytes -= size
+}
+
+// RegionCreated records a region creation.
+func (c *Counters) RegionCreated() {
+	c.RegionsCreated++
+	c.LiveRegions++
+	if c.LiveRegions > c.MaxLiveRegions {
+		c.MaxLiveRegions = c.LiveRegions
+	}
+}
+
+// RegionDeleted records a successful region deletion; bytes is the region's
+// total program-requested volume, used for the Max. kbytes in region column.
+// The region's live objects all die at once, so live bytes drop by the
+// region's full volume.
+func (c *Counters) RegionDeleted(bytes uint64) {
+	c.RegionsDeleted++
+	c.LiveRegions--
+	c.LiveBytes -= int64(bytes)
+	if bytes > c.MaxRegionBytes {
+		c.MaxRegionBytes = bytes
+	}
+}
+
+// MemCycles returns all cycles charged to memory management: every mode
+// except the application itself. This is the "memory" bar of Figure 9.
+func (c *Counters) MemCycles() uint64 {
+	var sum uint64
+	for m := ModeAlloc; m < NumModes; m++ {
+		sum += c.Cycles[m]
+	}
+	return sum
+}
+
+// BaseCycles returns application cycles plus stall cycles: the "base" bar of
+// Figure 9.
+func (c *Counters) BaseCycles() uint64 {
+	return c.Cycles[ModeApp] + c.ReadStalls + c.WriteStalls
+}
+
+// TotalCycles returns the modelled execution time: base plus memory.
+func (c *Counters) TotalCycles() uint64 {
+	return c.BaseCycles() + c.MemCycles()
+}
+
+// SafetyCycles returns the cycles attributable to making regions safe:
+// reference counting, stack scanning, and region cleanup (Figure 11).
+func (c *Counters) SafetyCycles() uint64 {
+	return c.Cycles[ModeRC] + c.Cycles[ModeScan] + c.Cycles[ModeCleanup]
+}

@@ -1,0 +1,90 @@
+package stats
+
+import "testing"
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{
+		ModeApp:     "app",
+		ModeAlloc:   "alloc",
+		ModeFree:    "free",
+		ModeRC:      "rc",
+		ModeScan:    "scan",
+		ModeCleanup: "cleanup",
+		ModeGC:      "gc",
+		Mode(-1):    "invalid",
+		NumModes:    "invalid",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestAllocFreeHighWater(t *testing.T) {
+	var c Counters
+	c.AddAlloc(100)
+	c.AddAlloc(50)
+	if c.LiveBytes != 150 || c.MaxLiveBytes != 150 {
+		t.Fatalf("live=%d max=%d, want 150/150", c.LiveBytes, c.MaxLiveBytes)
+	}
+	c.AddFree(100)
+	c.AddAlloc(40)
+	if c.LiveBytes != 90 {
+		t.Fatalf("live=%d, want 90", c.LiveBytes)
+	}
+	if c.MaxLiveBytes != 150 {
+		t.Fatalf("max=%d, want 150 (high-water must not shrink)", c.MaxLiveBytes)
+	}
+	if c.Allocs != 3 || c.FreeCalls != 1 || c.BytesRequested != 190 {
+		t.Fatalf("allocs=%d frees=%d bytes=%d", c.Allocs, c.FreeCalls, c.BytesRequested)
+	}
+}
+
+func TestRegionHighWater(t *testing.T) {
+	var c Counters
+	c.RegionCreated()
+	c.RegionCreated()
+	c.RegionCreated()
+	c.RegionDeleted(1000)
+	c.RegionDeleted(3000)
+	c.RegionCreated()
+	if c.MaxLiveRegions != 3 {
+		t.Fatalf("MaxLiveRegions=%d, want 3", c.MaxLiveRegions)
+	}
+	if c.LiveRegions != 2 {
+		t.Fatalf("LiveRegions=%d, want 2", c.LiveRegions)
+	}
+	if c.MaxRegionBytes != 3000 {
+		t.Fatalf("MaxRegionBytes=%d, want 3000", c.MaxRegionBytes)
+	}
+	if c.RegionsCreated != 4 || c.RegionsDeleted != 2 {
+		t.Fatalf("created=%d deleted=%d", c.RegionsCreated, c.RegionsDeleted)
+	}
+}
+
+func TestCycleRollups(t *testing.T) {
+	var c Counters
+	c.Cycles[ModeApp] = 100
+	c.Cycles[ModeAlloc] = 10
+	c.Cycles[ModeFree] = 5
+	c.Cycles[ModeRC] = 7
+	c.Cycles[ModeScan] = 3
+	c.Cycles[ModeCleanup] = 2
+	c.Cycles[ModeGC] = 11
+	c.ReadStalls = 20
+	c.WriteStalls = 4
+
+	if got := c.MemCycles(); got != 38 {
+		t.Errorf("MemCycles=%d, want 38", got)
+	}
+	if got := c.BaseCycles(); got != 124 {
+		t.Errorf("BaseCycles=%d, want 124", got)
+	}
+	if got := c.TotalCycles(); got != 162 {
+		t.Errorf("TotalCycles=%d, want 162", got)
+	}
+	if got := c.SafetyCycles(); got != 12 {
+		t.Errorf("SafetyCycles=%d, want 12", got)
+	}
+}

@@ -1,0 +1,77 @@
+// Package textdiff implements a line-oriented Myers diff, used to regenerate
+// the paper's Table 1: the number of lines changed between each benchmark's
+// malloc/free version and its region version (the paper used "diff -f").
+package textdiff
+
+import "strings"
+
+// Lines splits text into lines, dropping a trailing empty line.
+func Lines(text string) []string {
+	lines := strings.Split(text, "\n")
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		return lines[:n-1]
+	}
+	return lines
+}
+
+// EditScript is the result of a diff: lines only in a, and lines only in b.
+type EditScript struct {
+	Deleted  int // lines present only in a
+	Inserted int // lines present only in b
+	Common   int // lines shared (the LCS length)
+}
+
+// Changed returns the larger of insertions and deletions: the number of
+// "changed or extra lines" in b relative to a, the measure Table 1 reports.
+func (e EditScript) Changed() int {
+	if e.Inserted > e.Deleted {
+		return e.Inserted
+	}
+	return e.Deleted
+}
+
+// Diff computes the line diff between a and b using the Myers O(ND)
+// algorithm (greedy forward version).
+func Diff(a, b []string) EditScript {
+	n, m := len(a), len(b)
+	max := n + m
+	if max == 0 {
+		return EditScript{}
+	}
+	// v[k+max] = furthest x on diagonal k.
+	v := make([]int, 2*max+1)
+	for d := 0; d <= max; d++ {
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[k-1+max] < v[k+1+max]) {
+				x = v[k+1+max] // down: insertion
+			} else {
+				x = v[k-1+max] + 1 // right: deletion
+			}
+			y := x - k
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			v[k+max] = x
+			if x >= n && y >= m {
+				// d = deletions + insertions; recover the split from k:
+				// deletions - insertions = ... x - y at the end relates to
+				// n - m, so: deletions = (d + n - m) / 2.
+				del := (d + n - m) / 2
+				ins := d - del
+				return EditScript{
+					Deleted:  del,
+					Inserted: ins,
+					Common:   n - del,
+				}
+			}
+		}
+	}
+	return EditScript{Deleted: n, Inserted: m}
+}
+
+// DiffTexts is Diff over raw strings.
+func DiffTexts(a, b string) EditScript {
+	return Diff(Lines(a), Lines(b))
+}

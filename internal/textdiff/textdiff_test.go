@@ -1,0 +1,104 @@
+package textdiff
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentical(t *testing.T) {
+	e := DiffTexts("a\nb\nc\n", "a\nb\nc\n")
+	if e.Deleted != 0 || e.Inserted != 0 || e.Common != 3 {
+		t.Fatalf("got %+v", e)
+	}
+	if e.Changed() != 0 {
+		t.Fatalf("Changed=%d", e.Changed())
+	}
+}
+
+func TestDisjoint(t *testing.T) {
+	e := DiffTexts("a\nb\n", "x\ny\nz\n")
+	if e.Deleted != 2 || e.Inserted != 3 || e.Common != 0 {
+		t.Fatalf("got %+v", e)
+	}
+	if e.Changed() != 3 {
+		t.Fatalf("Changed=%d", e.Changed())
+	}
+}
+
+func TestSimpleEdit(t *testing.T) {
+	a := "one\ntwo\nthree\nfour\n"
+	b := "one\nTWO\nthree\nfour\nfive\n"
+	e := DiffTexts(a, b)
+	if e.Deleted != 1 || e.Inserted != 2 || e.Common != 3 {
+		t.Fatalf("got %+v", e)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if e := DiffTexts("", ""); e.Common != 0 || e.Changed() != 0 {
+		t.Fatalf("got %+v", e)
+	}
+	if e := DiffTexts("", "a\nb\n"); e.Inserted != 2 {
+		t.Fatalf("got %+v", e)
+	}
+	if e := DiffTexts("a\nb\n", ""); e.Deleted != 2 {
+		t.Fatalf("got %+v", e)
+	}
+}
+
+func TestLines(t *testing.T) {
+	if got := Lines("a\nb\n"); len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if got := Lines("a\nb"); len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if got := Lines(""); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestQuickDiffInvariants checks the fundamental identities of any diff:
+// Common + Deleted = len(a), Common + Inserted = len(b), and the edit
+// distance is minimal for known transformations.
+func TestQuickDiffInvariants(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma", "delta", "eps"}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func(n int) []string {
+			out := make([]string, n)
+			for i := range out {
+				out[i] = words[r.Intn(len(words))]
+			}
+			return out
+		}
+		a, b := mk(r.Intn(30)), mk(r.Intn(30))
+		e := Diff(a, b)
+		if e.Common+e.Deleted != len(a) || e.Common+e.Inserted != len(b) {
+			t.Logf("identity violated: %+v for %v / %v", e, a, b)
+			return false
+		}
+		// Diff against self is empty.
+		if self := Diff(a, a); self.Deleted != 0 || self.Inserted != 0 {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKnownMinimalEdit(t *testing.T) {
+	// Deleting k lines from a document must cost exactly k deletions.
+	doc := strings.Split("a b c d e f g h i j", " ")
+	for k := 1; k < 5; k++ {
+		b := append(append([]string{}, doc[:3]...), doc[3+k:]...)
+		e := Diff(doc, b)
+		if e.Deleted != k || e.Inserted != 0 {
+			t.Fatalf("delete %d: got %+v", k, e)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package tracebench is a trace-driven allocator measurement harness in
+// the style of the studies the paper's related work builds on (Detlefs,
+// Dosser & Zorn's "Memory allocation costs in large C and C++ programs";
+// Grunwald & Zorn's allocator comparisons): synthetic allocation traces
+// with controlled size and lifetime distributions are replayed against the
+// repository's allocators, measuring cycles and OS memory on the same
+// simulated machine the paper reproduction uses.
+package tracebench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"regions/internal/mem"
+	"regions/internal/stats"
+	"regions/internal/xmalloc"
+)
+
+// OpKind distinguishes trace operations.
+type OpKind byte
+
+// Trace operations.
+const (
+	OpAlloc OpKind = iota
+	OpFree
+)
+
+// Op is one trace event. Alloc ops carry the object id and size; free ops
+// name the object id.
+type Op struct {
+	Kind OpKind
+	ID   int
+	Size int
+}
+
+// Profile names a synthetic workload shape.
+type Profile string
+
+// The three workload shapes the allocation-survey literature distinguishes
+// most sharply.
+const (
+	// ProfileUniform: sizes spread uniformly, lifetimes exponential-ish —
+	// the general-purpose allocator's home turf.
+	ProfileUniform Profile = "uniform"
+	// ProfileBimodal: the paper's moss pattern — alternating small hot and
+	// large cold objects with very different lifetimes.
+	ProfileBimodal Profile = "bimodal"
+	// ProfilePhased: waves of objects born together and dying together —
+	// the region pattern.
+	ProfilePhased Profile = "phased"
+)
+
+// Profiles lists all workload shapes.
+var Profiles = []Profile{ProfileUniform, ProfileBimodal, ProfilePhased}
+
+type lcg struct{ s uint32 }
+
+func (g *lcg) next() uint32 {
+	g.s = g.s*1664525 + 1013904223
+	return g.s >> 8
+}
+
+func (g *lcg) pick(n int) int { return int(g.next()) % n }
+
+// Generate builds a deterministic trace of roughly nOps operations (allocs
+// plus the matching frees; every object is freed exactly once).
+func Generate(profile Profile, nOps int, seed uint32) []Op {
+	g := lcg{s: seed ^ 0x7ace}
+	var ops []Op
+	nextID := 0
+	type liveObj struct {
+		id    int
+		death int // index in ops after which it should die
+	}
+	var live []liveObj
+
+	expire := func(now int) {
+		kept := live[:0]
+		for _, o := range live {
+			if o.death <= now {
+				ops = append(ops, Op{Kind: OpFree, ID: o.id})
+			} else {
+				kept = append(kept, o)
+			}
+		}
+		live = kept
+	}
+
+	switch profile {
+	case ProfileUniform:
+		for len(ops) < nOps {
+			size := 8 + g.pick(248)
+			life := 1 + g.pick(200)
+			ops = append(ops, Op{Kind: OpAlloc, ID: nextID, Size: size})
+			live = append(live, liveObj{id: nextID, death: len(ops) + life})
+			nextID++
+			expire(len(ops))
+		}
+	case ProfileBimodal:
+		for len(ops) < nOps {
+			var size, life int
+			if nextID%2 == 0 {
+				size, life = 16, 20+g.pick(30) // small, hot, short
+			} else {
+				size, life = 256+g.pick(256), 400+g.pick(400) // large, cold, long
+			}
+			ops = append(ops, Op{Kind: OpAlloc, ID: nextID, Size: size})
+			live = append(live, liveObj{id: nextID, death: len(ops) + life})
+			nextID++
+			expire(len(ops))
+		}
+	case ProfilePhased:
+		for len(ops) < nOps {
+			phase := 50 + g.pick(150)
+			born := make([]int, 0, phase)
+			for i := 0; i < phase && len(ops) < nOps; i++ {
+				size := 8 + g.pick(56)
+				ops = append(ops, Op{Kind: OpAlloc, ID: nextID, Size: size})
+				born = append(born, nextID)
+				nextID++
+			}
+			// The whole phase dies together (in birth order).
+			for _, id := range born {
+				ops = append(ops, Op{Kind: OpFree, ID: id})
+			}
+		}
+	default:
+		panic(fmt.Sprintf("tracebench: unknown profile %q", profile))
+	}
+	// Free everything still alive, oldest first.
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	for _, o := range live {
+		ops = append(ops, Op{Kind: OpFree, ID: o.id})
+	}
+	return ops
+}
+
+// Result is one (allocator, trace) measurement.
+type Result struct {
+	Allocator   string
+	AllocCycles uint64
+	FreeCycles  uint64
+	OSBytes     uint64
+}
+
+// allocators lists the replayable allocators by name.
+var allocators = []string{"Sun", "BSD", "Lea", "BZ"}
+
+func newAllocator(name string, sp *mem.Space) interface {
+	Alloc(int) mem.Addr
+	Free(mem.Addr)
+} {
+	switch name {
+	case "Sun":
+		return allocShim{xmalloc.NewSun(sp)}
+	case "BSD":
+		return allocShim{xmalloc.NewBSD(sp)}
+	case "Lea":
+		return allocShim{xmalloc.NewLea(sp)}
+	case "BZ":
+		z := xmalloc.NewBZ(sp)
+		return bzShim{z}
+	}
+	panic("tracebench: unknown allocator " + name)
+}
+
+type allocShim struct{ a xmalloc.Allocator }
+
+func (s allocShim) Alloc(n int) mem.Addr { return s.a.Alloc(n) }
+func (s allocShim) Free(p mem.Addr)      { s.a.Free(p) }
+
+// bzShim derives BZ's allocation site from the request size, as the app
+// harness does.
+type bzShim struct{ z *xmalloc.BZ }
+
+func (s bzShim) Alloc(n int) mem.Addr { return s.z.AllocAt(uint32(n), n) }
+func (s bzShim) Free(p mem.Addr)      { s.z.Free(p) }
+
+// Replay runs a trace against one allocator and reports its costs.
+func Replay(name string, ops []Op) Result {
+	c := &stats.Counters{}
+	sp := mem.NewSpace(c)
+	a := newAllocator(name, sp)
+	ptrs := map[int]mem.Addr{}
+	for _, op := range ops {
+		switch op.Kind {
+		case OpAlloc:
+			p := a.Alloc(op.Size)
+			sp.Store(p, uint32(op.ID)) // touch the object
+			ptrs[op.ID] = p
+		case OpFree:
+			p, ok := ptrs[op.ID]
+			if !ok {
+				panic(fmt.Sprintf("tracebench: free of unknown id %d", op.ID))
+			}
+			delete(ptrs, op.ID)
+			a.Free(p)
+		}
+	}
+	if len(ptrs) != 0 {
+		panic(fmt.Sprintf("tracebench: %d objects never freed", len(ptrs)))
+	}
+	return Result{
+		Allocator:   name,
+		AllocCycles: c.Cycles[stats.ModeAlloc],
+		FreeCycles:  c.Cycles[stats.ModeFree],
+		OSBytes:     sp.MappedBytes(),
+	}
+}
+
+// Report replays a generated trace of nOps operations for every profile
+// against every allocator and renders the comparison.
+func Report(w io.Writer, nOps int, seed uint32) {
+	for _, profile := range Profiles {
+		ops := Generate(profile, nOps, seed)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "Trace %q: %d operations\n", profile, len(ops))
+		fmt.Fprintln(tw, "Allocator\talloc cycles\tfree cycles\tOS KB")
+		for _, name := range allocators {
+			r := Replay(name, ops)
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\n",
+				r.Allocator, r.AllocCycles, r.FreeCycles, float64(r.OSBytes)/1024)
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,128 @@
+package tracebench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateBalancedTraces(t *testing.T) {
+	for _, profile := range Profiles {
+		ops := Generate(profile, 5000, 1)
+		allocs, frees := 0, 0
+		live := map[int]bool{}
+		for i, op := range ops {
+			switch op.Kind {
+			case OpAlloc:
+				if live[op.ID] {
+					t.Fatalf("%s: duplicate alloc id %d at %d", profile, op.ID, i)
+				}
+				if op.Size <= 0 {
+					t.Fatalf("%s: bad size %d", profile, op.Size)
+				}
+				live[op.ID] = true
+				allocs++
+			case OpFree:
+				if !live[op.ID] {
+					t.Fatalf("%s: free of dead id %d at %d", profile, op.ID, i)
+				}
+				delete(live, op.ID)
+				frees++
+			}
+		}
+		if allocs != frees {
+			t.Fatalf("%s: %d allocs vs %d frees", profile, allocs, frees)
+		}
+		if len(live) != 0 {
+			t.Fatalf("%s: %d leaked ids", profile, len(live))
+		}
+		if allocs < 1000 {
+			t.Fatalf("%s: only %d allocs", profile, allocs)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(ProfileUniform, 2000, 7)
+	b := Generate(ProfileUniform, 2000, 7)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+	c := Generate(ProfileUniform, 2000, 8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical traces")
+	}
+}
+
+func TestReplayAllAllocators(t *testing.T) {
+	ops := Generate(ProfileUniform, 3000, 3)
+	for _, name := range allocators {
+		r := Replay(name, ops)
+		if r.AllocCycles == 0 || r.OSBytes == 0 {
+			t.Fatalf("%s: empty result %+v", name, r)
+		}
+	}
+}
+
+func TestPhasedTraceFavorsBZ(t *testing.T) {
+	// On the region-shaped trace, BZ's whole-chunk reclamation should give
+	// it a cheaper free path than the boundary-tag allocators.
+	ops := Generate(ProfilePhased, 20000, 5)
+	bz := Replay("BZ", ops)
+	lea := Replay("Lea", ops)
+	if bz.FreeCycles >= lea.FreeCycles {
+		t.Fatalf("BZ free cycles %d should undercut Lea's %d on the phased trace",
+			bz.FreeCycles, lea.FreeCycles)
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	var buf bytes.Buffer
+	Report(&buf, 2000, 1)
+	out := buf.String()
+	for _, want := range []string{"uniform", "bimodal", "phased", "Sun", "BSD", "Lea", "BZ"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in report:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuickTraceWellFormed(t *testing.T) {
+	err := quick.Check(func(seed uint32, pick uint8) bool {
+		profile := Profiles[int(pick)%len(Profiles)]
+		ops := Generate(profile, 500+int(seed%2000), seed)
+		live := map[int]bool{}
+		for _, op := range ops {
+			if op.Kind == OpAlloc {
+				if live[op.ID] {
+					return false
+				}
+				live[op.ID] = true
+			} else {
+				if !live[op.ID] {
+					return false
+				}
+				delete(live, op.ID)
+			}
+		}
+		return len(live) == 0
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

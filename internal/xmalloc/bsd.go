@@ -1,0 +1,107 @@
+package xmalloc
+
+import "regions/internal/mem"
+
+// BSD is the 4.2BSD (Kingsley) power-of-two allocator: each request is
+// rounded up — including a one-word header holding the bucket index — to
+// the next power of two, buckets keep singly-linked free lists, and chunks
+// are never split, coalesced, or returned to the OS. Allocation and
+// deallocation are a handful of memory operations, but as the paper notes
+// the memory overhead is very large.
+type BSD struct {
+	heap sbrkArea
+	meta Ptr // bucket free-list heads, one word per bucket
+}
+
+const (
+	bsdMinShift = 3  // smallest chunk 8 bytes: 4 header + 4 data
+	bsdMaxShift = 30 // largest supported chunk
+	bsdBuckets  = bsdMaxShift - bsdMinShift + 1
+	bsdMagic    = 0xb5d0 << 16 // header tag to catch bad frees
+)
+
+// NewBSD creates a BSD allocator on sp.
+func NewBSD(sp *mem.Space) *BSD {
+	b := &BSD{heap: sbrkArea{sp: sp}}
+	b.meta = b.heap.sbrk(1) // bucket heads live in the first heap page
+	return b
+}
+
+// Name implements Allocator.
+func (b *BSD) Name() string { return "BSD" }
+
+func (b *BSD) bucketFor(size int) (bucket int, chunk int) {
+	need := size + mem.WordSize // header
+	chunk = 1 << bsdMinShift
+	bucket = 0
+	for chunk < need {
+		chunk <<= 1
+		bucket++
+	}
+	if bucket >= bsdBuckets {
+		panic("xmalloc: BSD allocation too large")
+	}
+	return bucket, chunk
+}
+
+func (b *BSD) head(bucket int) Ptr { return b.meta + Ptr(bucket*mem.WordSize) }
+
+// Alloc implements Allocator: pop the bucket's free list, carving a fresh
+// page (or pages) into equal chunks when the list is empty.
+func (b *BSD) Alloc(size int) Ptr {
+	if size <= 0 {
+		panic("xmalloc: BSD.Alloc of non-positive size")
+	}
+	defer enterAlloc(b.heap.sp)()
+	sp := b.heap.sp
+
+	bucket, chunk := b.bucketFor(size)
+	hd := b.head(bucket)
+	c := sp.Load(hd)
+	if c == 0 {
+		// Carve new memory: one page for small chunks, whole pages for big.
+		n := pagesFor(chunk)
+		block := b.heap.sbrk(n)
+		if chunk <= mem.PageSize {
+			// Push every chunk in the page; the first is returned below.
+			for off := mem.PageSize - chunk; off >= 0; off -= chunk {
+				p := block + Ptr(off)
+				sp.Store(p+mem.WordSize, sp.Load(hd)) // next
+				sp.Store(hd, p)
+			}
+		} else {
+			sp.Store(block+mem.WordSize, sp.Load(hd))
+			sp.Store(hd, block)
+		}
+		c = sp.Load(hd)
+	}
+	sp.Store(hd, sp.Load(c+mem.WordSize)) // pop
+	sp.Store(c, bsdMagic|uint32(bucket))  // header
+	return c + mem.WordSize
+}
+
+// Free implements Allocator: push the chunk back on its bucket's list.
+func (b *BSD) Free(p Ptr) {
+	defer enterFree(b.heap.sp)()
+	sp := b.heap.sp
+	c := p - mem.WordSize
+	h := sp.Load(c)
+	if h&0xffff0000 != bsdMagic {
+		panic("xmalloc: BSD.Free of bad pointer")
+	}
+	bucket := int(h & 0xffff)
+	hd := b.head(bucket)
+	sp.Store(c+mem.WordSize, sp.Load(hd))
+	sp.Store(hd, c)
+	sp.Store(c, 0) // clear header so double frees are caught
+}
+
+// UsableSize reports the data bytes available at p (diagnostic).
+func (b *BSD) UsableSize(p Ptr) int {
+	var h uint32
+	b.heap.sp.Uncharged(func() { h = b.heap.sp.Load(p - mem.WordSize) })
+	if h&0xffff0000 != bsdMagic {
+		panic("xmalloc: UsableSize of bad pointer")
+	}
+	return 1<<(uint(h&0xffff)+bsdMinShift) - mem.WordSize
+}

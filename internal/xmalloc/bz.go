@@ -1,0 +1,205 @@
+package xmalloc
+
+import (
+	"regions/internal/mem"
+	"regions/internal/stats"
+)
+
+// BZ reimplements the design of Barrett and Zorn's lifetime-prediction
+// allocator, which the paper's related work describes as the closest
+// automatic approximation of regions:
+//
+//	"Barrett and Zorn use profiling to determine allocations that are
+//	short-lived, then place these allocations in fixed-size regions. A new
+//	region is created when the previous one fills up, and regions are
+//	deleted when all objects they contain are freed. This provides some of
+//	the performance advantages of regions without programmer intervention,
+//	but does not work for all programs."
+//
+// Allocations carry a site identifier (the original used the call stack).
+// Each site's first allocations are profiled online: their lifetimes are
+// measured in allocation-clock ticks, and sites whose observed lifetimes
+// stay short are classified short-lived. Short-lived allocations then bump
+// out of a shared fixed-size birth region with a live counter; when a
+// filled region's counter hits zero, its pages are recycled at once.
+// Everything else goes to a general-purpose inner allocator (Lea).
+type BZ struct {
+	sp    *mem.Space
+	inner *Lea
+
+	clock   uint64
+	sites   map[uint32]*bzSite
+	births  map[Ptr]bzBirth // profiling-phase allocations under observation
+	cur     *bzChunk
+	chunkAt map[Ptr]*bzChunk // chunk base -> chunk
+
+	// Tunables; defaults follow the shape of the original's policy.
+	SampleTarget  int    // profiled allocations per site before classification
+	ShortLifetime uint64 // max mean lifetime (allocation ticks) to classify short
+
+	ChunksRecycled int // filled chunks whose objects all died (diagnostic)
+}
+
+type bzSite struct {
+	samples   int
+	totalLife uint64
+	short     bool
+	decided   bool
+}
+
+type bzBirth struct {
+	site uint32
+	born uint64
+}
+
+// bzChunk is one fixed-size birth region.
+type bzChunk struct {
+	base   Ptr
+	off    int
+	live   int
+	sealed bool // no longer the allocation target
+}
+
+const (
+	bzChunkBytes = 4 * mem.PageSize
+	// Object header word: the owning chunk's base address, or bzInner for
+	// objects allocated by the general-purpose allocator.
+	bzInner = 1
+)
+
+// NewBZ creates a lifetime-prediction allocator on sp.
+func NewBZ(sp *mem.Space) *BZ {
+	return &BZ{
+		sp:            sp,
+		inner:         NewLea(sp),
+		sites:         map[uint32]*bzSite{},
+		births:        map[Ptr]bzBirth{},
+		chunkAt:       map[Ptr]*bzChunk{},
+		SampleTarget:  32,
+		ShortLifetime: 4096,
+	}
+}
+
+// Name identifies the allocator.
+func (z *BZ) Name() string { return "BZ" }
+
+func (z *BZ) site(id uint32) *bzSite {
+	s := z.sites[id]
+	if s == nil {
+		s = &bzSite{}
+		z.sites[id] = s
+	}
+	return s
+}
+
+// AllocAt allocates size bytes for allocation site id.
+func (z *BZ) AllocAt(id uint32, size int) Ptr {
+	if size <= 0 {
+		panic("xmalloc: BZ.AllocAt of non-positive size")
+	}
+	z.clock++
+	s := z.site(id)
+	if s.decided && s.short && size+mem.WordSize <= bzChunkBytes/4 {
+		return z.allocShort(size)
+	}
+	p := z.allocInner(size)
+	if !s.decided {
+		z.births[p] = bzBirth{site: id, born: z.clock}
+	}
+	return p
+}
+
+func (z *BZ) allocInner(size int) Ptr {
+	base := z.inner.Alloc(size + mem.WordSize)
+	old := z.sp.SetMode(stats.ModeAlloc)
+	z.sp.Store(base, bzInner)
+	z.sp.SetMode(old)
+	return base + mem.WordSize
+}
+
+func (z *BZ) allocShort(size int) Ptr {
+	defer enterAlloc(z.sp)()
+	need := align4(size) + mem.WordSize
+	if z.cur == nil || z.cur.off+need > bzChunkBytes {
+		if z.cur != nil {
+			z.cur.sealed = true
+			z.reapIfDead(z.cur)
+		}
+		z.cur = z.newChunk()
+	}
+	c := z.cur
+	p := c.base + Ptr(c.off)
+	c.off += need
+	c.live++
+	z.sp.Store(p, c.base)
+	return p + mem.WordSize
+}
+
+// newChunk carves a birth region out of the general-purpose heap, as the
+// original does, so one contiguous heap serves both kinds of allocation.
+func (z *BZ) newChunk() *bzChunk {
+	base := z.inner.Alloc(bzChunkBytes)
+	c := &bzChunk{base: base}
+	z.chunkAt[base] = c
+	return c
+}
+
+func (z *BZ) reapIfDead(c *bzChunk) {
+	if c.sealed && c.live == 0 {
+		delete(z.chunkAt, c.base)
+		z.inner.Free(c.base) // the whole region dies at once
+		z.ChunksRecycled++
+		if z.cur == c {
+			z.cur = nil
+		}
+	}
+}
+
+// Free releases p. Inner objects go back to the general allocator; birth-
+// region objects decrement their chunk's live count, and a filled chunk
+// whose last object dies is recycled whole.
+func (z *BZ) Free(p Ptr) {
+	hdr := func() Ptr {
+		old := z.sp.SetMode(stats.ModeFree)
+		defer z.sp.SetMode(old)
+		return z.sp.Load(p - mem.WordSize)
+	}()
+	if b, ok := z.births[p]; ok {
+		// A profiled object died: record its lifetime and maybe decide.
+		delete(z.births, p)
+		s := z.site(b.site)
+		if !s.decided {
+			s.samples++
+			s.totalLife += z.clock - b.born
+			if s.samples >= z.SampleTarget {
+				s.decided = true
+				s.short = s.totalLife/uint64(s.samples) <= z.ShortLifetime
+			}
+		}
+	}
+	if hdr == bzInner {
+		z.inner.Free(p - mem.WordSize)
+		return
+	}
+	defer enterFree(z.sp)()
+	c := z.chunkAt[hdr]
+	if c == nil {
+		panic("xmalloc: BZ.Free of unknown chunk object")
+	}
+	c.live--
+	if c.live < 0 {
+		panic("xmalloc: BZ chunk live-count underflow")
+	}
+	z.reapIfDead(c)
+}
+
+// ShortSites reports how many sites have been classified short-lived.
+func (z *BZ) ShortSites() int {
+	n := 0
+	for _, s := range z.sites {
+		if s.decided && s.short {
+			n++
+		}
+	}
+	return n
+}

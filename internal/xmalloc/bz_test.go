@@ -1,0 +1,160 @@
+package xmalloc
+
+import (
+	"testing"
+
+	"regions/internal/mem"
+	"regions/internal/stats"
+)
+
+func newBZ() (*BZ, *mem.Space) {
+	sp := mem.NewSpace(&stats.Counters{})
+	return NewBZ(sp), sp
+}
+
+func TestBZClassifiesShortLivedSite(t *testing.T) {
+	z, _ := newBZ()
+	const site = 7
+	// Allocate-and-free immediately: the shortest possible lifetime.
+	for i := 0; i < z.SampleTarget+5; i++ {
+		p := z.AllocAt(site, 32)
+		z.Free(p)
+	}
+	if z.ShortSites() != 1 {
+		t.Fatalf("short sites = %d, want 1", z.ShortSites())
+	}
+}
+
+func TestBZClassifiesLongLivedSite(t *testing.T) {
+	z, _ := newBZ()
+	const site = 9
+	var held []Ptr
+	// Hold each object across many other allocations before freeing.
+	for i := 0; i < z.SampleTarget+1; i++ {
+		held = append(held, z.AllocAt(site, 32))
+	}
+	for range held {
+		for j := 0; j < 300; j++ {
+			z.clock++ // other program activity
+		}
+	}
+	z.clock += z.ShortLifetime * uint64(z.SampleTarget) // long gap
+	for _, p := range held {
+		z.Free(p)
+	}
+	if z.ShortSites() != 0 {
+		t.Fatalf("long-lived site classified short")
+	}
+}
+
+func TestBZRecyclesFullChunks(t *testing.T) {
+	z, sp := newBZ()
+	const site = 3
+	// Train the site short.
+	for i := 0; i < z.SampleTarget; i++ {
+		z.Free(z.AllocAt(site, 64))
+	}
+	if z.ShortSites() != 1 {
+		t.Fatal("site not classified short")
+	}
+	// Fill several chunks worth of short-lived objects in FIFO waves.
+	grewTo := sp.MappedBytes()
+	var wave []Ptr
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 100; i++ {
+			wave = append(wave, z.AllocAt(site, 64))
+		}
+		for _, p := range wave {
+			z.Free(p)
+		}
+		wave = wave[:0]
+		if round == 2 {
+			grewTo = sp.MappedBytes()
+		}
+	}
+	if z.ChunksRecycled == 0 {
+		t.Fatal("no birth regions were recycled")
+	}
+	if sp.MappedBytes() > grewTo+bzChunkBytes {
+		t.Fatalf("heap kept growing despite recycling: %d -> %d", grewTo, sp.MappedBytes())
+	}
+}
+
+func TestBZDataIntegrityAcrossKinds(t *testing.T) {
+	z, sp := newBZ()
+	// Two sites: one trained short, one long; interleave and verify.
+	for i := 0; i < z.SampleTarget; i++ {
+		z.Free(z.AllocAt(1, 16))
+	}
+	var short, long []Ptr
+	for i := 0; i < 200; i++ {
+		s := z.AllocAt(1, 16)
+		sp.Store(s, uint32(1000+i))
+		short = append(short, s)
+		l := z.AllocAt(2, 16)
+		sp.Store(l, uint32(2000+i))
+		long = append(long, l)
+	}
+	for i := range short {
+		if sp.Load(short[i]) != uint32(1000+i) {
+			t.Fatalf("short object %d clobbered", i)
+		}
+		if sp.Load(long[i]) != uint32(2000+i) {
+			t.Fatalf("long object %d clobbered", i)
+		}
+		z.Free(short[i])
+		z.Free(long[i])
+	}
+}
+
+func TestBZOversizeGoesToInner(t *testing.T) {
+	z, _ := newBZ()
+	const site = 5
+	for i := 0; i < z.SampleTarget; i++ {
+		z.Free(z.AllocAt(site, 16))
+	}
+	// Requests too large for a birth region still succeed via the inner
+	// allocator and can be freed normally.
+	p := z.AllocAt(site, bzChunkBytes)
+	z.Free(p)
+}
+
+// TestBZBeatsGeneralAllocatorOnChurn shows the design's point: for a
+// phase-structured FIFO churn of short-lived objects, reclaiming whole
+// birth regions costs fewer free-path cycles than per-object boundary-tag
+// freeing.
+func TestBZBeatsGeneralAllocatorOnChurn(t *testing.T) {
+	churn := func(free func(Ptr), alloc func(int) Ptr) {
+		var wave []Ptr
+		for round := 0; round < 50; round++ {
+			for i := 0; i < 200; i++ {
+				wave = append(wave, alloc(48))
+			}
+			for _, p := range wave {
+				free(p)
+			}
+			wave = wave[:0]
+		}
+	}
+
+	cbz := &stats.Counters{}
+	spz := mem.NewSpace(cbz)
+	z := NewBZ(spz)
+	for i := 0; i < z.SampleTarget; i++ {
+		z.Free(z.AllocAt(1, 48))
+	}
+	churn(z.Free, func(n int) Ptr { return z.AllocAt(1, n) })
+
+	clea := &stats.Counters{}
+	spl := mem.NewSpace(clea)
+	lea := NewLea(spl)
+	churn(lea.Free, lea.Alloc)
+
+	bzFree := cbz.Cycles[stats.ModeFree]
+	leaFree := clea.Cycles[stats.ModeFree]
+	if bzFree >= leaFree {
+		t.Fatalf("BZ free-path cycles %d should undercut Lea's %d", bzFree, leaFree)
+	}
+	t.Logf("free-path cycles: BZ=%d Lea=%d (%.1fx less)", bzFree, leaFree,
+		float64(leaFree)/float64(bzFree))
+}

@@ -1,0 +1,109 @@
+package xmalloc
+
+import (
+	"regions/internal/mem"
+	"regions/internal/stats"
+)
+
+// EmuRegions is the paper's "emulation" region library (Section 5.2): a
+// region interface implemented with malloc and free, used to approximate
+// the performance a region-based application would have if it were written
+// with malloc/free. Each object carries one extra link word so the region's
+// objects form a list that deleteregion can walk and free — the "small
+// space overhead" the paper's Figure 8 and Table 3 show with and without.
+//
+// Each region's list head lives in a heap word supplied by the caller
+// (typically a slot in the program's global segment), mirroring the C
+// original whose region descriptors sit in collector-visible memory; this
+// keeps emulated regions alive under the conservative collector, whose
+// roots include the global segment.
+type EmuRegions struct {
+	a         Allocator
+	sp        *mem.Space
+	headSlots func() Ptr // allocates a root slot for a region's list head
+	freeSlots []Ptr      // slots of deleted regions, for reuse
+}
+
+// EmuRegion is one emulated region.
+type EmuRegion struct {
+	lib     *EmuRegions
+	head    Ptr // address of the heap word holding the object list head
+	bytes   uint64
+	allocs  uint64
+	deleted bool
+}
+
+// NewEmuRegions creates an emulation library over allocator a. headSlots
+// must return fresh heap words in root-visible storage (e.g. the global
+// segment); they are reused across deleted regions.
+func NewEmuRegions(sp *mem.Space, a Allocator, headSlots func() Ptr) *EmuRegions {
+	return &EmuRegions{a: a, sp: sp, headSlots: headSlots}
+}
+
+// Name identifies the library including its underlying allocator.
+func (e *EmuRegions) Name() string { return "emulation/" + e.a.Name() }
+
+// NewRegion creates a region.
+func (e *EmuRegions) NewRegion() *EmuRegion {
+	var slot Ptr
+	if n := len(e.freeSlots); n > 0 {
+		slot = e.freeSlots[n-1]
+		e.freeSlots = e.freeSlots[:n-1]
+	} else {
+		slot = e.headSlots()
+	}
+	e.sp.Store(slot, 0)
+	e.sp.Counters().RegionCreated()
+	return &EmuRegion{lib: e, head: slot}
+}
+
+// Alloc allocates size bytes in region r.
+func (e *EmuRegions) Alloc(r *EmuRegion, size int) Ptr {
+	if r.deleted {
+		panic("xmalloc: allocation in deleted emulated region")
+	}
+	base := e.a.Alloc(size + mem.WordSize)
+	old := e.sp.SetMode(stats.ModeAlloc)
+	e.sp.Store(base, e.sp.Load(r.head))
+	e.sp.Store(r.head, base)
+	e.sp.SetMode(old)
+	r.bytes += uint64(align4(size))
+	r.allocs++
+	e.sp.Counters().AddAlloc(int64(align4(size)))
+	return base + mem.WordSize
+}
+
+// Delete frees every object in r, walking the link list.
+func (e *EmuRegions) Delete(r *EmuRegion) {
+	if r.deleted {
+		panic("xmalloc: double delete of emulated region")
+	}
+	old := e.sp.SetMode(stats.ModeFree)
+	p := e.sp.Load(r.head)
+	e.sp.Store(r.head, 0)
+	e.sp.SetMode(old)
+	for p != 0 {
+		old := e.sp.SetMode(stats.ModeFree)
+		next := e.sp.Load(p)
+		e.sp.SetMode(old)
+		e.a.Free(p)
+		e.sp.Counters().FreeCalls++
+		p = next
+	}
+	r.deleted = true
+	e.freeSlots = append(e.freeSlots, r.head)
+	e.sp.Counters().RegionDeleted(r.bytes)
+}
+
+// Bytes returns the program-requested bytes allocated in r.
+func (r *EmuRegion) Bytes() uint64 { return r.bytes }
+
+// Allocs returns the allocation count of r.
+func (r *EmuRegion) Allocs() uint64 { return r.allocs }
+
+// Deleted reports whether r was deleted.
+func (r *EmuRegion) Deleted() bool { return r.deleted }
+
+// LinkOverheadBytes returns the space consumed by the emulation's link
+// words in r so far, for the paper's "(w/o overhead)" rows.
+func (r *EmuRegion) LinkOverheadBytes() uint64 { return r.allocs * mem.WordSize }

@@ -1,0 +1,293 @@
+package xmalloc
+
+import (
+	"fmt"
+
+	"regions/internal/mem"
+)
+
+// Lea reimplements Doug Lea's malloc v2.6.4, the "improved version of the
+// allocator used in previous surveys" of the paper's Section 5.2: boundary
+// tags, binned segregated free lists (exact-size small bins, sorted
+// logarithmic large bins), immediate coalescing, chunk splitting, and a
+// wilderness ("top") chunk extended by sbrk.
+//
+// Chunk layout, as in dlmalloc:
+//
+//	c+0  prev_size  (valid only when the previous chunk is free)
+//	c+4  size | PREV_INUSE bit
+//	c+8  user data ... (free chunks: fd at c+8, bk at c+12,
+//	                    and a footer copy of size at c+size)
+//
+// The prev_size field of the next chunk is usable by this chunk while it is
+// in use, so the effective overhead of a live chunk is four bytes.
+type Lea struct {
+	heap   sbrkArea
+	meta   Ptr // bin head words
+	top    Ptr // wilderness chunk
+	first  Ptr // first chunk in the heap (for heap walks)
+	growBy int // sbrk quantum, bytes
+}
+
+const (
+	leaPrevInuse = 1
+	leaSizeMask  = ^Ptr(7)
+	leaMinChunk  = 16
+	leaSmallMax  = 504 // largest exact small-bin size
+	leaNumBins   = 96  // 2..63 small, 64..95 logarithmic large
+)
+
+// NewLea creates a Lea allocator on sp.
+func NewLea(sp *mem.Space) *Lea {
+	defer enterAlloc(sp)()
+	l := &Lea{heap: sbrkArea{sp: sp}, growBy: 16 * 1024}
+	page := l.heap.sbrk(1)
+	l.meta = page
+	// Bins occupy the start of the first page; the wilderness begins right
+	// after them, PREV_INUSE set (there is no previous chunk).
+	binBytes := Ptr(align8(leaNumBins * mem.WordSize))
+	l.top = page + binBytes
+	l.first = l.top
+	sp.Store(l.top+4, (mem.PageSize-binBytes)|leaPrevInuse)
+	return l
+}
+
+// Name implements Allocator.
+func (l *Lea) Name() string { return "Lea" }
+
+func (l *Lea) size(c Ptr) Ptr        { return l.heap.sp.Load(c+4) & leaSizeMask }
+func (l *Lea) sizeBits(c Ptr) Ptr    { return l.heap.sp.Load(c + 4) }
+func (l *Lea) setSize(c, szBits Ptr) { l.heap.sp.Store(c+4, szBits) }
+
+func (l *Lea) binHead(i int) Ptr { return l.meta + Ptr(i*mem.WordSize) }
+
+func binIndex(sz Ptr) int {
+	if sz <= leaSmallMax {
+		return int(sz >> 3)
+	}
+	idx := 64
+	for s := Ptr(512); s*2 <= sz && idx < leaNumBins-1; s <<= 1 {
+		idx++
+	}
+	return idx
+}
+
+// insert places free chunk c of size sz into its bin: small bins LIFO,
+// large bins sorted ascending by size so the first fit is the best fit.
+func (l *Lea) insert(c, sz Ptr) {
+	sp := l.heap.sp
+	i := binIndex(sz)
+	hd := l.binHead(i)
+	if sz <= leaSmallMax {
+		next := sp.Load(hd)
+		sp.Store(c+8, next)
+		sp.Store(c+12, 0)
+		if next != 0 {
+			sp.Store(next+12, c)
+		}
+		sp.Store(hd, c)
+		return
+	}
+	var prev Ptr
+	cur := sp.Load(hd)
+	for cur != 0 && l.size(cur) < sz {
+		prev = cur
+		cur = sp.Load(cur + 8)
+	}
+	sp.Store(c+8, cur)
+	sp.Store(c+12, prev)
+	if cur != 0 {
+		sp.Store(cur+12, c)
+	}
+	if prev == 0 {
+		sp.Store(hd, c)
+	} else {
+		sp.Store(prev+8, c)
+	}
+}
+
+// unlink removes free chunk c of size sz from its bin.
+func (l *Lea) unlink(c, sz Ptr) {
+	sp := l.heap.sp
+	fd := sp.Load(c + 8)
+	bk := sp.Load(c + 12)
+	if bk == 0 {
+		sp.Store(l.binHead(binIndex(sz)), fd)
+	} else {
+		sp.Store(bk+8, fd)
+	}
+	if fd != 0 {
+		sp.Store(fd+12, bk)
+	}
+}
+
+func chunkSizeFor(req int) Ptr {
+	sz := align8(req + mem.WordSize)
+	if sz < leaMinChunk {
+		sz = leaMinChunk
+	}
+	return Ptr(sz)
+}
+
+// Alloc implements Allocator.
+func (l *Lea) Alloc(size int) Ptr {
+	if size <= 0 {
+		panic("xmalloc: Lea.Alloc of non-positive size")
+	}
+	defer enterAlloc(l.heap.sp)()
+	sp := l.heap.sp
+	sz := chunkSizeFor(size)
+
+	// Exact small bin.
+	if sz <= leaSmallMax {
+		hd := l.binHead(binIndex(sz))
+		if c := sp.Load(hd); c != 0 {
+			l.unlink(c, sz)
+			l.markInuse(c, sz)
+			return c + 8
+		}
+	}
+	// Best fit from this bin upward.
+	for i := binIndex(sz); i < leaNumBins; i++ {
+		c := sp.Load(l.binHead(i))
+		for c != 0 {
+			csz := l.size(c)
+			if csz >= sz {
+				l.unlink(c, csz)
+				l.split(c, csz, sz)
+				return c + 8
+			}
+			c = sp.Load(c + 8)
+		}
+	}
+	// Wilderness.
+	topSz := l.size(l.top)
+	if topSz < sz+leaMinChunk {
+		need := int(sz+leaMinChunk-topSz) + l.growBy
+		n := pagesFor(need)
+		l.heap.sbrk(n)
+		topSz += Ptr(n * mem.PageSize)
+		l.setSize(l.top, topSz|l.sizeBits(l.top)&leaPrevInuse)
+	}
+	c := l.top
+	prevBit := l.sizeBits(c) & leaPrevInuse
+	l.top = c + sz
+	l.setSize(l.top, (topSz-sz)|leaPrevInuse)
+	l.setSize(c, sz|prevBit)
+	return c + 8
+}
+
+// split carves sz bytes from free chunk c of size csz, returning the
+// remainder (if large enough) to its bin, and marks c in use.
+func (l *Lea) split(c, csz, sz Ptr) {
+	sp := l.heap.sp
+	if csz-sz >= leaMinChunk {
+		rem := c + sz
+		remSz := csz - sz
+		l.setSize(c, sz|l.sizeBits(c)&leaPrevInuse)
+		l.setSize(rem, remSz|leaPrevInuse)
+		sp.Store(rem+remSz, remSz) // footer
+		l.insert(rem, remSz)
+		// The chunk after rem keeps PREV_INUSE clear (rem is free).
+		return
+	}
+	l.markInuse(c, csz)
+}
+
+// markInuse records that chunk c of size sz is allocated by setting the
+// next chunk's PREV_INUSE bit.
+func (l *Lea) markInuse(c, sz Ptr) {
+	next := c + sz
+	l.setSize(next, l.sizeBits(next)|leaPrevInuse)
+}
+
+// Free implements Allocator: coalesce with free neighbours via boundary
+// tags, merging into the wilderness when adjacent to it.
+func (l *Lea) Free(p Ptr) {
+	defer enterFree(l.heap.sp)()
+	sp := l.heap.sp
+	c := p - 8
+	bits := l.sizeBits(c)
+	sz := bits & leaSizeMask
+
+	// Coalesce backward.
+	if bits&leaPrevInuse == 0 {
+		prevSz := sp.Load(c)
+		prev := c - prevSz
+		l.unlink(prev, prevSz)
+		c = prev
+		sz += prevSz
+	}
+	next := c + sz
+	if next == l.top {
+		// Merge into the wilderness.
+		topSz := l.size(l.top)
+		l.top = c
+		l.setSize(c, (sz+topSz)|leaPrevInuse)
+		return
+	}
+	// Coalesce forward: next is free iff next-next's PREV_INUSE is clear.
+	nextSz := l.size(next)
+	if l.sizeBits(next+nextSz)&leaPrevInuse == 0 {
+		l.unlink(next, nextSz)
+		sz += nextSz
+		if c+sz == l.top {
+			topSz := l.size(l.top)
+			l.top = c
+			l.setSize(c, (sz+topSz)|leaPrevInuse)
+			return
+		}
+	}
+	l.setSize(c, sz|leaPrevInuse)
+	sp.Store(c+sz, sz) // footer
+	after := c + sz
+	l.setSize(after, l.sizeBits(after)&^Ptr(leaPrevInuse))
+	l.insert(c, sz)
+}
+
+// CheckHeap walks the whole heap verifying boundary-tag consistency; it is
+// an uncharged test oracle. It returns the number of chunks.
+func (l *Lea) CheckHeap() (chunks int, err error) {
+	sp := l.heap.sp
+	sp.Uncharged(func() {
+		prevFree := false
+		var prevSz Ptr
+		c := l.first
+		for c != l.top {
+			bits := l.sizeBits(c)
+			sz := bits & leaSizeMask
+			if sz < leaMinChunk || c+sz > l.heap.end {
+				err = fmt.Errorf("chunk %#x has bad size %d", c, sz)
+				return
+			}
+			if prevFree {
+				if bits&leaPrevInuse != 0 {
+					err = fmt.Errorf("chunk %#x: PREV_INUSE set after free chunk", c)
+					return
+				}
+				if sp.Load(c) != prevSz {
+					err = fmt.Errorf("chunk %#x: footer %d != prev size %d", c, sp.Load(c), prevSz)
+					return
+				}
+			} else if bits&leaPrevInuse == 0 {
+				err = fmt.Errorf("chunk %#x: PREV_INUSE clear after live chunk", c)
+				return
+			}
+			nextBits := l.sizeBits(c + sz)
+			free := c+sz == l.top && false // top's PREV_INUSE reflects last real chunk
+			if c+sz == l.top {
+				free = l.sizeBits(l.top)&leaPrevInuse == 0
+			} else {
+				free = nextBits&leaPrevInuse == 0
+			}
+			if free && prevFree {
+				err = fmt.Errorf("adjacent free chunks at %#x", c)
+				return
+			}
+			prevFree, prevSz = free, sz
+			chunks++
+			c += sz
+		}
+	})
+	return chunks, err
+}

@@ -1,0 +1,252 @@
+package xmalloc
+
+import (
+	"fmt"
+
+	"regions/internal/mem"
+)
+
+// Sun reimplements the design of the Solaris 2.5.1 default allocator the
+// paper measures: best fit over a binary search tree of free blocks keyed
+// by (size, address), boundary tags for immediate coalescing, and chunk
+// splitting. Tree links live inside the free chunks themselves (left at
+// c+8, right at c+12); the root pointer is the first word of the heap.
+//
+// Chunk layout matches Lea's boundary-tag scheme. An eight-byte in-use
+// sentinel chunk of size zero terminates the heap so forward coalescing
+// never reads past the break.
+type Sun struct {
+	heap   sbrkArea
+	root   Ptr // address of the root pointer word
+	first  Ptr // first real chunk
+	growBy int
+}
+
+// NewSun creates a Sun allocator on sp.
+func NewSun(sp *mem.Space) *Sun {
+	defer enterAlloc(sp)()
+	s := &Sun{heap: sbrkArea{sp: sp}, growBy: 16 * 1024}
+	page := s.heap.sbrk(1)
+	s.root = page
+	sp.Store(s.root, 0)
+	s.first = page + 8
+	free := s.first
+	sz := Ptr(mem.PageSize - 8 - 8) // minus root words, minus sentinel
+	sp.Store(free+4, sz|leaPrevInuse)
+	sp.Store(free+sz, sz)  // footer
+	sp.Store(free+sz+4, 0) // sentinel: size 0, PREV_INUSE clear (free before it)
+	s.insert(free, sz)
+	return s
+}
+
+// Name implements Allocator.
+func (s *Sun) Name() string { return "Sun" }
+
+func (s *Sun) size(c Ptr) Ptr     { return s.heap.sp.Load(c+4) & leaSizeMask }
+func (s *Sun) sizeBits(c Ptr) Ptr { return s.heap.sp.Load(c + 4) }
+
+// less orders free chunks by (size, address).
+func (s *Sun) less(aSz Ptr, a Ptr, bSz Ptr, b Ptr) bool {
+	return aSz < bSz || (aSz == bSz && a < b)
+}
+
+// insert adds free chunk c of size sz to the tree.
+func (s *Sun) insert(c, sz Ptr) {
+	sp := s.heap.sp
+	sp.Store(c+8, 0)
+	sp.Store(c+12, 0)
+	link := s.root
+	cur := sp.Load(link)
+	for cur != 0 {
+		if s.less(sz, c, s.size(cur), cur) {
+			link = cur + 8
+		} else {
+			link = cur + 12
+		}
+		cur = sp.Load(link)
+	}
+	sp.Store(link, c)
+}
+
+// remove deletes free chunk c of size sz from the tree.
+func (s *Sun) remove(c, sz Ptr) {
+	sp := s.heap.sp
+	link := s.root
+	cur := sp.Load(link)
+	for cur != c {
+		if cur == 0 {
+			panic(fmt.Sprintf("xmalloc: Sun free tree missing chunk %#x", c))
+		}
+		if s.less(sz, c, s.size(cur), cur) {
+			link = cur + 8
+		} else {
+			link = cur + 12
+		}
+		cur = sp.Load(link)
+	}
+	left, right := sp.Load(c+8), sp.Load(c+12)
+	switch {
+	case left == 0:
+		sp.Store(link, right)
+	case right == 0:
+		sp.Store(link, left)
+	default:
+		// Replace c with the smallest chunk of its right subtree. If that
+		// successor is c's own right child, removing it rewrites c+12, and
+		// the reloads below pick the updated value up automatically.
+		succLink := c + 12
+		succ := sp.Load(succLink)
+		for l := sp.Load(succ + 8); l != 0; l = sp.Load(succ + 8) {
+			succLink = succ + 8
+			succ = l
+		}
+		sp.Store(succLink, sp.Load(succ+12))
+		sp.Store(succ+8, sp.Load(c+8))
+		sp.Store(succ+12, sp.Load(c+12))
+		sp.Store(link, succ)
+	}
+}
+
+// findBest returns the smallest free chunk of size >= sz, or 0.
+func (s *Sun) findBest(sz Ptr) Ptr {
+	sp := s.heap.sp
+	var best Ptr
+	cur := sp.Load(s.root)
+	for cur != 0 {
+		if s.size(cur) >= sz {
+			best = cur
+			cur = sp.Load(cur + 8)
+		} else {
+			cur = sp.Load(cur + 12)
+		}
+	}
+	return best
+}
+
+// grow extends the heap, converting the old sentinel plus the new pages
+// into one free chunk (coalescing backward if the last chunk was free).
+func (s *Sun) grow(need Ptr) {
+	sp := s.heap.sp
+	n := pagesFor(int(need) + 8 + s.growBy)
+	oldSentinel := s.heap.end - 8
+	prevBits := s.sizeBits(oldSentinel)
+	s.heap.sbrk(n)
+
+	c := oldSentinel
+	sz := Ptr(n*mem.PageSize + 8 - 8) // reclaim old sentinel, place new one
+	if prevBits&leaPrevInuse == 0 {
+		prevSz := sp.Load(c)
+		prev := c - prevSz
+		s.remove(prev, prevSz)
+		c = prev
+		sz += prevSz
+	}
+	sp.Store(c+4, sz|leaPrevInuse)
+	sp.Store(c+sz, sz)
+	sp.Store(c+sz+4, 0) // new sentinel, PREV_INUSE clear
+	s.insert(c, sz)
+}
+
+// Alloc implements Allocator.
+func (s *Sun) Alloc(size int) Ptr {
+	if size <= 0 {
+		panic("xmalloc: Sun.Alloc of non-positive size")
+	}
+	defer enterAlloc(s.heap.sp)()
+	sp := s.heap.sp
+	sz := chunkSizeFor(size)
+
+	c := s.findBest(sz)
+	if c == 0 {
+		s.grow(sz)
+		c = s.findBest(sz)
+	}
+	csz := s.size(c)
+	s.remove(c, csz)
+	if csz-sz >= leaMinChunk {
+		rem := c + sz
+		remSz := csz - sz
+		sp.Store(c+4, sz|s.sizeBits(c)&leaPrevInuse)
+		sp.Store(rem+4, remSz|leaPrevInuse)
+		sp.Store(rem+remSz, remSz)
+		s.insert(rem, remSz)
+	} else {
+		next := c + csz
+		sp.Store(next+4, s.sizeBits(next)|leaPrevInuse)
+	}
+	return c + 8
+}
+
+// Free implements Allocator.
+func (s *Sun) Free(p Ptr) {
+	defer enterFree(s.heap.sp)()
+	sp := s.heap.sp
+	c := p - 8
+	bits := s.sizeBits(c)
+	sz := bits & leaSizeMask
+
+	if bits&leaPrevInuse == 0 {
+		prevSz := sp.Load(c)
+		prev := c - prevSz
+		s.remove(prev, prevSz)
+		c = prev
+		sz += prevSz
+	}
+	next := c + sz
+	nextSz := s.size(next)
+	if nextSz != 0 && s.sizeBits(next+nextSz)&leaPrevInuse == 0 {
+		s.remove(next, nextSz)
+		sz += nextSz
+	}
+	sp.Store(c+4, sz|leaPrevInuse)
+	sp.Store(c+sz, sz)
+	after := c + sz
+	sp.Store(after+4, s.sizeBits(after)&^Ptr(leaPrevInuse))
+	s.insert(c, sz)
+}
+
+// CheckHeap verifies boundary tags across the whole heap (test oracle).
+func (s *Sun) CheckHeap() (chunks int, err error) {
+	sp := s.heap.sp
+	sp.Uncharged(func() {
+		prevFree := false
+		var prevSz Ptr
+		c := s.first
+		for {
+			bits := s.sizeBits(c)
+			sz := bits & leaSizeMask
+			if sz == 0 {
+				if c != s.heap.end-8 {
+					err = fmt.Errorf("sentinel at %#x, want %#x", c, s.heap.end-8)
+				}
+				return
+			}
+			if sz < leaMinChunk || c+sz > s.heap.end-8 {
+				err = fmt.Errorf("chunk %#x has bad size %d", c, sz)
+				return
+			}
+			if prevFree {
+				if bits&leaPrevInuse != 0 {
+					err = fmt.Errorf("chunk %#x: PREV_INUSE set after free chunk", c)
+					return
+				}
+				if sp.Load(c) != prevSz {
+					err = fmt.Errorf("chunk %#x: footer mismatch", c)
+					return
+				}
+			} else if bits&leaPrevInuse == 0 {
+				err = fmt.Errorf("chunk %#x: PREV_INUSE clear after live chunk", c)
+				return
+			}
+			free := s.sizeBits(c+sz)&leaPrevInuse == 0
+			if free && prevFree {
+				err = fmt.Errorf("adjacent free chunks at %#x", c)
+				return
+			}
+			prevFree, prevSz = free, sz
+			chunks++
+			c += sz
+		}
+	})
+	return chunks, err
+}

@@ -1,0 +1,222 @@
+package xmalloc
+
+import (
+	"fmt"
+
+	"regions/internal/mem"
+)
+
+// Vmalloc reimplements the design of Vo's Vmalloc package, which the
+// paper's related-work section singles out among earlier region systems:
+//
+//	"Vo's Vmalloc package is similar: allocations are done in regions with
+//	specific allocation policies. Some regions allow object-by-object
+//	deallocation, some regions can only be freed all at once."
+//
+// A VmRegion is opened with a policy: VmLast (bump allocation, freed only
+// all at once — the pure region discipline), VmPool (fixed-size elements
+// with O(1) object free), or VmBestFit (variable sizes, object free with
+// address-ordered first-fit reuse and coalescing of adjacent free blocks).
+// Closing a region returns all its pages to the shared page pool.
+type Vmalloc struct {
+	sp        *mem.Space
+	freePages []Ptr
+}
+
+// VmPolicy selects a region's allocation discipline.
+type VmPolicy int
+
+// The three policies of Vo's design that matter for the paper's
+// comparison: pure-region, pool, and general-purpose.
+const (
+	VmLast VmPolicy = iota
+	VmPool
+	VmBestFit
+)
+
+func (p VmPolicy) String() string {
+	switch p {
+	case VmLast:
+		return "last"
+	case VmPool:
+		return "pool"
+	case VmBestFit:
+		return "bestfit"
+	}
+	return "invalid"
+}
+
+// VmRegion is one policy region.
+type VmRegion struct {
+	v      *Vmalloc
+	policy VmPolicy
+	pages  []Ptr // all pages owned by the region
+	closed bool
+
+	// bump state (VmLast, and fresh-space carving for the others)
+	cur   Ptr
+	avail int
+
+	elemSize int // VmPool element size (word-aligned)
+	pool     Ptr // VmPool free-list head
+
+	free Ptr // VmBestFit address-ordered free list: [size][next]
+}
+
+// NewVmalloc creates a Vmalloc instance on sp.
+func NewVmalloc(sp *mem.Space) *Vmalloc { return &Vmalloc{sp: sp} }
+
+// Open creates a region with the given policy. elemSize is required for
+// VmPool and ignored otherwise.
+func (v *Vmalloc) Open(policy VmPolicy, elemSize int) *VmRegion {
+	defer enterAlloc(v.sp)()
+	if policy == VmPool && elemSize <= 0 {
+		panic("xmalloc: VmPool region needs a positive element size")
+	}
+	es := align4(elemSize)
+	if es < 8 {
+		es = 8 // room for the free-list link
+	}
+	return &VmRegion{v: v, policy: policy, elemSize: es}
+}
+
+func (v *Vmalloc) page() Ptr {
+	if n := len(v.freePages); n > 0 {
+		p := v.freePages[n-1]
+		v.freePages = v.freePages[:n-1]
+		return p
+	}
+	return v.sp.MapPages(1)
+}
+
+// carve returns size fresh bytes from the region's bump space.
+func (r *VmRegion) carve(size int) Ptr {
+	if size > mem.PageSize {
+		panic("xmalloc: vmalloc allocation larger than a page")
+	}
+	if r.avail < size {
+		p := r.v.page()
+		r.pages = append(r.pages, p)
+		r.cur = p
+		r.avail = mem.PageSize
+	}
+	p := r.cur
+	r.cur += Ptr(size)
+	r.avail -= size
+	return p
+}
+
+// Alloc allocates size bytes in region r under its policy.
+func (v *Vmalloc) Alloc(r *VmRegion, size int) Ptr {
+	if r.closed {
+		panic("xmalloc: allocation in closed vmalloc region")
+	}
+	if size <= 0 {
+		panic("xmalloc: vmalloc Alloc of non-positive size")
+	}
+	defer enterAlloc(v.sp)()
+	switch r.policy {
+	case VmLast:
+		return r.carve(align4(size))
+	case VmPool:
+		if size > r.elemSize {
+			panic(fmt.Sprintf("xmalloc: pool element %d exceeds size %d", size, r.elemSize))
+		}
+		if r.pool != 0 {
+			p := r.pool
+			r.pool = v.sp.Load(p)
+			return p
+		}
+		return r.carve(r.elemSize)
+	default: // VmBestFit: blocks carry a one-word size header.
+		need := align4(size) + mem.WordSize
+		if need < 12 {
+			need = 12 // room for [size][next] when free
+		}
+		// First fit over the address-ordered free list, with splitting.
+		var prev Ptr
+		for b := r.free; b != 0; b = v.sp.Load(b + 4) {
+			bsz := int(v.sp.Load(b))
+			if bsz >= need {
+				next := v.sp.Load(b + 4)
+				if bsz-need >= 12 {
+					rem := b + Ptr(need)
+					v.sp.Store(rem, uint32(bsz-need))
+					v.sp.Store(rem+4, next)
+					next = rem
+					v.sp.Store(b, uint32(need))
+				}
+				if prev == 0 {
+					r.free = next
+				} else {
+					v.sp.Store(prev+4, next)
+				}
+				return b + mem.WordSize
+			}
+			prev = b
+		}
+		b := r.carve(need)
+		v.sp.Store(b, uint32(need))
+		return b + mem.WordSize
+	}
+}
+
+// Free releases one object. It is only legal in VmPool and VmBestFit
+// regions; VmLast regions are freed all at once by Close, and calling Free
+// on one panics — the policy distinction Vo's interface draws.
+func (v *Vmalloc) Free(r *VmRegion, p Ptr) {
+	if r.closed {
+		panic("xmalloc: free in closed vmalloc region")
+	}
+	defer enterFree(v.sp)()
+	switch r.policy {
+	case VmLast:
+		panic("xmalloc: object free in a last (region-only) vmalloc region")
+	case VmPool:
+		v.sp.Store(p, r.pool)
+		r.pool = p
+	default:
+		b := p - mem.WordSize
+		// Insert address-ordered and coalesce with contiguous neighbours.
+		var prev Ptr
+		cur := r.free
+		for cur != 0 && cur < b {
+			prev = cur
+			cur = v.sp.Load(cur + 4)
+		}
+		v.sp.Store(b+4, cur)
+		if prev == 0 {
+			r.free = b
+		} else {
+			v.sp.Store(prev+4, b)
+		}
+		// Merge forward.
+		if cur != 0 && b+Ptr(v.sp.Load(b)) == cur {
+			v.sp.Store(b, v.sp.Load(b)+v.sp.Load(cur))
+			v.sp.Store(b+4, v.sp.Load(cur+4))
+		}
+		// Merge backward.
+		if prev != 0 && prev+Ptr(v.sp.Load(prev)) == b {
+			v.sp.Store(prev, v.sp.Load(prev)+v.sp.Load(b))
+			v.sp.Store(prev+4, v.sp.Load(b+4))
+		}
+	}
+}
+
+// Close frees the whole region at once, returning its pages to the pool.
+func (v *Vmalloc) Close(r *VmRegion) {
+	if r.closed {
+		panic("xmalloc: double close of vmalloc region")
+	}
+	defer enterFree(v.sp)()
+	v.freePages = append(v.freePages, r.pages...)
+	r.pages = nil
+	r.closed = true
+	r.free, r.pool, r.cur, r.avail = 0, 0, 0, 0
+}
+
+// Policy returns the region's policy.
+func (r *VmRegion) Policy() VmPolicy { return r.policy }
+
+// Pages returns the number of pages the region currently owns.
+func (r *VmRegion) Pages() int { return len(r.pages) }

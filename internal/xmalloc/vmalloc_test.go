@@ -1,0 +1,170 @@
+package xmalloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"regions/internal/mem"
+	"regions/internal/stats"
+)
+
+func newVm() (*Vmalloc, *mem.Space) {
+	sp := mem.NewSpace(&stats.Counters{})
+	return NewVmalloc(sp), sp
+}
+
+func TestVmLastPolicy(t *testing.T) {
+	v, sp := newVm()
+	r := v.Open(VmLast, 0)
+	var ptrs []Ptr
+	for i := 0; i < 100; i++ {
+		p := v.Alloc(r, 40)
+		sp.Store(p, uint32(i))
+		ptrs = append(ptrs, p)
+	}
+	for i, p := range ptrs {
+		if sp.Load(p) != uint32(i) {
+			t.Fatalf("object %d clobbered", i)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Free in a last-policy region did not panic")
+			}
+		}()
+		v.Free(r, ptrs[0])
+	}()
+	v.Close(r)
+}
+
+func TestVmPoolReusesElements(t *testing.T) {
+	v, sp := newVm()
+	r := v.Open(VmPool, 24)
+	a := v.Alloc(r, 24)
+	b := v.Alloc(r, 20) // smaller request, same element
+	if a == b {
+		t.Fatal("aliasing pool elements")
+	}
+	v.Free(r, a)
+	c := v.Alloc(r, 24)
+	if c != a {
+		t.Fatalf("pool did not reuse freed element: %#x vs %#x", c, a)
+	}
+	sp.Store(b, 7)
+	if sp.Load(b) != 7 {
+		t.Fatal("pool element damaged")
+	}
+	v.Close(r)
+}
+
+func TestVmPoolOversizePanics(t *testing.T) {
+	v, _ := newVm()
+	r := v.Open(VmPool, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for oversize pool element")
+		}
+	}()
+	v.Alloc(r, 17)
+}
+
+func TestVmBestFitCoalesces(t *testing.T) {
+	v, sp := newVm()
+	r := v.Open(VmBestFit, 0)
+	// Allocate three adjacent blocks, free them all, then a block of their
+	// combined size must fit without growing the region.
+	a := v.Alloc(r, 100)
+	b := v.Alloc(r, 100)
+	c := v.Alloc(r, 100)
+	sp.Store(a, 1)
+	pages := r.Pages()
+	v.Free(r, a)
+	v.Free(r, c)
+	v.Free(r, b) // middle last: exercises both merges
+	big := v.Alloc(r, 280)
+	if r.Pages() != pages {
+		t.Fatalf("coalescing failed; region grew %d -> %d pages", pages, r.Pages())
+	}
+	if big != a {
+		t.Fatalf("coalesced block not reused: got %#x want %#x", big, a)
+	}
+	v.Close(r)
+}
+
+func TestVmBestFitNoOverlap(t *testing.T) {
+	v, _ := newVm()
+	r := v.Open(VmBestFit, 0)
+	type blk struct {
+		p  Ptr
+		sz int
+	}
+	var live []blk
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			k := rng.Intn(len(live))
+			v.Free(r, live[k].p)
+			live = append(live[:k], live[k+1:]...)
+			continue
+		}
+		sz := 1 + rng.Intn(200)
+		p := v.Alloc(r, sz)
+		for _, b := range live {
+			if p < b.p+Ptr(b.sz) && b.p < p+Ptr(sz) {
+				t.Fatalf("overlap at op %d", i)
+			}
+		}
+		live = append(live, blk{p, sz})
+	}
+	v.Close(r)
+}
+
+func TestVmCloseRecyclesPages(t *testing.T) {
+	v, sp := newVm()
+	use := func(policy VmPolicy) {
+		r := v.Open(policy, 16)
+		for i := 0; i < 2000; i++ {
+			v.Alloc(r, 16)
+		}
+		v.Close(r)
+	}
+	use(VmLast)
+	after := sp.MappedBytes()
+	for i := 0; i < 10; i++ {
+		use(VmLast)
+		use(VmPool)
+	}
+	if sp.MappedBytes() != after {
+		t.Fatalf("pages not recycled across regions: %d -> %d", after, sp.MappedBytes())
+	}
+}
+
+func TestVmMisuse(t *testing.T) {
+	v, _ := newVm()
+	r := v.Open(VmLast, 0)
+	v.Alloc(r, 8)
+	v.Close(r)
+	for name, f := range map[string]func(){
+		"alloc after close": func() { v.Alloc(r, 8) },
+		"double close":      func() { v.Close(r) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestVmPolicyString(t *testing.T) {
+	if VmLast.String() != "last" || VmPool.String() != "pool" || VmBestFit.String() != "bestfit" {
+		t.Fatal("policy names")
+	}
+	if VmPolicy(9).String() != "invalid" {
+		t.Fatal("invalid policy name")
+	}
+}

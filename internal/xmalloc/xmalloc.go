@@ -1,0 +1,83 @@
+// Package xmalloc provides the three explicit allocators the paper compares
+// regions against (Section 5.2), reimplemented with all metadata in the
+// simulated heap so that time (traced accesses), space (mapped bytes), and
+// locality (cache behaviour) arise organically:
+//
+//   - Sun: the Solaris 2.5.1 default allocator — best-fit over a binary
+//     tree of free blocks keyed by (size, address), with boundary-tag
+//     coalescing.
+//   - BSD: the 4.2BSD/Kingsley allocator — allocations rounded up to the
+//     next power of two, per-size free lists, no coalescing or splitting.
+//     Fast allocation and deallocation, very large memory overhead.
+//   - Lea: Doug Lea's malloc v2.6.4 — boundary tags, binned segregated
+//     free lists, coalescing, splitting, and a wilderness (top) chunk.
+//
+// The package also provides the paper's "emulation" region library: regions
+// implemented as linked lists of individually malloc'd objects, used to
+// estimate how the region-structured programs (mudlle, lcc) would behave if
+// written with malloc/free.
+package xmalloc
+
+import (
+	"fmt"
+
+	"regions/internal/mem"
+	"regions/internal/stats"
+)
+
+// Ptr is a simulated heap address.
+type Ptr = mem.Addr
+
+// Allocator is the malloc/free interface shared by the three allocators.
+// Alloc returns a 4-aligned pointer to size usable bytes; Free releases a
+// pointer previously returned by Alloc. Both panic on API misuse (zero or
+// negative sizes, freeing a bad pointer); the simulated address space
+// panics on exhaustion.
+type Allocator interface {
+	Name() string
+	Alloc(size int) Ptr
+	Free(p Ptr)
+}
+
+// sbrkArea manages a contiguous heap segment grown page-by-page from the
+// simulated OS, the analogue of the classic Unix sbrk. The allocators in
+// this package require contiguity; map any global segments before creating
+// the allocator.
+type sbrkArea struct {
+	sp         *mem.Space
+	start, end Ptr
+}
+
+func (h *sbrkArea) space() *mem.Space { return h.sp }
+
+// sbrk extends the heap by n pages and returns the old break.
+func (h *sbrkArea) sbrk(npages int) Ptr {
+	p := h.sp.MapPages(npages)
+	if h.end == 0 {
+		h.start = p
+	} else if p != h.end {
+		panic(fmt.Sprintf("xmalloc: non-contiguous sbrk: have end %#x, got %#x "+
+			"(map global segments before creating the allocator)", h.end, p))
+	}
+	h.end = p + Ptr(npages*mem.PageSize)
+	return p
+}
+
+func align4(n int) int { return (n + 3) &^ 3 }
+func align8(n int) int { return (n + 7) &^ 7 }
+
+func pagesFor(bytes int) int { return (bytes + mem.PageSize - 1) / mem.PageSize }
+
+// enterAlloc switches accounting to ModeAlloc and returns a restore func.
+func enterAlloc(sp *mem.Space) func() {
+	old := sp.SetMode(stats.ModeAlloc)
+	sp.Counters().Cycles[stats.ModeAlloc] += 3 // call overhead
+	return func() { sp.SetMode(old) }
+}
+
+// enterFree switches accounting to ModeFree and returns a restore func.
+func enterFree(sp *mem.Space) func() {
+	old := sp.SetMode(stats.ModeFree)
+	sp.Counters().Cycles[stats.ModeFree] += 3
+	return func() { sp.SetMode(old) }
+}

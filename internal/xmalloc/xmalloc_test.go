@@ -1,0 +1,373 @@
+package xmalloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regions/internal/mem"
+	"regions/internal/stats"
+)
+
+type checker interface {
+	CheckHeap() (int, error)
+}
+
+func eachAllocator(t *testing.T, f func(t *testing.T, a Allocator, sp *mem.Space)) {
+	t.Helper()
+	makers := []struct {
+		name string
+		mk   func(sp *mem.Space) Allocator
+	}{
+		{"Sun", func(sp *mem.Space) Allocator { return NewSun(sp) }},
+		{"BSD", func(sp *mem.Space) Allocator { return NewBSD(sp) }},
+		{"Lea", func(sp *mem.Space) Allocator { return NewLea(sp) }},
+	}
+	for _, m := range makers {
+		t.Run(m.name, func(t *testing.T) {
+			sp := mem.NewSpace(&stats.Counters{})
+			f(t, m.mk(sp), sp)
+		})
+	}
+}
+
+func TestAllocBasic(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, a Allocator, sp *mem.Space) {
+		p := a.Alloc(40)
+		if p == 0 || p%4 != 0 {
+			t.Fatalf("bad pointer %#x", p)
+		}
+		for i := 0; i < 40; i += 4 {
+			sp.Store(p+Ptr(i), uint32(i))
+		}
+		q := a.Alloc(40)
+		if q == p {
+			t.Fatal("second allocation aliases first")
+		}
+		for i := 0; i < 40; i += 4 {
+			if v := sp.Load(p + Ptr(i)); v != uint32(i) {
+				t.Fatalf("data clobbered at +%d: %d", i, v)
+			}
+		}
+		a.Free(p)
+		a.Free(q)
+	})
+}
+
+func TestAllocationsDoNotOverlap(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, a Allocator, sp *mem.Space) {
+		type blk struct {
+			p  Ptr
+			sz int
+		}
+		var live []blk
+		r := rand.New(rand.NewSource(7))
+		for i := 0; i < 2000; i++ {
+			if len(live) > 0 && r.Intn(3) == 0 {
+				k := r.Intn(len(live))
+				a.Free(live[k].p)
+				live = append(live[:k], live[k+1:]...)
+				continue
+			}
+			sz := 1 + r.Intn(300)
+			if r.Intn(20) == 0 {
+				sz = 1 + r.Intn(8000)
+			}
+			p := a.Alloc(sz)
+			for _, b := range live {
+				if p < b.p+Ptr(b.sz) && b.p < p+Ptr(sz) {
+					t.Fatalf("overlap: [%#x,+%d) with [%#x,+%d)", p, sz, b.p, b.sz)
+				}
+			}
+			live = append(live, blk{p, sz})
+		}
+		for _, b := range live {
+			a.Free(b.p)
+		}
+	})
+}
+
+func TestWriteEveryByteOfEveryAllocation(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, a Allocator, sp *mem.Space) {
+		sizes := []int{1, 3, 4, 5, 8, 12, 16, 17, 100, 500, 4000, 9000}
+		var ptrs []Ptr
+		for _, sz := range sizes {
+			p := a.Alloc(sz)
+			for i := 0; i < sz; i++ {
+				sp.StoreByte(p+Ptr(i), byte(i))
+			}
+			ptrs = append(ptrs, p)
+		}
+		for k, sz := range sizes {
+			for i := 0; i < sz; i++ {
+				if got := sp.LoadByte(ptrs[k] + Ptr(i)); got != byte(i) {
+					t.Fatalf("size %d byte %d: got %d", sz, i, got)
+				}
+			}
+			a.Free(ptrs[k])
+		}
+	})
+}
+
+func TestReuseAfterFree(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, a Allocator, sp *mem.Space) {
+		before := sp.MappedBytes()
+		for i := 0; i < 10000; i++ {
+			p := a.Alloc(100)
+			a.Free(p)
+		}
+		grown := sp.MappedBytes() - before
+		if grown > 64*1024 {
+			t.Fatalf("alloc/free loop leaked %d bytes of OS memory", grown)
+		}
+	})
+}
+
+func TestCoalescingBoundsFragmentation(t *testing.T) {
+	// Allocate many small blocks, free them all, then a large block must
+	// fit without growing the heap much — for the coalescing allocators.
+	for _, mk := range []struct {
+		name string
+		mk   func(sp *mem.Space) Allocator
+	}{
+		{"Sun", func(sp *mem.Space) Allocator { return NewSun(sp) }},
+		{"Lea", func(sp *mem.Space) Allocator { return NewLea(sp) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			sp := mem.NewSpace(&stats.Counters{})
+			a := mk.mk(sp)
+			var ptrs []Ptr
+			for i := 0; i < 1000; i++ {
+				ptrs = append(ptrs, a.Alloc(64))
+			}
+			for _, p := range ptrs {
+				a.Free(p)
+			}
+			grew := sp.MappedBytes()
+			big := a.Alloc(50000)
+			if sp.MappedBytes() > grew {
+				t.Fatalf("%s: coalescing failed; big alloc grew heap %d -> %d",
+					a.Name(), grew, sp.MappedBytes())
+			}
+			a.Free(big)
+		})
+	}
+}
+
+func TestBSDRoundsToPowersOfTwo(t *testing.T) {
+	sp := mem.NewSpace(&stats.Counters{})
+	b := NewBSD(sp)
+	cases := map[int]int{1: 4, 4: 4, 5: 12, 12: 12, 13: 28, 100: 124, 124: 124, 4000: 4092}
+	for req, usable := range cases {
+		p := b.Alloc(req)
+		if got := b.UsableSize(p); got != usable {
+			t.Errorf("Alloc(%d): usable %d, want %d", req, got, usable)
+		}
+		b.Free(p)
+	}
+}
+
+func TestBSDDoubleFreeDetected(t *testing.T) {
+	sp := mem.NewSpace(&stats.Counters{})
+	b := NewBSD(sp)
+	p := b.Alloc(16)
+	b.Free(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free not detected")
+		}
+	}()
+	b.Free(p)
+}
+
+func TestMemoryOverheadOrdering(t *testing.T) {
+	// The paper's Figure 8: BSD uses far more memory than Lea for
+	// odd-sized allocations; regions and Lea are close.
+	usage := func(a Allocator, sp *mem.Space) uint64 {
+		r := rand.New(rand.NewSource(3))
+		for i := 0; i < 3000; i++ {
+			// Sizes just above powers of two, where rounding hurts most.
+			a.Alloc(30 + 40*r.Intn(3))
+		}
+		return sp.MappedBytes()
+	}
+	spL := mem.NewSpace(&stats.Counters{})
+	lea := usage(NewLea(spL), spL)
+	spB := mem.NewSpace(&stats.Counters{})
+	bsd := usage(NewBSD(spB), spB)
+	if float64(bsd) < 1.3*float64(lea) {
+		t.Fatalf("BSD (%d) should use much more memory than Lea (%d)", bsd, lea)
+	}
+}
+
+func TestAllocatorCyclesCharged(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, a Allocator, sp *mem.Space) {
+		c := sp.Counters()
+		p := a.Alloc(64)
+		if c.Cycles[stats.ModeAlloc] == 0 {
+			t.Fatal("allocation charged no alloc cycles")
+		}
+		a.Free(p)
+		if c.Cycles[stats.ModeFree] == 0 {
+			t.Fatal("free charged no free cycles")
+		}
+		if c.Cycles[stats.ModeApp] != 0 {
+			t.Fatalf("allocator work leaked into app cycles: %d", c.Cycles[stats.ModeApp])
+		}
+	})
+}
+
+// TestQuickHeapConsistency drives random traces through the boundary-tag
+// allocators and validates the whole heap after every few operations.
+func TestQuickHeapConsistency(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		mk   func(sp *mem.Space) Allocator
+	}{
+		{"Sun", func(sp *mem.Space) Allocator { return NewSun(sp) }},
+		{"Lea", func(sp *mem.Space) Allocator { return NewLea(sp) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			err := quick.Check(func(seed int64, ops []byte) bool {
+				sp := mem.NewSpace(&stats.Counters{})
+				a := mk.mk(sp)
+				ck := a.(checker)
+				r := rand.New(rand.NewSource(seed))
+				var live []Ptr
+				for i, op := range ops {
+					if op%3 == 0 && len(live) > 0 {
+						k := r.Intn(len(live))
+						a.Free(live[k])
+						live = append(live[:k], live[k+1:]...)
+					} else {
+						sz := 1 + int(op)*7 + r.Intn(64)
+						live = append(live, a.Alloc(sz))
+					}
+					if i%5 == 0 {
+						if _, err := ck.CheckHeap(); err != nil {
+							t.Logf("after op %d: %v", i, err)
+							return false
+						}
+					}
+				}
+				for _, p := range live {
+					a.Free(p)
+				}
+				_, err := ck.CheckHeap()
+				return err == nil
+			}, &quick.Config{MaxCount: 25})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFullFreeReturnsHeapToOneChunk(t *testing.T) {
+	// After freeing everything, Sun's tree should hold chunks that cover
+	// the entire heap (full coalescing within segments).
+	sp := mem.NewSpace(&stats.Counters{})
+	s := NewSun(sp)
+	r := rand.New(rand.NewSource(11))
+	var live []Ptr
+	for i := 0; i < 500; i++ {
+		live = append(live, s.Alloc(8+r.Intn(200)))
+	}
+	for _, k := range r.Perm(len(live)) {
+		s.Free(live[k])
+	}
+	chunks, err := s.CheckHeap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks != 1 {
+		t.Fatalf("heap has %d chunks after freeing all, want 1 fully-coalesced chunk", chunks)
+	}
+}
+
+func slotAllocator(sp *mem.Space) func() Ptr {
+	page := sp.MapPages(1)
+	next := page
+	return func() Ptr {
+		p := next
+		next += mem.WordSize
+		return p
+	}
+}
+
+func TestEmuRegions(t *testing.T) {
+	sp := mem.NewSpace(&stats.Counters{})
+	slots := slotAllocator(sp)
+	e := NewEmuRegions(sp, NewLea(sp), slots)
+	if e.Name() != "emulation/Lea" {
+		t.Fatalf("name %q", e.Name())
+	}
+	r := e.NewRegion()
+	var ptrs []Ptr
+	for i := 0; i < 100; i++ {
+		p := e.Alloc(r, 24)
+		sp.Store(p, uint32(i))
+		ptrs = append(ptrs, p)
+	}
+	for i, p := range ptrs {
+		if v := sp.Load(p); v != uint32(i) {
+			t.Fatalf("object %d clobbered", i)
+		}
+	}
+	if r.Allocs() != 100 || r.Bytes() != 2400 {
+		t.Fatalf("allocs=%d bytes=%d", r.Allocs(), r.Bytes())
+	}
+	if r.LinkOverheadBytes() != 400 {
+		t.Fatalf("overhead=%d", r.LinkOverheadBytes())
+	}
+	c := sp.Counters()
+	if c.FreeCalls != 0 {
+		t.Fatalf("premature frees: %d", c.FreeCalls)
+	}
+	e.Delete(r)
+	if !r.Deleted() {
+		t.Fatal("not deleted")
+	}
+	if c.FreeCalls != 100 {
+		t.Fatalf("FreeCalls=%d, want 100 (one per object)", c.FreeCalls)
+	}
+	if c.LiveBytes != 0 {
+		t.Fatalf("LiveBytes=%d after delete", c.LiveBytes)
+	}
+}
+
+func TestEmuRegionMisuse(t *testing.T) {
+	sp := mem.NewSpace(&stats.Counters{})
+	slots := slotAllocator(sp)
+	e := NewEmuRegions(sp, NewBSD(sp), slots)
+	r := e.NewRegion()
+	e.Alloc(r, 8)
+	e.Delete(r)
+	t.Run("double delete", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		e.Delete(r)
+	})
+	t.Run("alloc after delete", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		e.Alloc(r, 8)
+	})
+}
+
+func TestAllocZeroPanics(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, a Allocator, sp *mem.Space) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Alloc(0) did not panic")
+			}
+		}()
+		a.Alloc(0)
+	})
+}

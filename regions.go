@@ -1,0 +1,214 @@
+// Package regions is the public API of this reproduction of
+//
+//	David Gay and Alex Aiken, "Memory Management with Explicit Regions",
+//	PLDI 1998.
+//
+// A System is one simulated 32-bit machine running the paper's safe
+// region-based memory manager. The API mirrors the paper's C interface
+// (Figure 2):
+//
+//	Region r = newregion();            r := sys.NewRegion()
+//	ralloc(r, size, cleanup)           sys.Ralloc(r, size, cleanup)
+//	rarrayalloc(r, n, size, cleanup)   sys.RarrayAlloc(r, n, size, cleanup)
+//	rstralloc(r, size)                 sys.RstrAlloc(r, size)
+//	regionof(x)                        sys.RegionOf(x)
+//	deleteregion(&r)                   sys.DeleteRegion(r)
+//
+// Safety works exactly as in the paper: a region can be deleted only when
+// no external references to its objects remain, enforced with region
+// reference counts — exact counts for pointers stored in the heap and
+// global storage (via StorePtr and StoreGlobalPtr write barriers), and
+// deferred counts for local variables held in shadow-stack frames scanned
+// on demand with a high-water mark. Cleanup functions let deletion adjust
+// the counts of other regions (and finalize objects).
+//
+// Everything lives in a simulated word-addressable address space (Load and
+// Store), so the package also serves as the measurement substrate for the
+// paper's experiments; see internal/bench and cmd/regionbench.
+package regions
+
+import (
+	"regions/internal/cachesim"
+	"regions/internal/core"
+	"regions/internal/mem"
+	"regions/internal/stats"
+)
+
+// Ptr is a pointer into a System's simulated heap; 0 is the nil pointer.
+type Ptr = mem.Addr
+
+// Word is the contents of one 32-bit heap word.
+type Word = mem.Word
+
+// Region is a region handle. As in the paper, the handle itself is not a
+// counted reference; Ptr values stored in heap words and frame slots are.
+type Region = core.Region
+
+// Frame is one activation's live region-pointer variables. Keep every live
+// Ptr in a frame slot, exactly as the paper's compiler records live locals
+// at call sites; DeleteRegion consults them.
+type Frame = core.Frame
+
+// CleanupID names a registered cleanup function.
+type CleanupID = core.CleanupID
+
+// CleanupFunc is the paper's cleanup_t: it must call Runtime.Destroy on
+// every region pointer in the object and return the object's size in bytes.
+type CleanupFunc = core.CleanupFunc
+
+// Runtime is the underlying region runtime; exposed for cleanup functions,
+// which receive it as their first argument.
+type Runtime = core.Runtime
+
+// Counters are the run's statistics (allocation volumes, cycle accounting).
+type Counters = stats.Counters
+
+// ParWorld, ParRegion, ParWorker and ParSlot form the paper's parallel
+// extension: per-worker local reference counts, atomic-exchange pointer
+// writes, and globally synchronized creation and deletion.
+type (
+	ParWorld  = core.ParWorld
+	ParRegion = core.ParRegion
+	ParWorker = core.ParWorker
+	ParSlot   = core.ParSlot
+)
+
+// NewParWorld creates a parallel-region world for the given worker count.
+func NewParWorld(workers int) *ParWorld { return core.NewParWorld(workers) }
+
+// System is one simulated machine with a region runtime on it.
+type System struct {
+	rt *core.Runtime
+	sp *mem.Space
+}
+
+// Option configures a System.
+type Option func(*config)
+
+type config struct {
+	unsafe bool
+	cache  bool
+}
+
+// Unsafe disables all reference counting, stack scanning, and cleanups, as
+// in the paper's unsafe region library: DeleteRegion always succeeds, even
+// with live external references.
+func Unsafe() Option { return func(c *config) { c.unsafe = true } }
+
+// WithCache attaches the UltraSparc-I cache model so the counters include
+// read- and write-stall cycles.
+func WithCache() Option { return func(c *config) { c.cache = true } }
+
+// New creates a System.
+func New(opts ...Option) *System {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c := &stats.Counters{}
+	sp := mem.NewSpace(c)
+	if cfg.cache {
+		sp.AttachCache(cachesim.New(cachesim.UltraSparcI()))
+	}
+	return &System{rt: core.NewRuntime(sp, !cfg.unsafe), sp: sp}
+}
+
+// Safe reports whether the system maintains reference counts.
+func (s *System) Safe() bool { return s.rt.Safe() }
+
+// Counters returns the system's statistics.
+func (s *System) Counters() *Counters { return s.rt.Counters() }
+
+// MappedBytes returns the memory requested from the simulated OS so far.
+func (s *System) MappedBytes() uint64 { return s.sp.MappedBytes() }
+
+// --- the paper's region interface -------------------------------------------
+
+// NewRegion creates an empty region (the paper's newregion).
+func (s *System) NewRegion() *Region { return s.rt.NewRegion() }
+
+// DeleteRegion attempts to delete r (the paper's deleteregion). Under a
+// safe system it fails, returning false, while external references to r's
+// objects remain.
+func (s *System) DeleteRegion(r *Region) bool { return s.rt.DeleteRegion(r) }
+
+// Ralloc allocates size bytes of cleared memory with the given cleanup in
+// region r and returns its address.
+func (s *System) Ralloc(r *Region, size int, cleanup CleanupID) Ptr {
+	return s.rt.Ralloc(r, size, cleanup)
+}
+
+// RarrayAlloc allocates a cleared array of n elements of elemSize bytes;
+// the cleanup runs once per element at deletion.
+func (s *System) RarrayAlloc(r *Region, n, elemSize int, cleanup CleanupID) Ptr {
+	return s.rt.RarrayAlloc(r, n, elemSize, cleanup)
+}
+
+// RstrAlloc allocates size bytes of region-pointer-free memory: no
+// bookkeeping, no clearing, never scanned (the paper's rstralloc).
+func (s *System) RstrAlloc(r *Region, size int) Ptr { return s.rt.RstrAlloc(r, size) }
+
+// RegionOf returns the region containing p, or nil (the paper's regionof).
+func (s *System) RegionOf(p Ptr) *Region { return s.rt.RegionOf(p) }
+
+// RegisterCleanup registers a cleanup function under a diagnostic name.
+func (s *System) RegisterCleanup(name string, fn CleanupFunc) CleanupID {
+	return s.rt.RegisterCleanup(name, fn)
+}
+
+// SizeCleanup returns a cleanup for pointer-free objects of a fixed size.
+func (s *System) SizeCleanup(size int) CleanupID { return s.rt.SizeCleanup(size) }
+
+// --- memory access and barriers ----------------------------------------------
+
+// Load reads the word at the 4-byte-aligned address p.
+func (s *System) Load(p Ptr) Word { return s.sp.Load(p) }
+
+// Store writes a non-pointer word. Region pointers must be written with
+// StorePtr or StoreGlobalPtr so the reference counts stay exact.
+func (s *System) Store(p Ptr, v Word) { s.sp.Store(p, v) }
+
+// StorePtr writes the region pointer val into the heap word slot inside a
+// region object, applying the paper's region-write barrier.
+func (s *System) StorePtr(slot, val Ptr) { s.rt.StorePtr(slot, val) }
+
+// StoreGlobalPtr writes a region pointer into global storage, applying the
+// paper's global-write barrier.
+func (s *System) StoreGlobalPtr(slot, val Ptr) { s.rt.StoreGlobalPtr(slot, val) }
+
+// StorePtrDynamic classifies slot at run time, for writes the "compiler"
+// cannot classify statically.
+func (s *System) StorePtrDynamic(slot, val Ptr) { s.rt.StorePtrDynamic(slot, val) }
+
+// AllocGlobals reserves nwords words of global storage.
+func (s *System) AllocGlobals(nwords int) Ptr { return s.rt.AllocGlobals(nwords) }
+
+// --- local variables -----------------------------------------------------------
+
+// PushFrame enters an activation with n region-pointer slots.
+func (s *System) PushFrame(n int) *Frame { return s.rt.PushFrame(n) }
+
+// PopFrame leaves the innermost activation, unscanning a scanned caller
+// frame as control returns to it.
+func (s *System) PopFrame() { s.rt.PopFrame() }
+
+// --- debugging ------------------------------------------------------------------
+
+// Ref is one location holding a reference into a region, reported by
+// Referrers; RefKind classifies it.
+type (
+	Ref     = core.Ref
+	RefKind = core.RefKind
+)
+
+// Reference location kinds.
+const (
+	RefHeap   = core.RefHeap
+	RefGlobal = core.RefGlobal
+	RefFrame  = core.RefFrame
+)
+
+// Referrers reports every tracked location that still references r — the
+// region-debugging aid the paper wished for when hunting the stale pointers
+// that make DeleteRegion fail. It charges no simulated cycles.
+func (s *System) Referrers(r *Region) []Ref { return s.rt.Referrers(r) }

@@ -1,0 +1,164 @@
+package regions_test
+
+import (
+	"testing"
+
+	"regions"
+)
+
+// TestPaperFigure1 is the paper's first example: a loop allocating arrays
+// in a region, all freed by one deleteregion.
+func TestPaperFigure1(t *testing.T) {
+	sys := regions.New()
+	r := sys.NewRegion()
+	for i := 0; i < 10; i++ {
+		size := (i + 1) * 4
+		x := sys.Ralloc(r, size, sys.SizeCleanup(size))
+		for w := 0; w < size; w += 4 {
+			sys.Store(x+regions.Ptr(w), uint32(i))
+		}
+	}
+	if !sys.DeleteRegion(r) {
+		t.Fatal("deleteregion failed")
+	}
+	if c := sys.Counters(); c.Allocs != 10 || c.LiveBytes != 0 {
+		t.Fatalf("allocs=%d live=%d", c.Allocs, c.LiveBytes)
+	}
+}
+
+// TestPaperFigure3 is the list-copy example through the public API.
+func TestPaperFigure3(t *testing.T) {
+	sys := regions.New()
+	clnList := sys.RegisterCleanup("list", func(rt *regions.Runtime, obj regions.Ptr) int {
+		rt.Destroy(rt.Space().Load(obj + 4))
+		return 8
+	})
+	cons := func(r *regions.Region, x uint32, l regions.Ptr) regions.Ptr {
+		p := sys.Ralloc(r, 8, clnList)
+		sys.Store(p, x)
+		sys.StorePtr(p+4, l)
+		return p
+	}
+
+	f := sys.PushFrame(2)
+	defer sys.PopFrame()
+
+	main := sys.NewRegion()
+	var l regions.Ptr
+	for i := 3; i >= 1; i-- {
+		l = cons(main, uint32(i), l)
+	}
+	f.Set(0, l)
+
+	tmp := sys.NewRegion()
+	var copyList func(r *regions.Region, l regions.Ptr) regions.Ptr
+	copyList = func(r *regions.Region, l regions.Ptr) regions.Ptr {
+		if l == 0 {
+			return 0
+		}
+		return cons(r, sys.Load(l), copyList(r, sys.Load(l+4)))
+	}
+	f.Set(1, copyList(tmp, l))
+
+	if sys.DeleteRegion(tmp) {
+		t.Fatal("delete succeeded with a live local reference")
+	}
+	f.Set(1, 0)
+	if !sys.DeleteRegion(tmp) {
+		t.Fatal("delete failed after the local died")
+	}
+	for i, p := 1, f.Get(0); p != 0; i, p = i+1, sys.Load(p+4) {
+		if got := sys.Load(p); got != uint32(i) {
+			t.Fatalf("original list damaged: [%d]=%d", i, got)
+		}
+	}
+}
+
+func TestUnsafeOption(t *testing.T) {
+	sys := regions.New(regions.Unsafe())
+	if sys.Safe() {
+		t.Fatal("Unsafe() system reports safe")
+	}
+	r := sys.NewRegion()
+	g := sys.AllocGlobals(1)
+	p := sys.RstrAlloc(r, 16)
+	sys.StoreGlobalPtr(g, p)
+	if !sys.DeleteRegion(r) {
+		t.Fatal("unsafe delete failed despite being unchecked")
+	}
+}
+
+func TestWithCacheOption(t *testing.T) {
+	sys := regions.New(regions.WithCache())
+	r := sys.NewRegion()
+	p := sys.RstrAlloc(r, 64*1024)
+	for i := 0; i < 64*1024; i += 4 {
+		sys.Load(p + regions.Ptr(i))
+	}
+	if sys.Counters().ReadStalls == 0 {
+		t.Fatal("no stalls recorded with cache model")
+	}
+}
+
+func TestRegionOfPublic(t *testing.T) {
+	sys := regions.New()
+	r := sys.NewRegion()
+	p := sys.RstrAlloc(r, 8)
+	if sys.RegionOf(p) != r {
+		t.Fatal("RegionOf mismatch")
+	}
+	if sys.RegionOf(0) != nil {
+		t.Fatal("RegionOf(nil) != nil")
+	}
+	if sys.MappedBytes() == 0 {
+		t.Fatal("no OS memory recorded")
+	}
+}
+
+func TestParallelPublic(t *testing.T) {
+	w := regions.NewParWorld(2)
+	r := w.NewParRegion()
+	regionOf := func(p regions.Ptr) *regions.ParRegion {
+		if p != 0 {
+			return r
+		}
+		return nil
+	}
+	var slot regions.ParSlot
+	w.Worker(0).Write(&slot, 8, regionOf)
+	if w.TryDelete(r) {
+		t.Fatal("deleted with live reference")
+	}
+	w.Worker(1).Write(&slot, 0, regionOf)
+	if !w.TryDelete(r) {
+		t.Fatal("delete failed at zero sum")
+	}
+}
+
+func TestReferrersPublic(t *testing.T) {
+	sys := regions.New()
+	cln := sys.RegisterCleanup("cell", func(rt *regions.Runtime, obj regions.Ptr) int {
+		rt.Destroy(rt.Space().Load(obj))
+		return 4
+	})
+	target := sys.NewRegion()
+	other := sys.NewRegion()
+	victim := sys.Ralloc(target, 4, cln)
+	holder := sys.Ralloc(other, 4, cln)
+	sys.StorePtr(holder, victim)
+
+	if sys.DeleteRegion(target) {
+		t.Fatal("delete should fail")
+	}
+	refs := sys.Referrers(target)
+	if len(refs) != 1 || refs[0].Value != victim {
+		t.Fatalf("refs=%v", refs)
+	}
+	sys.StorePtr(holder, 0)
+	if len(sys.Referrers(target)) != 0 {
+		t.Fatal("refs remain after clearing")
+	}
+	if !sys.DeleteRegion(target) {
+		t.Fatal("delete failed")
+	}
+}
