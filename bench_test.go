@@ -11,6 +11,7 @@ import (
 	"io"
 	"testing"
 
+	"regions"
 	"regions/internal/apps/appkit"
 	"regions/internal/bench"
 )
@@ -111,6 +112,30 @@ func BenchmarkApps(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkAlloc measures the wall-clock cost of the allocation fast path
+// with tracing disabled (the shipping configuration: one nil check per
+// operation) against a run with a tracer attached. The untraced variant is
+// the acceptance gate for the observability layer: it must stay within noise
+// of the pre-tracing runtime.
+func BenchmarkAlloc(b *testing.B) {
+	run := func(b *testing.B, t *regions.Tracer) {
+		sys := regions.New()
+		sys.SetTracer(t)
+		cln := sys.SizeCleanup(16)
+		r := sys.NewRegion()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Ralloc(r, 16, cln)
+			if i%4096 == 4095 { // keep the region from growing unboundedly
+				sys.DeleteRegion(r)
+				r = sys.NewRegion()
+			}
+		}
+	}
+	b.Run("untraced", func(b *testing.B) { run(b, nil) })
+	b.Run("traced", func(b *testing.B) { run(b, regions.NewTracer(1<<16)) })
 }
 
 // BenchmarkCorePrimitives measures the region runtime's primitive costs.

@@ -1,0 +1,108 @@
+// Regiontrace runs one of the paper's benchmark applications with the
+// event-level tracing layer attached and renders what the ring buffer
+// caught: a JSONL event log, a Chrome trace_event timeline (load it in
+// chrome://tracing or https://ui.perfetto.dev), and a per-region lifetime
+// report (birth/death cycles, allocation volume, failed deletions, leak
+// candidates). docs/OBSERVABILITY.md documents the event schema and walks
+// through this tool's output.
+//
+// Usage:
+//
+//	regiontrace [-app cfrac] [-env safe] [-scale N] [-events N]
+//	            [-jsonl FILE] [-chrome FILE] [-top N]
+//
+// The per-region report always goes to standard output. -env accepts the
+// region environments backed by the real runtime ("safe", "unsafe") plus
+// "GC" to trace the conservative collector's phases under the malloc
+// variant of the app.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regions/internal/apps/appkit"
+	"regions/internal/bench"
+	"regions/internal/trace"
+)
+
+func main() {
+	var (
+		app    = flag.String("app", "cfrac", "benchmark application to run")
+		env    = flag.String("env", "safe", `environment: "safe", "unsafe", or "GC"`)
+		scale  = flag.Int("scale", 1, "workload scale (the app's unit; see internal/bench)")
+		events = flag.Int("events", 1<<20, "ring buffer capacity in events")
+		jsonl  = flag.String("jsonl", "", "write the event log as JSON Lines to this file")
+		chrome = flag.String("chrome", "", "write a Chrome trace_event timeline to this file")
+		top    = flag.Int("top", 10, "regions shown in the per-region table")
+	)
+	flag.Parse()
+
+	var chosen *appkit.App
+	for _, a := range bench.Apps() {
+		if a.Name == *app {
+			a := a
+			chosen = &a
+			break
+		}
+	}
+	if chosen == nil {
+		fmt.Fprintf(os.Stderr, "regiontrace: unknown app %q; have:", *app)
+		for _, a := range bench.Apps() {
+			fmt.Fprintf(os.Stderr, " %s", a.Name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+
+	t := trace.New(*events)
+	cfg := appkit.Config{Tracer: t}
+	var sum uint32
+	switch *env {
+	case "safe", "unsafe":
+		e := appkit.NewRegionEnv(*env, cfg)
+		sum = chosen.Region(e, *scale)
+		e.Finalize()
+	case "GC":
+		if chosen.Malloc == nil {
+			fmt.Fprintf(os.Stderr, "regiontrace: app %q has no malloc variant to run under GC\n", *app)
+			os.Exit(2)
+		}
+		e := appkit.NewMallocEnv("GC", cfg)
+		sum = chosen.Malloc(e, *scale)
+		e.Finalize()
+	default:
+		fmt.Fprintf(os.Stderr, "regiontrace: unknown env %q (want safe, unsafe, or GC)\n", *env)
+		os.Exit(2)
+	}
+
+	evs := t.Events()
+	if *jsonl != "" {
+		writeFile(*jsonl, func(f *os.File) error { return trace.WriteJSONL(f, evs) })
+		fmt.Printf("wrote %d events to %s\n", len(evs), *jsonl)
+	}
+	if *chrome != "" {
+		writeFile(*chrome, func(f *os.File) error { return trace.WriteChromeTrace(f, evs) })
+		fmt.Printf("wrote Chrome timeline to %s\n", *chrome)
+	}
+
+	fmt.Printf("app %s, env %s, scale %d: checksum %08x\n", *app, *env, *scale, sum)
+	trace.BuildProfile(evs, t.Dropped()).WriteReport(os.Stdout, *top)
+}
+
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "regiontrace: %v\n", err)
+		os.Exit(1)
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "regiontrace: %v\n", err)
+		os.Exit(1)
+	}
+}

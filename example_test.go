@@ -81,3 +81,33 @@ func ExampleSystem_RegionOf() {
 	// Output:
 	// true true true
 }
+
+// ExampleSystem_trace shows the observability layer end to end: attach a
+// tracer, run a region's whole life, and read the typed events back. The
+// schema is documented in docs/OBSERVABILITY.md; cmd/regiontrace renders the
+// same stream as JSONL, a Chrome timeline, and a per-region report.
+func ExampleSystem_trace() {
+	sys := regions.New()
+	t := regions.NewTracer(64)
+	sys.SetTracer(t)
+
+	r := sys.NewRegion()
+	p := sys.Ralloc(r, 8, sys.SizeCleanup(8))
+	g := sys.AllocGlobals(1)
+	sys.StoreGlobalPtr(g, p) // global barrier fires, blocks deletion
+	sys.DeleteRegion(r)      // refused: the global still points into r
+	sys.StoreGlobalPtr(g, 0)
+	sys.DeleteRegion(r) // cleanup runs, then the region dies
+
+	for _, ev := range sys.Trace().Events() {
+		fmt.Println(ev.Kind)
+	}
+	// Output:
+	// region-create
+	// ralloc
+	// barrier-global
+	// region-delete-fail
+	// barrier-global
+	// cleanup
+	// region-delete
+}

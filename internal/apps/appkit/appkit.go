@@ -21,6 +21,7 @@ import (
 	"regions/internal/gc"
 	"regions/internal/mem"
 	"regions/internal/stats"
+	"regions/internal/trace"
 	"regions/internal/xmalloc"
 )
 
@@ -99,6 +100,11 @@ type RegionEnv interface {
 // Config selects optional environment features.
 type Config struct {
 	Cache bool // attach the UltraSparc-I cache model
+	// Tracer, when non-nil, receives the environment's runtime events
+	// (region lifecycle, allocations, barriers, GC phases — see
+	// internal/trace). Only the real region runtime and the collector
+	// emit events; the emulation and plain malloc environments do not.
+	Tracer *trace.Tracer
 }
 
 const globalPages = 4 // global segment reserved up front in every env
@@ -139,6 +145,9 @@ func NewMallocEnv(kind string, cfg Config) MallocEnv {
 	case "GC":
 		col := gc.New(sp)
 		col.RegisterRoots(g, g+globalPages*mem.PageSize)
+		if cfg.Tracer != nil {
+			col.SetTracer(cfg.Tracer)
+		}
 		return &gcEnv{baseEnv{name: kind, sp: sp, globals: g}, col}
 	}
 	panic(fmt.Sprintf("appkit: unknown malloc env %q", kind))
@@ -151,6 +160,9 @@ func NewRegionEnv(kind string, cfg Config) RegionEnv {
 	switch kind {
 	case "safe", "unsafe":
 		rt := core.NewRuntime(sp, kind == "safe")
+		if cfg.Tracer != nil {
+			rt.SetTracer(cfg.Tracer)
+		}
 		return &coreEnv{baseEnv{name: kind, sp: sp, globals: g}, rt}
 	}
 	var under string
@@ -176,6 +188,9 @@ func NewRegionEnv(kind string, cfg Config) RegionEnv {
 func NewCustomRegionEnv(name string, opts core.Options, cfg Config) RegionEnv {
 	sp, g := newSpace(cfg)
 	rt := core.NewRuntimeOpts(sp, opts)
+	if cfg.Tracer != nil {
+		rt.SetTracer(cfg.Tracer)
+	}
 	return &coreEnv{baseEnv{name: name, sp: sp, globals: g}, rt}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"regions/internal/mem"
 	"regions/internal/stats"
+	"regions/internal/trace"
 )
 
 // CleanupID identifies a registered cleanup function. The zero value is not
@@ -89,6 +90,10 @@ func (rt *Runtime) Destroy(p Ptr) {
 		panic("core: Destroy found a pointer into a deleted region")
 	}
 	rt.rcDec(reg)
+	if rt.tracer != nil {
+		rt.tracer.Emit(trace.Event{Kind: trace.KindDestroy, Addr: p,
+			Region: reg.id, Aux: -1})
+	}
 }
 
 // runCleanups walks every normal-allocator page entry of r and invokes each
@@ -131,9 +136,20 @@ func (rt *Runtime) runCleanups(r *Region) {
 				for i := 0; i < n; i++ {
 					fn(rt, obj+Ptr(i*esz))
 				}
+				if rt.tracer != nil {
+					rt.tracer.Emit(trace.Event{Kind: trace.KindCleanup,
+						Region: r.id, Addr: obj, Size: int32(n * esz),
+						Aux: int32(n), Site: rt.cleanups[id-1].name})
+				}
 				deleting += Ptr(3*mem.WordSize + n*esz)
 			} else {
 				size := fn(rt, deleting+mem.WordSize)
+				if rt.tracer != nil {
+					rt.tracer.Emit(trace.Event{Kind: trace.KindCleanup,
+						Region: r.id, Addr: deleting + mem.WordSize,
+						Size: int32(align4(size)), Aux: -1,
+						Site: rt.cleanups[id-1].name})
+				}
 				deleting += Ptr(mem.WordSize + align4(size))
 			}
 		}

@@ -31,6 +31,7 @@ import (
 
 	"regions/internal/mem"
 	"regions/internal/stats"
+	"regions/internal/trace"
 )
 
 // Ptr is a pointer into the simulated heap. The nil pointer is 0.
@@ -132,6 +133,11 @@ type Runtime struct {
 	globalEnd  Ptr
 
 	deleting *Region // region currently being cleaned up, for Destroy
+
+	// tracer, when non-nil, receives one event per runtime operation (see
+	// internal/trace and docs/OBSERVABILITY.md). Every emission site is
+	// guarded by a nil check so the untraced runtime pays one predicate.
+	tracer *trace.Tracer
 }
 
 // NewRuntime creates a region runtime on the given space. If safe is false,
@@ -161,6 +167,29 @@ func (rt *Runtime) Safe() bool { return rt.safe }
 
 // Counters returns the statistics sink shared with the space.
 func (rt *Runtime) Counters() *stats.Counters { return rt.c }
+
+// SetTracer attaches t as the runtime's event sink (nil detaches). If t has
+// no clock yet, the runtime's modelled cycle count becomes its timestamp
+// source, so events line up with the paper's cycle accounting. Tracing
+// charges no simulated cycles.
+func (rt *Runtime) SetTracer(t *trace.Tracer) {
+	rt.tracer = t
+	if t != nil {
+		c := rt.c
+		t.InitClock(func() uint64 { return c.TotalCycles() })
+	}
+}
+
+// Tracer returns the attached tracer, or nil.
+func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer }
+
+// regionID maps a region to its event id (-1 for nil).
+func regionID(r *Region) int32 {
+	if r == nil {
+		return -1
+	}
+	return r.id
+}
 
 // charge adds n instruction cycles to mode without touching memory.
 func (rt *Runtime) charge(mode stats.Mode, n uint64) {
@@ -269,6 +298,9 @@ func (rt *Runtime) NewRegion() *Region {
 	rt.space.Store(hdr+offStringAvail, mem.PageSize)
 
 	rt.c.RegionCreated()
+	if rt.tracer != nil {
+		rt.tracer.Emit(trace.Event{Kind: trace.KindRegionCreate, Region: r.id, Addr: hdr, Aux: -1})
+	}
 	return r
 }
 
@@ -339,6 +371,11 @@ func (rt *Runtime) Ralloc(r *Region, size int, cln CleanupID) Ptr {
 	r.bytes += uint64(data)
 	r.allocs++
 	rt.c.AddAlloc(int64(data))
+	if rt.tracer != nil {
+		rt.tracer.Emit(trace.Event{Kind: trace.KindRalloc, Region: r.id,
+			Addr: p + mem.WordSize, Size: int32(data), Aux: -1,
+			Site: rt.cleanups[cln-1].name})
+	}
 	return p + mem.WordSize
 }
 
@@ -365,6 +402,11 @@ func (rt *Runtime) RarrayAlloc(r *Region, n, elemSize int, cln CleanupID) Ptr {
 	r.bytes += uint64(data)
 	r.allocs++
 	rt.c.AddAlloc(int64(data))
+	if rt.tracer != nil {
+		rt.tracer.Emit(trace.Event{Kind: trace.KindRarrayAlloc, Region: r.id,
+			Addr: p + 3*mem.WordSize, Size: int32(data), Aux: int32(n),
+			Site: rt.cleanups[cln-1].name})
+	}
 	return p + 3*mem.WordSize
 }
 
@@ -383,6 +425,10 @@ func (rt *Runtime) RstrAlloc(r *Region, size int) Ptr {
 	r.bytes += uint64(data)
 	r.allocs++
 	rt.c.AddAlloc(int64(data))
+	if rt.tracer != nil {
+		rt.tracer.Emit(trace.Event{Kind: trace.KindRstrAlloc, Region: r.id,
+			Addr: p, Size: int32(data), Aux: -1})
+	}
 	return p
 }
 
@@ -424,6 +470,11 @@ func (rt *Runtime) DeleteRegion(r *Region) bool {
 		}
 		rt.space.SetMode(mode)
 		if rc != 0 {
+			rt.c.DeleteFails++
+			if rt.tracer != nil {
+				rt.tracer.Emit(trace.Event{Kind: trace.KindRegionDeleteFail,
+					Region: r.id, Aux: int32(rc)})
+			}
 			return false
 		}
 		rt.runCleanups(r)
@@ -445,6 +496,14 @@ func (rt *Runtime) DeleteRegion(r *Region) bool {
 
 	r.deleted = true
 	rt.c.RegionDeleted(r.bytes)
+	if rt.tracer != nil {
+		bytes := r.bytes
+		if bytes > 1<<31-1 {
+			bytes = 1<<31 - 1
+		}
+		rt.tracer.Emit(trace.Event{Kind: trace.KindRegionDelete, Region: r.id,
+			Size: int32(bytes), Aux: int32(r.allocs)})
+	}
 	return true
 }
 

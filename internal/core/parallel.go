@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+
+	"regions/internal/trace"
 )
 
 // This file implements the paper's parallel extension (Section 1):
@@ -30,6 +32,21 @@ type ParWorld struct {
 	mu      sync.Mutex
 	workers int
 	regions []*ParRegion
+
+	// tracer, when non-nil, receives region lifecycle and pointer-write
+	// events. Set it before any worker starts: the field is read without
+	// synchronization on the write fast path.
+	tracer *trace.Tracer
+}
+
+// SetTracer attaches t as the world's event sink (nil detaches). It must be
+// called before workers start issuing writes. ParWorld events carry no
+// cycle clock unless t already has one: the parallel extension is modelled
+// on Go values, outside the simulated machine.
+func (w *ParWorld) SetTracer(t *trace.Tracer) {
+	w.mu.Lock()
+	w.tracer = t
+	w.mu.Unlock()
 }
 
 // ParRegion is a region with one local reference count per worker.
@@ -61,6 +78,12 @@ func (w *ParWorld) NewParRegion() *ParRegion {
 	defer w.mu.Unlock()
 	r := &ParRegion{id: len(w.regions), local: make([]paddedCount, w.workers)}
 	w.regions = append(w.regions, r)
+	if w.tracer != nil {
+		// Emitted under the world lock, before the handle escapes: every
+		// later event naming this region has a larger Seq.
+		w.tracer.Emit(trace.Event{Kind: trace.KindParRegionCreate,
+			Region: int32(r.id), Aux: -1})
+	}
 	return r
 }
 
@@ -86,9 +109,21 @@ func (w *ParWorld) TryDelete(r *ParRegion) bool {
 		sum += r.local[i].n.Load()
 	}
 	if sum != 0 {
+		if w.tracer != nil {
+			aux := sum
+			if aux > 1<<31-1 {
+				aux = 1<<31 - 1
+			}
+			w.tracer.Emit(trace.Event{Kind: trace.KindParRegionDeleteFail,
+				Region: int32(r.id), Aux: int32(aux)})
+		}
 		return false
 	}
 	r.deleted.Store(true)
+	if w.tracer != nil {
+		w.tracer.Emit(trace.Event{Kind: trace.KindParRegionDelete,
+			Region: int32(r.id), Aux: -1})
+	}
 	return true
 }
 
@@ -128,11 +163,21 @@ func (s *ParSlot) Load() Ptr { return s.v.Load() }
 // for non-region pointers).
 func (wk *ParWorker) Write(slot *ParSlot, val Ptr, regionOf func(Ptr) *ParRegion) {
 	old := slot.v.Swap(val)
-	if r := regionOf(old); r != nil {
-		wk.adjust(r, -1)
+	rold := regionOf(old)
+	if rold != nil {
+		wk.adjust(rold, -1)
 	}
-	if r := regionOf(val); r != nil {
-		wk.adjust(r, +1)
+	rnew := regionOf(val)
+	if rnew != nil {
+		wk.adjust(rnew, +1)
+	}
+	if t := wk.world.tracer; t != nil {
+		ev := trace.Event{Kind: trace.KindParWrite, Aux: int32(wk.id), Region: -1}
+		if rnew != nil {
+			ev.Region = int32(rnew.id)
+		}
+		ev.Addr = val
+		t.Emit(ev)
 	}
 }
 

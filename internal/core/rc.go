@@ -3,6 +3,7 @@ package core
 import (
 	"regions/internal/mem"
 	"regions/internal/stats"
+	"regions/internal/trace"
 )
 
 // rcInc increments r's reference count. The count lives in the region's
@@ -56,6 +57,14 @@ func (rt *Runtime) StorePtr(slot, val Ptr) {
 	}
 	rt.space.Store(slot, val)
 	rt.space.SetMode(old)
+	if rt.tracer != nil {
+		kind := trace.KindBarrierRegion
+		if rnew != nil && rnew == ra {
+			kind = trace.KindBarrierElided
+		}
+		rt.tracer.Emit(trace.Event{Kind: kind, Addr: slot,
+			Region: regionID(rnew), Aux: regionID(rold)})
+	}
 }
 
 // StoreGlobalPtr implements *slot = val where slot is in global storage:
@@ -83,6 +92,10 @@ func (rt *Runtime) StoreGlobalPtr(slot, val Ptr) {
 	}
 	rt.space.Store(slot, val)
 	rt.space.SetMode(old)
+	if rt.tracer != nil {
+		rt.tracer.Emit(trace.Event{Kind: trace.KindBarrierGlobal, Addr: slot,
+			Region: regionID(rnew), Aux: regionID(rold)})
+	}
 }
 
 // StorePtrDynamic is the "more expensive runtime routine" the paper uses

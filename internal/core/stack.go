@@ -1,6 +1,9 @@
 package core
 
-import "regions/internal/stats"
+import (
+	"regions/internal/stats"
+	"regions/internal/trace"
+)
 
 // Frame is one shadow-stack frame: the set of live region-pointer local
 // variables of one activation, the information the paper's modified lcc
@@ -145,6 +148,10 @@ func (s *stack) scanForDelete() {
 		rt.c.SlotsScanned += uint64(len(f.slots))
 		s.countFrame(f, +1)
 		f.scanned = true
+		if rt.tracer != nil {
+			rt.tracer.Emit(trace.Event{Kind: trace.KindStackScan,
+				Region: -1, Size: int32(i), Aux: int32(len(f.slots))})
+		}
 	}
 	if s.hwm < len(s.frames)-1 {
 		s.hwm = len(s.frames) - 1
@@ -161,4 +168,8 @@ func (s *stack) unscan(f *Frame) {
 	rt.c.FramesUnscanned++
 	s.countFrame(f, -1)
 	f.scanned = false
+	if rt.tracer != nil {
+		rt.tracer.Emit(trace.Event{Kind: trace.KindStackUnscan,
+			Region: -1, Aux: int32(len(f.slots))})
+	}
 }

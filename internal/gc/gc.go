@@ -18,6 +18,7 @@ import (
 
 	"regions/internal/mem"
 	"regions/internal/stats"
+	"regions/internal/trace"
 )
 
 // Ptr is a simulated heap address.
@@ -66,6 +67,8 @@ type Collector struct {
 	pending      bool
 
 	work []Ptr // mark worklist (collector-private, like BW's mark stack)
+
+	tracer *trace.Tracer // nil unless event tracing is attached
 }
 
 // New creates a collector on sp.
@@ -88,6 +91,18 @@ func New(sp *mem.Space) *Collector {
 // typically the program's global segment.
 func (g *Collector) RegisterRoots(lo, hi Ptr) {
 	g.rootLo, g.rootHi = lo, hi
+}
+
+// SetTracer attaches t as the collector's event sink (nil detaches); each
+// collection then emits gc-mark-begin/end and gc-sweep-begin/end events. If
+// t has no clock yet, the run's modelled cycle count becomes its timestamp
+// source. Tracing charges no simulated cycles.
+func (g *Collector) SetTracer(t *trace.Tracer) {
+	g.tracer = t
+	if t != nil {
+		c := g.c
+		t.InitClock(func() uint64 { return c.TotalCycles() })
+	}
 }
 
 func (g *Collector) notePages(first Ptr, n int, class int16) {
@@ -221,8 +236,12 @@ func (g *Collector) Collect() {
 	defer g.sp.SetMode(old)
 	g.c.GCCollections++
 	g.c.Cycles[stats.ModeGC] += 50 // world stop/start overhead
+	ordinal := int32(g.c.GCCollections)
 
 	// Mark phase: conservative scan of frames and the global range.
+	if g.tracer != nil {
+		g.tracer.Emit(trace.Event{Kind: trace.KindGCMarkBegin, Region: -1, Aux: ordinal})
+	}
 	for _, f := range g.frames {
 		for _, v := range f.slots {
 			g.c.Cycles[stats.ModeGC]++
@@ -237,9 +256,21 @@ func (g *Collector) Collect() {
 		g.work = g.work[:len(g.work)-1]
 		g.scanObject(slot)
 	}
+	if g.tracer != nil {
+		g.tracer.Emit(trace.Event{Kind: trace.KindGCMarkEnd, Region: -1, Aux: ordinal})
+		g.tracer.Emit(trace.Event{Kind: trace.KindGCSweepBegin, Region: -1, Aux: ordinal})
+	}
 
 	g.sweep()
 	g.bytesSinceGC = 0
+	if g.tracer != nil {
+		live := g.liveAfterGC
+		if live > 1<<31-1 {
+			live = 1<<31 - 1
+		}
+		g.tracer.Emit(trace.Event{Kind: trace.KindGCSweepEnd, Region: -1,
+			Size: int32(live), Aux: ordinal})
+	}
 }
 
 // chunkOf maps an arbitrary word to the chunk containing it, or 0.

@@ -59,6 +59,7 @@ type Counters struct {
 	// Region statistics (Table 2).
 	RegionsCreated uint64
 	RegionsDeleted uint64
+	DeleteFails    uint64 // deleteregion calls refused (external refs remained)
 	LiveRegions    int64
 	MaxLiveRegions int64
 	MaxRegionBytes uint64 // largest region observed, program-requested bytes

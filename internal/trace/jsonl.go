@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonEvent is the wire form of an Event: one JSON object per line, kind as
+// its kebab-case name, unused fields omitted. This is the schema
+// docs/OBSERVABILITY.md documents.
+type jsonEvent struct {
+	Seq    uint64 `json:"seq"`
+	Cycle  uint64 `json:"cycle"`
+	Kind   string `json:"kind"`
+	Region *int32 `json:"region,omitempty"`
+	Addr   uint32 `json:"addr,omitempty"`
+	Size   int32  `json:"size,omitempty"`
+	Aux    *int32 `json:"aux,omitempty"`
+	Site   string `json:"site,omitempty"`
+}
+
+func toJSONEvent(ev Event) jsonEvent {
+	je := jsonEvent{
+		Seq:   ev.Seq,
+		Cycle: ev.Cycle,
+		Kind:  ev.Kind.String(),
+		Addr:  ev.Addr,
+		Size:  ev.Size,
+		Site:  ev.Site,
+	}
+	if ev.Region >= 0 {
+		r := ev.Region
+		je.Region = &r
+	}
+	if ev.Aux >= 0 {
+		a := ev.Aux
+		je.Aux = &a
+	}
+	return je
+}
+
+// WriteJSONL writes events as JSON Lines: one event object per line,
+// oldest first.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(toJSONEvent(ev)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSON Lines trace back into events, the inverse of
+// WriteJSONL (for tests and offline analysis of saved traces).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	names := map[string]Kind{}
+	for k := Kind(1); k < numKinds; k++ {
+		names[k.String()] = k
+	}
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var je jsonEvent
+		if err := dec.Decode(&je); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, err
+		}
+		k, ok := names[je.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: unknown event kind %q", je.Kind)
+		}
+		ev := Event{
+			Seq:    je.Seq,
+			Cycle:  je.Cycle,
+			Kind:   k,
+			Region: -1,
+			Addr:   je.Addr,
+			Size:   je.Size,
+			Aux:    -1,
+			Site:   je.Site,
+		}
+		if je.Region != nil {
+			ev.Region = *je.Region
+		}
+		if je.Aux != nil {
+			ev.Aux = *je.Aux
+		}
+		out = append(out, ev)
+	}
+}

@@ -1,0 +1,258 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// RegionProfile is one region's lifetime folded out of the event stream.
+type RegionProfile struct {
+	ID    int32
+	Birth uint64 // cycle of region-create (0 if the create was dropped)
+	Death uint64 // cycle of region-delete; 0 while the region lives
+	// BirthSeen is false when the create event fell out of the ring, so
+	// Birth is unknown rather than cycle 0.
+	BirthSeen bool
+	Deleted   bool
+	// DeleteFails counts refused deleteregion calls: each one is a moment
+	// the program wanted the region dead but external references remained.
+	DeleteFails int
+	Allocs      int
+	Bytes       uint64
+	// FailRC is the reference count reported by the most recent failed
+	// deletion, i.e. how many external references blocked it.
+	FailRC int32
+}
+
+// Span returns the region's observed lifetime in cycles (0 if unknown).
+func (r *RegionProfile) Span() uint64 {
+	if !r.Deleted || !r.BirthSeen || r.Death < r.Birth {
+		return 0
+	}
+	return r.Death - r.Birth
+}
+
+// Profile is the analysis of one event stream: per-region lifetimes plus
+// stream-wide peaks and totals.
+type Profile struct {
+	Events  int    // events analyzed
+	Dropped uint64 // events lost to ring wraparound before analysis
+
+	Created, Deleted, Leaked int
+	DeleteFails              int
+
+	// Live high-water marks observed inside the event window. Objects die
+	// only with their region, so live objects/bytes fall exactly at
+	// region-delete events.
+	PeakLiveRegions int
+	PeakLiveObjects int
+	PeakLiveBytes   uint64
+
+	FirstCycle, LastCycle uint64
+
+	Barriers           struct{ Global, Region, Elided uint64 }
+	Scans, Unscans     uint64
+	Cleanups, Destroys uint64
+	GCCollections      uint64
+
+	Regions []*RegionProfile // sorted by id
+}
+
+// BuildProfile folds events (oldest first, as returned by Tracer.Events)
+// into a Profile. dropped is the tracer's Dropped count; when nonzero the
+// profile is a window, not the whole run, and leak candidates are only
+// "not deleted within the window".
+func BuildProfile(events []Event, dropped uint64) *Profile {
+	p := &Profile{Events: len(events), Dropped: dropped}
+	byID := map[int32]*RegionProfile{}
+	region := func(id int32) *RegionProfile {
+		r, ok := byID[id]
+		if !ok {
+			r = &RegionProfile{ID: id}
+			byID[id] = r
+		}
+		return r
+	}
+
+	liveRegions, liveObjects := 0, 0
+	var liveBytes uint64
+	for i, ev := range events {
+		if i == 0 {
+			p.FirstCycle = ev.Cycle
+		}
+		if ev.Cycle > p.LastCycle {
+			p.LastCycle = ev.Cycle
+		}
+		switch ev.Kind {
+		case KindRegionCreate:
+			r := region(ev.Region)
+			r.Birth, r.BirthSeen = ev.Cycle, true
+			p.Created++
+			liveRegions++
+			if liveRegions > p.PeakLiveRegions {
+				p.PeakLiveRegions = liveRegions
+			}
+		case KindRegionDelete:
+			r := region(ev.Region)
+			r.Death, r.Deleted = ev.Cycle, true
+			p.Deleted++
+			if liveRegions > 0 {
+				liveRegions--
+			}
+			liveObjects -= r.Allocs
+			liveBytes -= r.Bytes
+		case KindRegionDeleteFail:
+			r := region(ev.Region)
+			r.DeleteFails++
+			r.FailRC = ev.Aux
+			p.DeleteFails++
+		case KindRalloc, KindRarrayAlloc, KindRstrAlloc:
+			r := region(ev.Region)
+			r.Allocs++
+			r.Bytes += uint64(ev.Size)
+			liveObjects++
+			liveBytes += uint64(ev.Size)
+			if liveObjects > p.PeakLiveObjects {
+				p.PeakLiveObjects = liveObjects
+			}
+			if liveBytes > p.PeakLiveBytes {
+				p.PeakLiveBytes = liveBytes
+			}
+		case KindBarrierGlobal:
+			p.Barriers.Global++
+		case KindBarrierRegion:
+			p.Barriers.Region++
+		case KindBarrierElided:
+			p.Barriers.Elided++
+		case KindStackScan:
+			p.Scans++
+		case KindStackUnscan:
+			p.Unscans++
+		case KindCleanup:
+			p.Cleanups++
+		case KindDestroy:
+			p.Destroys++
+		case KindGCMarkBegin:
+			p.GCCollections++
+		case KindParRegionCreate:
+			// Par regions have their own id space; profiles mix the two
+			// only if one tracer is attached to both a Runtime and a
+			// ParWorld, which the analysis does not support.
+			r := region(ev.Region)
+			r.Birth, r.BirthSeen = ev.Cycle, true
+			p.Created++
+			liveRegions++
+			if liveRegions > p.PeakLiveRegions {
+				p.PeakLiveRegions = liveRegions
+			}
+		case KindParRegionDelete:
+			r := region(ev.Region)
+			r.Death, r.Deleted = ev.Cycle, true
+			p.Deleted++
+			if liveRegions > 0 {
+				liveRegions--
+			}
+		case KindParRegionDeleteFail:
+			r := region(ev.Region)
+			r.DeleteFails++
+			p.DeleteFails++
+		}
+	}
+
+	p.Regions = make([]*RegionProfile, 0, len(byID))
+	for _, r := range byID {
+		p.Regions = append(p.Regions, r)
+		if !r.Deleted {
+			p.Leaked++
+		}
+	}
+	sort.Slice(p.Regions, func(i, j int) bool { return p.Regions[i].ID < p.Regions[j].ID })
+	return p
+}
+
+// LeakCandidates returns the regions created but never deleted within the
+// event window, sorted by bytes descending — the first places to look when
+// a run's memory grows without bound.
+func (p *Profile) LeakCandidates() []*RegionProfile {
+	var out []*RegionProfile
+	for _, r := range p.Regions {
+		if !r.Deleted {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// WriteReport renders the profile as the text report cmd/regiontrace
+// prints: stream totals, peaks, the top regions by bytes, and leak
+// candidates. topN bounds the per-region table (0 means 10).
+func (p *Profile) WriteReport(w io.Writer, topN int) {
+	if topN <= 0 {
+		topN = 10
+	}
+	fmt.Fprintf(w, "events analyzed: %d (dropped by ring: %d)\n", p.Events, p.Dropped)
+	fmt.Fprintf(w, "cycle window: %d .. %d\n", p.FirstCycle, p.LastCycle)
+	fmt.Fprintf(w, "regions: %d created, %d deleted, %d not deleted; %d failed deletes\n",
+		p.Created, p.Deleted, p.Leaked, p.DeleteFails)
+	fmt.Fprintf(w, "peaks: %d live regions, %d live objects, %d live bytes\n",
+		p.PeakLiveRegions, p.PeakLiveObjects, p.PeakLiveBytes)
+	fmt.Fprintf(w, "barriers: %d global, %d region, %d sameregion-elided\n",
+		p.Barriers.Global, p.Barriers.Region, p.Barriers.Elided)
+	fmt.Fprintf(w, "stack: %d frame scans, %d unscans; cleanups: %d objects, %d destroys; gc collections: %d\n",
+		p.Scans, p.Unscans, p.Cleanups, p.Destroys, p.GCCollections)
+
+	top := append([]*RegionProfile(nil), p.Regions...)
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].Bytes != top[j].Bytes {
+			return top[i].Bytes > top[j].Bytes
+		}
+		return top[i].ID < top[j].ID
+	})
+	if len(top) > topN {
+		top = top[:topN]
+	}
+	fmt.Fprintf(w, "\ntop %d regions by bytes:\n", len(top))
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "region\tbirth\tdeath\tspan\tallocs\tbytes\tfails\tstate\t")
+	for _, r := range top {
+		birth, death, span := "?", "-", "-"
+		if r.BirthSeen {
+			birth = fmt.Sprint(r.Birth)
+		}
+		state := "live"
+		if r.Deleted {
+			death = fmt.Sprint(r.Death)
+			span = fmt.Sprint(r.Span())
+			state = "deleted"
+		}
+		fmt.Fprintf(tw, "#%d\t%s\t%s\t%s\t%d\t%d\t%d\t%s\t\n",
+			r.ID, birth, death, span, r.Allocs, r.Bytes, r.DeleteFails, state)
+	}
+	tw.Flush()
+
+	leaks := p.LeakCandidates()
+	if len(leaks) == 0 {
+		fmt.Fprintln(w, "\nleak candidates: none")
+		return
+	}
+	fmt.Fprintf(w, "\nleak candidates (created, never deleted in window): %d\n", len(leaks))
+	n := len(leaks)
+	if n > topN {
+		n = topN
+	}
+	for _, r := range leaks[:n] {
+		fmt.Fprintf(w, "  region#%d: %d allocs, %d bytes, %d failed deletes\n",
+			r.ID, r.Allocs, r.Bytes, r.DeleteFails)
+	}
+	if len(leaks) > n {
+		fmt.Fprintf(w, "  ... and %d more\n", len(leaks)-n)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"regions/internal/core"
 	"regions/internal/mem"
 	"regions/internal/stats"
+	"regions/internal/trace"
 )
 
 // Ptr is a pointer into a System's simulated heap; 0 is the nil pointer.
@@ -212,3 +213,45 @@ const (
 // region-debugging aid the paper wished for when hunting the stale pointers
 // that make DeleteRegion fail. It charges no simulated cycles.
 func (s *System) Referrers(r *Region) []Ref { return s.rt.Referrers(r) }
+
+// --- observability --------------------------------------------------------------
+
+// Tracer is a fixed-capacity ring buffer of runtime events; Event is one
+// recorded event and EventKind its type. The event schema, the sinks
+// (JSONL, Chrome trace_event), and the lifetime analysis are documented in
+// docs/OBSERVABILITY.md and driven end to end by cmd/regiontrace.
+type (
+	Tracer    = trace.Tracer
+	Event     = trace.Event
+	EventKind = trace.Kind
+)
+
+// Event kinds, re-exported for filtering trace output.
+const (
+	EvRegionCreate     = trace.KindRegionCreate
+	EvRegionDelete     = trace.KindRegionDelete
+	EvRegionDeleteFail = trace.KindRegionDeleteFail
+	EvRalloc           = trace.KindRalloc
+	EvRarrayAlloc      = trace.KindRarrayAlloc
+	EvRstrAlloc        = trace.KindRstrAlloc
+	EvBarrierGlobal    = trace.KindBarrierGlobal
+	EvBarrierRegion    = trace.KindBarrierRegion
+	EvBarrierElided    = trace.KindBarrierElided
+	EvStackScan        = trace.KindStackScan
+	EvStackUnscan      = trace.KindStackUnscan
+	EvCleanup          = trace.KindCleanup
+	EvDestroy          = trace.KindDestroy
+)
+
+// NewTracer returns a tracer holding the last capacity events (a default
+// capacity is used when capacity <= 0).
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// SetTracer attaches t to the system: every region operation then emits one
+// typed event, timestamped with the system's modelled cycle count. Pass nil
+// to detach. A system without a tracer pays one nil check per operation and
+// charges no simulated cycles either way.
+func (s *System) SetTracer(t *Tracer) { s.rt.SetTracer(t) }
+
+// Trace returns the attached tracer, or nil.
+func (s *System) Trace() *Tracer { return s.rt.Tracer() }
