@@ -31,6 +31,21 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate every selection before any measurement runs: a typo'd flag
+	// should fail in milliseconds, not after the paper-sized workloads.
+	if *scaleDiv < 1 {
+		fmt.Fprintf(os.Stderr, "regionbench: -scale-div must be at least 1, got %d\n", *scaleDiv)
+		os.Exit(2)
+	}
+	if *table < 0 || *table > 3 {
+		fmt.Fprintf(os.Stderr, "regionbench: tables are 1-3, got %d\n", *table)
+		os.Exit(2)
+	}
+	if *figure != 0 && (*figure < 8 || *figure > 11) {
+		fmt.Fprintf(os.Stderr, "regionbench: figures are 8-11, got %d\n", *figure)
+		os.Exit(2)
+	}
+
 	s := bench.NewSuite(*scaleDiv)
 	w := os.Stdout
 
@@ -63,19 +78,14 @@ func main() {
 		}
 	}
 	switch *table {
-	case 0:
 	case 1:
 		bench.Table1(w)
 	case 2:
 		bench.Table2(w, s)
 	case 3:
 		bench.Table3(w, s)
-	default:
-		fmt.Fprintln(os.Stderr, "regionbench: tables are 1-3")
-		os.Exit(2)
 	}
 	switch *figure {
-	case 0:
 	case 8:
 		bench.Figure8(w, s)
 	case 9:
@@ -84,8 +94,5 @@ func main() {
 		bench.Figure10(w, s)
 	case 11:
 		bench.Figure11(w, s)
-	default:
-		fmt.Fprintln(os.Stderr, "regionbench: figures are 8-11")
-		os.Exit(2)
 	}
 }

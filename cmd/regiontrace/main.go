@@ -39,6 +39,14 @@ func main() {
 	)
 	flag.Parse()
 
+	if *scale < 1 {
+		fmt.Fprintf(os.Stderr, "regiontrace: -scale must be at least 1, got %d\n", *scale)
+		os.Exit(2)
+	}
+	if *events < 1 {
+		fmt.Fprintf(os.Stderr, "regiontrace: -events must be at least 1, got %d\n", *events)
+		os.Exit(2)
+	}
 	var chosen *appkit.App
 	for _, a := range bench.Apps() {
 		if a.Name == *app {
@@ -55,6 +63,11 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 		os.Exit(2)
 	}
+
+	// Open output files before running the workload, so a bad path fails in
+	// milliseconds instead of after a long traced run.
+	jsonlFile := createFile(*jsonl)
+	chromeFile := createFile(*chrome)
 
 	t := trace.New(*events)
 	cfg := appkit.Config{Tracer: t}
@@ -78,12 +91,12 @@ func main() {
 	}
 
 	evs := t.Events()
-	if *jsonl != "" {
-		writeFile(*jsonl, func(f *os.File) error { return trace.WriteJSONL(f, evs) })
+	if jsonlFile != nil {
+		writeAndClose(jsonlFile, func(f *os.File) error { return trace.WriteJSONL(f, evs) })
 		fmt.Printf("wrote %d events to %s\n", len(evs), *jsonl)
 	}
-	if *chrome != "" {
-		writeFile(*chrome, func(f *os.File) error { return trace.WriteChromeTrace(f, evs) })
+	if chromeFile != nil {
+		writeAndClose(chromeFile, func(f *os.File) error { return trace.WriteChromeTrace(f, evs) })
 		fmt.Printf("wrote Chrome timeline to %s\n", *chrome)
 	}
 
@@ -91,13 +104,22 @@ func main() {
 	trace.BuildProfile(evs, t.Dropped()).WriteReport(os.Stdout, *top)
 }
 
-func writeFile(path string, write func(*os.File) error) {
+// createFile opens path for writing, or exits with a clear message; "" is
+// no file.
+func createFile(path string) *os.File {
+	if path == "" {
+		return nil
+	}
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "regiontrace: %v\n", err)
+		fmt.Fprintf(os.Stderr, "regiontrace: cannot write output: %v\n", err)
 		os.Exit(1)
 	}
-	err = write(f)
+	return f
+}
+
+func writeAndClose(f *os.File, write func(*os.File) error) {
+	err := write(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

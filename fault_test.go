@@ -1,0 +1,101 @@
+package regions_test
+
+import (
+	"errors"
+	"testing"
+
+	"regions"
+)
+
+// TestFaultInjectionPublicAPI is the end-to-end robustness smoke test: a
+// fault plan installed through the public API makes allocations fail with
+// typed errors, the heap verifies throughout, and service resumes when the
+// plan is cleared.
+func TestFaultInjectionPublicAPI(t *testing.T) {
+	sys := regions.New()
+	sys.SetFaultPlan(&regions.FaultPlan{FailProb: 0.5, Seed: 7})
+
+	cln := sys.SizeCleanup(16)
+	var live []*regions.Region
+	ooms := 0
+	for i := 0; i < 40; i++ {
+		r, err := sys.TryNewRegion()
+		if err != nil {
+			if !errors.Is(err, regions.ErrOutOfMemory) {
+				t.Fatalf("untyped error from TryNewRegion: %v", err)
+			}
+			var f *regions.Fault
+			if !errors.As(err, &f) || f.Kind != regions.FaultOOM {
+				t.Fatalf("error %v is not a FaultOOM regions.Fault", err)
+			}
+			ooms++
+			continue
+		}
+		live = append(live, r)
+		if _, err := sys.TryRalloc(r, 16, cln); err != nil {
+			ooms++
+		}
+		if _, err := sys.TryRarrayAlloc(r, 200, 16, cln); err != nil {
+			ooms++
+		}
+		if _, err := sys.TryRstrAlloc(r, 5000); err != nil {
+			ooms++
+		}
+		if err := sys.Verify(); err != nil {
+			t.Fatalf("Verify after round %d: %v", i, err)
+		}
+	}
+	if ooms == 0 {
+		t.Fatal("plan injected no failures; test is vacuous")
+	}
+
+	sys.SetFaultPlan(nil)
+	for _, r := range live {
+		if sys.Ralloc(r, 16, cln) == 0 {
+			t.Fatal("allocation failed after the plan was cleared")
+		}
+		if !sys.DeleteRegion(r) {
+			t.Fatal("delete failed after the plan was cleared")
+		}
+	}
+	if err := sys.Verify(); err != nil {
+		t.Fatalf("Verify after drain: %v", err)
+	}
+}
+
+// TestPageLimitPublicAPI checks the ulimit-style cap and the typed panic
+// of the paper-shaped methods.
+func TestPageLimitPublicAPI(t *testing.T) {
+	sys := regions.New()
+	sys.SetPageLimit(int(sys.MappedBytes()/4096) + 1)
+	r := sys.NewRegion() // uses the one remaining page
+
+	defer func() {
+		f, ok := recover().(*regions.Fault)
+		if !ok {
+			t.Fatalf("expected a *regions.Fault panic, got %v", f)
+		}
+		if f.Kind != regions.FaultOOM || !errors.Is(f, regions.ErrOutOfMemory) {
+			t.Fatalf("fault %v is not a typed OOM", f)
+		}
+	}()
+	sys.RstrAlloc(r, 3*4096) // must panic: past the page limit
+}
+
+// TestFaultEventsReachTracer checks EvFault arrives through the public
+// tracing surface.
+func TestFaultEventsReachTracer(t *testing.T) {
+	sys := regions.New()
+	tr := regions.NewTracer(64)
+	sys.SetTracer(tr)
+	sys.SetFaultPlan(&regions.FaultPlan{FailNth: 1})
+	if _, err := sys.TryNewRegion(); err == nil {
+		t.Fatal("expected OOM")
+	}
+	for _, ev := range tr.Events() {
+		if ev.Kind == regions.EvFault {
+			return
+		}
+	}
+	t.Fatal("no EvFault event in the trace")
+}

@@ -277,6 +277,9 @@ func (e *mallocEnv) PopFrame()             { e.fs.pop() }
 
 func (e *mallocEnv) Alloc(size int) Ptr {
 	p := e.a.Alloc(size)
+	if p == 0 {
+		return 0 // OS refused memory; nothing was allocated
+	}
 	rounded := int32((size + 3) &^ 3)
 	e.Counters().AddAlloc(int64(rounded))
 	e.sizes[p] = rounded
@@ -309,6 +312,9 @@ func (e *gcEnv) Safepoint()            { e.g.Safepoint() }
 
 func (e *gcEnv) Alloc(size int) Ptr {
 	p := e.g.Alloc(size)
+	if p == 0 {
+		return 0 // OS refused memory even after an emergency collection
+	}
 	e.Counters().AddAlloc(int64((size + 3) &^ 3))
 	return p
 }

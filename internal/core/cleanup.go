@@ -74,7 +74,7 @@ func (rt *Runtime) encodeCleanup(cln CleanupID, array bool) Word {
 // count unless the pointer is nil, points outside any region, or points back
 // into the region being deleted (sameregion pointers were never counted).
 func (rt *Runtime) Destroy(p Ptr) {
-	if !rt.safe {
+	if !rt.safe || rt.verifying {
 		return
 	}
 	rt.c.DestroyCalls++
@@ -87,7 +87,8 @@ func (rt *Runtime) Destroy(p Ptr) {
 		return
 	}
 	if reg.deleted {
-		panic("core: Destroy found a pointer into a deleted region")
+		panic(rt.fault(FaultDanglingDestroy, p, reg.id,
+			"Destroy found a pointer into a deleted region", nil))
 	}
 	rt.rcDec(reg)
 	if rt.tracer != nil {
@@ -126,7 +127,8 @@ func (rt *Runtime) runCleanups(r *Region) {
 			rt.charge(stats.ModeCleanup, 3)
 			id := CleanupID(hdr &^ arrayFlag)
 			if id <= 0 || int(id) > len(rt.cleanups) {
-				panic(fmt.Sprintf("core: corrupt object header %#x at %#x", hdr, deleting))
+				panic(rt.fault(FaultCorruptHeader, deleting, r.id,
+					fmt.Sprintf("corrupt object header %#x", hdr), nil))
 			}
 			fn := rt.cleanups[id-1].fn
 			if hdr&arrayFlag != 0 {

@@ -107,6 +107,10 @@ type Options struct {
 	// pays a barrier and deletion needs no stack scan. This is the
 	// expensive design the paper's deferred scheme exists to avoid.
 	EagerLocals bool
+	// NoPoison disables the 0xdeadbeef fill of freed pages. Poisoning is
+	// uncharged (freed memory is outside the paper's machine model) but
+	// makes use-after-delete detectable by Verify and by dangling reads.
+	NoPoison bool
 }
 
 // Runtime is one region-based memory management instance over one simulated
@@ -131,8 +135,16 @@ type Runtime struct {
 	globalSeg  Ptr // bump segment for global region-pointer variables
 	globalNext Ptr
 	globalEnd  Ptr
+	// globalRanges records the used extent [start, end) of every retired
+	// global segment, so Verify and Referrers can walk all global storage,
+	// not just the current segment.
+	globalRanges [][2]Ptr
 
 	deleting *Region // region currently being cleaned up, for Destroy
+
+	// verifying makes Destroy an immediate no-op so Verify can dry-run
+	// cleanup functions to measure object extents without touching counts.
+	verifying bool
 
 	// tracer, when non-nil, receives one event per runtime operation (see
 	// internal/trace and docs/OBSERVABILITY.md). Every emission site is
@@ -209,9 +221,10 @@ func (rt *Runtime) notePages(first Ptr, n int, id int32) {
 	}
 }
 
-// acquirePages returns n contiguous zeroed pages owned by region id.
-// Single pages come from the free page list; freed multi-page spans are
-// reused for allocations of the same page count.
+// acquirePages returns n contiguous zeroed pages owned by region id, or 0
+// when the free lists cannot satisfy the request and the simulated OS
+// refuses to map fresh pages. Single pages come from the free page list;
+// freed multi-page spans are reused for allocations of the same page count.
 func (rt *Runtime) acquirePages(n int, id int32) Ptr {
 	rt.charge(stats.ModeAlloc, 2) // list manipulation
 	if n == 1 && len(rt.freePages) > 0 {
@@ -231,15 +244,26 @@ func (rt *Runtime) acquirePages(n int, id int32) Ptr {
 		return p
 	}
 	p := rt.space.MapPages(n)
+	if p == 0 {
+		return 0
+	}
 	rt.notePages(p, n, id)
 	return p
 }
 
 // releaseEntry returns a page-list entry to the free lists and clears its
-// region ownership.
+// region ownership. Unless Options.NoPoison is set, the freed pages are
+// filled with mem.PoisonWord (uncharged — freed memory is outside the
+// machine model) so dangling reads are unmistakable and Verify can detect
+// stray writes into free pages; reuse paths re-zero before handing out.
 func (rt *Runtime) releaseEntry(first Ptr, n int) {
 	rt.charge(stats.ModeFree, uint64(1+n))
 	rt.notePages(first, n, -1)
+	if !rt.opts.NoPoison {
+		for i := 0; i < n; i++ {
+			rt.space.PoisonPageFree(first + Ptr(i)<<mem.PageShift)
+		}
+	}
 	if n > 1 {
 		if rt.freeSpans == nil {
 			rt.freeSpans = map[int][]Ptr{}
@@ -273,15 +297,33 @@ func (rt *Runtime) RegionOf(p Ptr) *Region {
 
 // NewRegion creates an empty region (the paper's newregion). The region
 // structure is stored in the region's own first page at a colored offset.
+// NewRegion panics with a *Fault if the simulated OS refuses the region's
+// first page; TryNewRegion is the graceful variant.
 func (rt *Runtime) NewRegion() *Region {
+	r, err := rt.TryNewRegion()
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// TryNewRegion creates an empty region, returning a *Fault (kind FaultOOM,
+// wrapping *mem.OOMError) instead of a region when the simulated OS refuses
+// the first page. On failure the runtime is unchanged: no region id is
+// consumed and no page ownership is recorded.
+func (rt *Runtime) TryNewRegion() (*Region, error) {
 	old := rt.space.SetMode(stats.ModeAlloc)
 	defer rt.space.SetMode(old)
 	rt.charge(stats.ModeAlloc, 3)
 
-	r := &Region{rt: rt, id: int32(len(rt.regions))}
+	id := int32(len(rt.regions))
+	page := rt.acquirePages(1, id)
+	if page == 0 {
+		return nil, rt.oomFault("newregion", id)
+	}
+	r := &Region{rt: rt, id: id}
 	rt.regions = append(rt.regions, r)
 
-	page := rt.acquirePages(1, r.id)
 	color := Ptr(rt.colorSeq*colorStep) % (colorMax + colorStep)
 	if rt.opts.NoColoring {
 		color = 0
@@ -301,13 +343,15 @@ func (rt *Runtime) NewRegion() *Region {
 	if rt.tracer != nil {
 		rt.tracer.Emit(trace.Event{Kind: trace.KindRegionCreate, Region: r.id, Addr: hdr, Aux: -1})
 	}
-	return r
+	return r, nil
 }
 
 func align4(n int) int { return (n + 3) &^ 3 }
 
 // bump allocates total bytes from the allocator whose fields are at
-// hdr+firstOff/availOff, growing the page list as needed.
+// hdr+firstOff/availOff, growing the page list as needed. It returns 0 when
+// the simulated OS refuses the pages; the failure path touches no header
+// field or page link, so the region stays exactly as it was.
 func (rt *Runtime) bump(r *Region, firstOff, availOff Ptr, total int) Ptr {
 	hdr := r.hdr
 	avail := rt.space.Load(hdr + availOff)
@@ -323,6 +367,9 @@ func (rt *Runtime) bump(r *Region, firstOff, availOff Ptr, total int) Ptr {
 	if npages == 1 {
 		// New head page; allocation continues from it.
 		page := rt.acquirePages(1, r.id)
+		if page == 0 {
+			return 0
+		}
 		rt.space.Store(page+pageLink, first)
 		rt.space.Store(hdr+firstOff, page)
 		rt.space.Store(hdr+availOff, mem.WordSize+Ptr(total))
@@ -332,6 +379,9 @@ func (rt *Runtime) bump(r *Region, firstOff, availOff Ptr, total int) Ptr {
 	// link it behind the current head so small allocations keep filling the
 	// head page's remaining space.
 	span := rt.acquirePages(npages, r.id)
+	if span == 0 {
+		return 0
+	}
 	if first == 0 {
 		rt.space.Store(span+pageLink, Ptr(npages-1))
 		rt.space.Store(hdr+firstOff, span)
@@ -351,21 +401,37 @@ func (rt *Runtime) checkLive(r *Region) {
 		panic("core: nil region")
 	}
 	if r.deleted {
-		panic(errDeleted)
+		panic(rt.fault(FaultDeletedRegion, r.hdr, r.id, errDeleted, nil))
 	}
 }
 
 // Ralloc allocates size bytes of cleared memory with the given cleanup in
 // region r (the paper's ralloc). One word of bookkeeping precedes the data.
+// Ralloc panics with a *Fault on OOM; TryRalloc is the graceful variant.
 func (rt *Runtime) Ralloc(r *Region, size int, cln CleanupID) Ptr {
+	p, err := rt.TryRalloc(r, size, cln)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TryRalloc is Ralloc returning a *Fault (kind FaultOOM) instead of
+// panicking when the simulated OS refuses pages. On failure the region is
+// unchanged.
+func (rt *Runtime) TryRalloc(r *Region, size int, cln CleanupID) (Ptr, error) {
 	rt.checkLive(r)
+	hdr := rt.encodeCleanup(cln, false)
 	old := rt.space.SetMode(stats.ModeAlloc)
 	defer rt.space.SetMode(old)
 	rt.charge(stats.ModeAlloc, 4)
 
 	data := align4(size)
 	p := rt.bump(r, offNormalFirst, offNormalAvail, data+mem.WordSize)
-	rt.space.Store(p, rt.encodeCleanup(cln, false))
+	if p == 0 {
+		return 0, rt.oomFault("ralloc", r.id)
+	}
+	rt.space.Store(p, hdr)
 	rt.space.ZeroRange(p+mem.WordSize, data)
 
 	r.bytes += uint64(data)
@@ -376,17 +442,31 @@ func (rt *Runtime) Ralloc(r *Region, size int, cln CleanupID) Ptr {
 			Addr: p + mem.WordSize, Size: int32(data), Aux: -1,
 			Site: rt.cleanups[cln-1].name})
 	}
-	return p + mem.WordSize
+	return p + mem.WordSize, nil
 }
 
 // RarrayAlloc allocates a cleared array of n elements of elemSize bytes in
 // region r (the paper's rarrayalloc). Three words of bookkeeping — cleanup,
 // count, element size — precede the data, the paper's twelve bytes.
+// RarrayAlloc panics with a *Fault on OOM; TryRarrayAlloc is the graceful
+// variant.
 func (rt *Runtime) RarrayAlloc(r *Region, n, elemSize int, cln CleanupID) Ptr {
+	p, err := rt.TryRarrayAlloc(r, n, elemSize, cln)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TryRarrayAlloc is RarrayAlloc returning a *Fault (kind FaultOOM) instead
+// of panicking when the simulated OS refuses pages. On failure the region is
+// unchanged.
+func (rt *Runtime) TryRarrayAlloc(r *Region, n, elemSize int, cln CleanupID) (Ptr, error) {
 	rt.checkLive(r)
 	if n < 0 || elemSize < 0 {
 		panic("core: negative array allocation")
 	}
+	hdr := rt.encodeCleanup(cln, true)
 	old := rt.space.SetMode(stats.ModeAlloc)
 	defer rt.space.SetMode(old)
 	rt.charge(stats.ModeAlloc, 5)
@@ -394,7 +474,10 @@ func (rt *Runtime) RarrayAlloc(r *Region, n, elemSize int, cln CleanupID) Ptr {
 	esz := align4(elemSize)
 	data := esz * n
 	p := rt.bump(r, offNormalFirst, offNormalAvail, data+3*mem.WordSize)
-	rt.space.Store(p, rt.encodeCleanup(cln, true))
+	if p == 0 {
+		return 0, rt.oomFault("rarrayalloc", r.id)
+	}
+	rt.space.Store(p, hdr)
 	rt.space.Store(p+4, Ptr(n))
 	rt.space.Store(p+8, Ptr(esz))
 	rt.space.ZeroRange(p+12, data)
@@ -407,13 +490,25 @@ func (rt *Runtime) RarrayAlloc(r *Region, n, elemSize int, cln CleanupID) Ptr {
 			Addr: p + 3*mem.WordSize, Size: int32(data), Aux: int32(n),
 			Site: rt.cleanups[cln-1].name})
 	}
-	return p + 3*mem.WordSize
+	return p + 3*mem.WordSize, nil
 }
 
 // RstrAlloc allocates size bytes of region-pointer-free memory in region r
 // (the paper's rstralloc). The memory is not cleared, carries no
-// bookkeeping, and is never scanned at deletion.
+// bookkeeping, and is never scanned at deletion. RstrAlloc panics with a
+// *Fault on OOM; TryRstrAlloc is the graceful variant.
 func (rt *Runtime) RstrAlloc(r *Region, size int) Ptr {
+	p, err := rt.TryRstrAlloc(r, size)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TryRstrAlloc is RstrAlloc returning a *Fault (kind FaultOOM) instead of
+// panicking when the simulated OS refuses pages. On failure the region is
+// unchanged.
+func (rt *Runtime) TryRstrAlloc(r *Region, size int) (Ptr, error) {
 	rt.checkLive(r)
 	old := rt.space.SetMode(stats.ModeAlloc)
 	defer rt.space.SetMode(old)
@@ -421,6 +516,9 @@ func (rt *Runtime) RstrAlloc(r *Region, size int) Ptr {
 
 	data := align4(size)
 	p := rt.bump(r, offStringFirst, offStringAvail, data)
+	if p == 0 {
+		return 0, rt.oomFault("rstralloc", r.id)
+	}
 
 	r.bytes += uint64(data)
 	r.allocs++
@@ -429,7 +527,7 @@ func (rt *Runtime) RstrAlloc(r *Region, size int) Ptr {
 		rt.tracer.Emit(trace.Event{Kind: trace.KindRstrAlloc, Region: r.id,
 			Addr: p, Size: int32(data), Aux: -1})
 	}
-	return p
+	return p, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -442,8 +540,9 @@ func (rt *Runtime) RstrAlloc(r *Region, size int) Ptr {
 // DeleteRegion a failing no-op. On success the region's cleanups run and all
 // its pages return to the free page list.
 //
-// Deleting an already-deleted region panics: the paper's API nulls the
-// caller's handle on success, which Go handles cannot express.
+// Deleting an already-deleted region panics with a *Fault of kind
+// FaultDeletedRegion: the paper's API nulls the caller's handle on success,
+// which Go handles cannot express.
 func (rt *Runtime) DeleteRegion(r *Region) bool {
 	rt.checkLive(r)
 
@@ -480,10 +579,12 @@ func (rt *Runtime) DeleteRegion(r *Region) bool {
 		rt.runCleanups(r)
 	}
 
-	// Return every page-list entry of both allocators to the free list.
+	// Return every page-list entry of both allocators to the free list. Both
+	// list heads are read before anything is released: the region header
+	// lives on the normal list's home page, and releasing poisons it.
 	old := rt.space.SetMode(stats.ModeFree)
-	for _, firstOff := range []Ptr{offNormalFirst, offStringFirst} {
-		entry := rt.space.Load(r.hdr + firstOff)
+	heads := [2]Ptr{rt.space.Load(r.hdr + offNormalFirst), rt.space.Load(r.hdr + offStringFirst)}
+	for _, entry := range heads {
 		for entry != 0 {
 			link := rt.space.Load(entry + pageLink)
 			next := link &^ Ptr(mem.PageSize-1)

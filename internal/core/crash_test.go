@@ -1,0 +1,241 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"regions/internal/mem"
+)
+
+// crashMachine drives a Runtime with random operations through the Try*
+// paths while a FaultPlan injects MapPages failures, verifying every heap
+// invariant after each step. It is the crash-consistency counterpart of
+// rcMachine: where that machine checks the reference counts stay exact on
+// the happy path, this one checks that failed operations leave the heap
+// exactly as it was.
+type crashMachine struct {
+	t   *testing.T
+	rt  *Runtime
+	cln CleanupID
+
+	regions []*Region
+	objects []Ptr
+	frames  []*Frame
+	globals []Ptr
+	ooms    int
+}
+
+func newCrashMachine(t *testing.T, safe bool) *crashMachine {
+	rt, _ := newRT(safe)
+	m := &crashMachine{t: t, rt: rt}
+	m.cln = rt.RegisterCleanup("cell", func(rt *Runtime, obj Ptr) int {
+		rt.Destroy(rt.Space().Load(obj + 4))
+		return 8
+	})
+	for i := 0; i < 4; i++ {
+		m.globals = append(m.globals, rt.AllocGlobals(1))
+	}
+	return m
+}
+
+func (m *crashMachine) oom(err error) bool {
+	if err == nil {
+		return false
+	}
+	if !errors.Is(err, mem.ErrOutOfMemory) {
+		m.t.Fatalf("operation failed with an untyped error: %v", err)
+	}
+	m.ooms++
+	return true
+}
+
+func (m *crashMachine) randObj(r *rand.Rand) Ptr {
+	if len(m.objects) == 0 || r.Intn(4) == 0 {
+		return 0
+	}
+	return m.objects[r.Intn(len(m.objects))]
+}
+
+func (m *crashMachine) step(r *rand.Rand, op byte) {
+	rt := m.rt
+	switch op % 10 {
+	case 0: // new region, possibly refused
+		if len(m.regions) < 10 {
+			reg, err := rt.TryNewRegion()
+			if !m.oom(err) {
+				m.regions = append(m.regions, reg)
+			}
+		}
+	case 1, 2: // cell allocation, possibly refused
+		if len(m.regions) == 0 {
+			return
+		}
+		reg := m.regions[r.Intn(len(m.regions))]
+		p, err := rt.TryRalloc(reg, 8, m.cln)
+		if m.oom(err) {
+			return
+		}
+		rt.Space().Store(p, uint32(r.Intn(100)))
+		if rt.safe {
+			rt.StorePtr(p+4, m.randObj(r))
+		}
+		m.objects = append(m.objects, p)
+	case 3: // array allocation big enough to need fresh pages sometimes
+		if len(m.regions) == 0 {
+			return
+		}
+		reg := m.regions[r.Intn(len(m.regions))]
+		n := 1 + r.Intn(300)
+		if _, err := rt.TryRarrayAlloc(reg, n, 8, rt.SizeCleanup(8)); m.oom(err) {
+			return
+		}
+	case 4: // string allocation, sometimes multi-page
+		if len(m.regions) == 0 {
+			return
+		}
+		reg := m.regions[r.Intn(len(m.regions))]
+		if _, err := rt.TryRstrAlloc(reg, 16+r.Intn(2*mem.PageSize)); m.oom(err) {
+			return
+		}
+	case 5: // rewrite a cell's next field (safe runtime barriers)
+		if !rt.safe || len(m.objects) == 0 {
+			return
+		}
+		rt.StorePtr(m.objects[r.Intn(len(m.objects))]+4, m.randObj(r))
+	case 6: // write a global slot
+		if !rt.safe {
+			return
+		}
+		rt.StoreGlobalPtr(m.globals[r.Intn(len(m.globals))], m.randObj(r))
+	case 7: // push a frame
+		if len(m.frames) < 8 {
+			f := rt.PushFrame(2)
+			if rt.safe {
+				f.Set(0, m.randObj(r))
+				f.Set(1, m.randObj(r))
+			}
+			m.frames = append(m.frames, f)
+		}
+	case 8: // pop a frame
+		if len(m.frames) > 0 {
+			rt.PopFrame()
+			m.frames = m.frames[:len(m.frames)-1]
+		}
+	case 9: // try to delete a region
+		if len(m.regions) == 0 {
+			return
+		}
+		i := r.Intn(len(m.regions))
+		if rt.DeleteRegion(m.regions[i]) {
+			m.regions = append(m.regions[:i], m.regions[i+1:]...)
+			kept := m.objects[:0]
+			for _, p := range m.objects {
+				if reg := rt.RegionOf(p); reg != nil && !reg.Deleted() {
+					kept = append(kept, p)
+				}
+			}
+			m.objects = kept
+		}
+	}
+}
+
+// drain clears roots and deletes every region, verifying at the end.
+func (m *crashMachine) drain() {
+	for len(m.frames) > 0 {
+		m.rt.PopFrame()
+		m.frames = m.frames[:len(m.frames)-1]
+	}
+	if m.rt.safe {
+		for _, g := range m.globals {
+			m.rt.StoreGlobalPtr(g, 0)
+		}
+	}
+	for progress := true; progress && len(m.regions) > 0; {
+		progress = false
+		kept := m.regions[:0]
+		for _, reg := range m.regions {
+			if m.rt.DeleteRegion(reg) {
+				progress = true
+			} else {
+				kept = append(kept, reg)
+			}
+		}
+		m.regions = kept
+		m.objects = nil
+	}
+	if err := m.rt.Verify(); err != nil {
+		m.t.Fatalf("Verify after drain: %v", err)
+	}
+}
+
+// TestCrashConsistencyUnderFaultPlans runs the machine under a battery of
+// fault plans — every Nth call failing, random failures at several rates,
+// and tight byte budgets — verifying the full heap after every single
+// operation, then clears the plan and checks the runtime recovers.
+func TestCrashConsistencyUnderFaultPlans(t *testing.T) {
+	plans := []mem.FaultPlan{
+		{FailNth: 1},
+		{FailNth: 2},
+		{FailNth: 3},
+		{FailNth: 5},
+		{FailNth: 8},
+		{FailProb: 0.1, Seed: 1},
+		{FailProb: 0.3, Seed: 2},
+		{FailProb: 0.7, Seed: 3},
+		{ByteBudget: 6 * mem.PageSize},
+		{ByteBudget: 20 * mem.PageSize},
+		{FailProb: 0.2, Seed: 4, ByteBudget: 40 * mem.PageSize},
+	}
+	for pi, plan := range plans {
+		plan := plan
+		for _, safe := range []bool{true, false} {
+			mode := "unsafe"
+			if safe {
+				mode = "safe"
+			}
+			t.Run(fmt.Sprintf("plan%d-%s", pi, mode), func(t *testing.T) {
+				m := newCrashMachine(t, safe)
+				m.rt.Space().SetFaultPlan(&plan)
+				r := rand.New(rand.NewSource(int64(pi) + 100))
+				for i := 0; i < 250; i++ {
+					m.step(r, byte(r.Intn(256)))
+					if err := m.rt.Verify(); err != nil {
+						t.Fatalf("Verify after op %d under plan %+v: %v", i, plan, err)
+					}
+				}
+				// Recovery: no more injected failures; everything works.
+				m.rt.Space().SetFaultPlan(nil)
+				for i := 0; i < 50; i++ {
+					m.step(r, byte(r.Intn(256)))
+				}
+				if err := m.rt.Verify(); err != nil {
+					t.Fatalf("Verify after recovery: %v", err)
+				}
+				m.drain()
+			})
+		}
+	}
+}
+
+// TestCrashConsistencySoak is a longer single-plan soak with verification
+// every few operations, for the heavier multi-page allocation mix.
+func TestCrashConsistencySoak(t *testing.T) {
+	m := newCrashMachine(t, true)
+	m.rt.Space().SetFaultPlan(&mem.FaultPlan{FailProb: 0.25, Seed: 11})
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		m.step(r, byte(r.Intn(256)))
+		if i%13 == 0 {
+			if err := m.rt.Verify(); err != nil {
+				t.Fatalf("Verify after op %d: %v", i, err)
+			}
+		}
+	}
+	if m.ooms == 0 {
+		t.Fatal("soak injected no failures; test is vacuous")
+	}
+	m.rt.Space().SetFaultPlan(nil)
+	m.drain()
+}

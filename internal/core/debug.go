@@ -83,9 +83,13 @@ func (rt *Runtime) Referrers(target *Region) []Ref {
 				entry = next
 			}
 		}
-		for a := rt.globalSeg; a < rt.globalNext; a += mem.WordSize {
-			if v := rt.space.Load(a); pointsIn(v) {
-				refs = append(refs, Ref{Kind: RefGlobal, Addr: a, Value: v})
+		ranges := append(append([][2]Ptr(nil), rt.globalRanges...),
+			[2]Ptr{rt.globalSeg, rt.globalNext})
+		for _, seg := range ranges {
+			for a := seg[0]; a < seg[1]; a += mem.WordSize {
+				if v := rt.space.Load(a); pointsIn(v) {
+					refs = append(refs, Ref{Kind: RefGlobal, Addr: a, Value: v})
+				}
 			}
 		}
 		for fi, f := range rt.stack.frames {

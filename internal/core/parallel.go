@@ -98,11 +98,19 @@ func (w *ParWorld) Worker(id int) *ParWorker {
 // TryDelete deletes r if the sum of its local reference counts is zero.
 // Like the sequential deleteregion it is a failing no-op otherwise. The sum
 // is taken under the world lock, the paper's global synchronization.
+//
+// TryDelete on an already-deleted region is also a failing no-op (reported
+// like a nonzero count), not a panic: two workers may race to delete the
+// same region, and the loser must be able to observe its loss gracefully.
 func (w *ParWorld) TryDelete(r *ParRegion) bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if r.deleted.Load() {
-		panic(errDeleted)
+		if w.tracer != nil {
+			w.tracer.Emit(trace.Event{Kind: trace.KindParRegionDeleteFail,
+				Region: int32(r.id), Aux: -1})
+		}
+		return false
 	}
 	var sum int64
 	for i := range r.local {
@@ -190,7 +198,15 @@ func (wk *ParWorker) Destroyed(r *ParRegion) { wk.adjust(r, -1) }
 
 func (wk *ParWorker) adjust(r *ParRegion, delta int64) {
 	if r.deleted.Load() {
-		panic(errDeleted)
+		// A counted reference to a deleted region is a use-after-delete by
+		// the worker; unlike a lost TryDelete race this is not recoverable.
+		f := &Fault{Kind: FaultDeletedRegion, Region: int32(r.id),
+			Context: "parallel count adjustment on deleted region"}
+		if t := wk.world.tracer; t != nil {
+			t.Emit(trace.Event{Kind: trace.KindFault, Region: int32(r.id),
+				Aux: int32(f.Kind), Site: f.Kind.String()})
+		}
+		panic(f)
 	}
 	r.local[wk.id].n.Add(delta)
 }

@@ -37,16 +37,66 @@ func TestParBasicCounting(t *testing.T) {
 	}
 }
 
-func TestParDoubleDeletePanics(t *testing.T) {
+func TestParDoubleDeleteFailsGracefully(t *testing.T) {
+	w := NewParWorld(1)
+	r := w.NewParRegion()
+	if !w.TryDelete(r) {
+		t.Fatal("first delete failed")
+	}
+	if w.TryDelete(r) {
+		t.Fatal("second delete succeeded")
+	}
+	if !r.Deleted() {
+		t.Fatal("region not marked deleted")
+	}
+}
+
+// TestParDeleteRace races two workers deleting the same region: exactly one
+// must win, and the loser's failing no-op must leave the counts untouched.
+// Run under -race this also proves TryDelete's loser path is data-race-free.
+func TestParDeleteRace(t *testing.T) {
+	for round := 0; round < 200; round++ {
+		w := NewParWorld(2)
+		r := w.NewParRegion()
+		var wins [2]bool
+		var wg sync.WaitGroup
+		for id := 0; id < 2; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				wins[id] = w.TryDelete(r)
+			}(id)
+		}
+		wg.Wait()
+		if wins[0] == wins[1] {
+			t.Fatalf("round %d: wins=%v, want exactly one winner", round, wins)
+		}
+		if !r.Deleted() {
+			t.Fatalf("round %d: region not deleted", round)
+		}
+		if sum := r.RCSum(); sum != 0 {
+			t.Fatalf("round %d: count sum %d after racing deletes, want 0", round, sum)
+		}
+	}
+}
+
+// TestParAdjustDeletedFaults pins that a count adjustment on a deleted
+// region — a genuine use-after-delete, unlike a lost TryDelete race — still
+// panics, now with a typed *Fault.
+func TestParAdjustDeletedFaults(t *testing.T) {
 	w := NewParWorld(1)
 	r := w.NewParRegion()
 	w.TryDelete(r)
 	defer func() {
-		if recover() == nil {
-			t.Fatal("double delete did not panic")
+		f, ok := recover().(*Fault)
+		if !ok {
+			t.Fatalf("recover() = %v, want *Fault", recover())
+		}
+		if f.Kind != FaultDeletedRegion {
+			t.Fatalf("fault kind %v, want FaultDeletedRegion", f.Kind)
 		}
 	}()
-	w.TryDelete(r)
+	w.Worker(0).Created(r)
 }
 
 // TestParRaceConsistency hammers shared slots from many workers. The atomic

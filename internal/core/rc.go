@@ -14,12 +14,14 @@ func (rt *Runtime) rcInc(r *Region) {
 	rt.space.Store(r.hdr+offRC, v+1)
 }
 
-// rcDec decrements r's reference count, panicking on underflow — an
-// underflow means the barrier discipline was violated.
+// rcDec decrements r's reference count, panicking with a *Fault of kind
+// FaultRCUnderflow on underflow — an underflow means the barrier discipline
+// was violated.
 func (rt *Runtime) rcDec(r *Region) {
 	v := rt.space.Load(r.hdr + offRC)
 	if v == 0 {
-		panic("core: reference count underflow")
+		panic(rt.fault(FaultRCUnderflow, r.hdr+offRC, r.id,
+			"reference count underflow", nil))
 	}
 	rt.space.Store(r.hdr+offRC, v-1)
 }
@@ -119,7 +121,20 @@ func (rt *Runtime) StorePtrDynamic(slot, val Ptr) {
 // AllocGlobals reserves nwords consecutive words of global storage and
 // returns the address of the first. Global storage belongs to no region;
 // region pointers stored in it are counted exactly via StoreGlobalPtr.
+// AllocGlobals panics with a *Fault on OOM; TryAllocGlobals is the graceful
+// variant.
 func (rt *Runtime) AllocGlobals(nwords int) Ptr {
+	p, err := rt.TryAllocGlobals(nwords)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TryAllocGlobals is AllocGlobals returning a *Fault (kind FaultOOM) instead
+// of panicking when the simulated OS refuses the segment's pages. On failure
+// the current segment is unchanged.
+func (rt *Runtime) TryAllocGlobals(nwords int) (Ptr, error) {
 	need := Ptr(nwords * mem.WordSize)
 	if rt.globalNext+need > rt.globalEnd || rt.globalSeg == 0 {
 		pages := (int(need) + mem.PageSize - 1) / mem.PageSize
@@ -127,12 +142,18 @@ func (rt *Runtime) AllocGlobals(nwords int) Ptr {
 			pages = 4
 		}
 		seg := rt.space.MapPages(pages)
+		if seg == 0 {
+			return 0, rt.oomFault("allocglobals", -1)
+		}
 		rt.notePages(seg, pages, -1)
+		if rt.globalSeg != 0 {
+			rt.globalRanges = append(rt.globalRanges, [2]Ptr{rt.globalSeg, rt.globalNext})
+		}
 		rt.globalSeg = seg
 		rt.globalNext = seg
 		rt.globalEnd = seg + Ptr(pages*mem.PageSize)
 	}
 	p := rt.globalNext
 	rt.globalNext += need
-	return p
+	return p, nil
 }

@@ -58,7 +58,8 @@ func (rt *Runtime) PushFrame(n int) *Frame {
 func (rt *Runtime) PopFrame() {
 	s := &rt.stack
 	if len(s.frames) == 0 {
-		panic("core: PopFrame on empty shadow stack")
+		panic(rt.fault(FaultStackUnderflow, 0, -1,
+			"PopFrame on empty shadow stack", nil))
 	}
 	f := s.frames[len(s.frames)-1]
 	if rt.safe && rt.opts.EagerLocals {

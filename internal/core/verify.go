@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+
+	"regions/internal/mem"
+)
+
+// This file is the heap-invariant verifier: an exhaustive, uncharged audit
+// of every structural invariant the runtime maintains. The paper argues
+// (Sections 4.2-4.3) that region reference counting makes deleteregion safe;
+// Verify is the executable form of that argument. It walks the page→region
+// map and every region's page lists, recomputes exact reference counts from
+// heap contents, re-walks object headers the way deleteregion's cleanup pass
+// would, checks free pages for poison integrity, and checks the shadow
+// stack's high-water-mark invariant. The crash-consistency property tests
+// call it after every operation while a FaultPlan injects MapPages failures,
+// proving the failure paths leave the heap exactly as it was.
+
+// Verify audits the runtime's heap invariants and returns nil if they all
+// hold, or a *Fault of kind FaultInvariant describing the first violation.
+// Verification charges no simulated cycles and does not perturb the heap;
+// cleanup functions are dry-run to measure object extents, with Destroy
+// disabled for the duration.
+//
+// Checks, in order:
+//
+//  1. Page census: both page lists of every live region are walked (with a
+//     cycle bound); every page they cover must be mapped, claimed by exactly
+//     one list, and attributed to that region in the page→region map.
+//  2. Page map: every page the map attributes to a region must belong to a
+//     live region and appear in that region's census.
+//  3. Free lists: free pages and spans must be unowned and — unless
+//     Options.NoPoison — still filled with mem.PoisonWord, so a stray write
+//     into freed memory is detected.
+//  4. Object headers: every normal-allocator entry's filled prefix must
+//     parse as a sequence of valid headers whose extents (cleanup sizes,
+//     array bounds) stay inside the entry.
+//  5. Shadow stack: frames below the high-water mark are scanned, frames at
+//     or above it are not, and the active frame is never scanned.
+//  6. Reference counts (safe runtime only): each live region's stored count
+//     must equal the count recomputed from heap contents — cross-region
+//     words in scanned data, global words, and scanned frame slots (all
+//     frame slots under EagerLocals).
+//
+// The recomputation in (6) reads raw heap words, so it assumes the C@
+// discipline the paper's compiler enforces: a scanned-data word that equals
+// a region address is a region pointer maintained through the write
+// barriers. Programs that store integers aliasing heap addresses in ralloc'd
+// memory will see false mismatches; the string allocator is exempt (never
+// scanned, never counted).
+func (rt *Runtime) Verify() error {
+	var f *Fault
+	rt.space.Uncharged(func() { f = rt.verify() })
+	if f != nil {
+		return f
+	}
+	return nil
+}
+
+// invariant builds the FaultInvariant fault for a Verify violation.
+func (rt *Runtime) invariant(addr Ptr, region int32, format string, args ...interface{}) *Fault {
+	return rt.fault(FaultInvariant, addr, region, fmt.Sprintf(format, args...), nil)
+}
+
+func (rt *Runtime) verify() *Fault {
+	seen := make(map[int]int32) // page number -> region whose list claims it
+
+	// 1. Page census.
+	for _, r := range rt.regions {
+		if r.deleted {
+			continue
+		}
+		if !rt.space.Mapped(r.hdr) {
+			return rt.invariant(r.hdr, r.id, "region header unmapped")
+		}
+		for _, offs := range [2][2]Ptr{{offNormalFirst, offNormalAvail}, {offStringFirst, offStringAvail}} {
+			if avail := rt.space.Load(r.hdr + offs[1]); avail > mem.PageSize {
+				return rt.invariant(r.hdr+offs[1], r.id,
+					"allocation offset %d exceeds page size", avail)
+			}
+			entry := rt.space.Load(r.hdr + offs[0])
+			steps := 0
+			for entry != 0 {
+				if steps++; steps > rt.space.NumPages() {
+					return rt.invariant(entry, r.id, "page list cycle")
+				}
+				if entry&(mem.PageSize-1) != 0 {
+					return rt.invariant(entry, r.id, "page-list entry not page-aligned")
+				}
+				if !rt.space.Mapped(entry) {
+					return rt.invariant(entry, r.id, "page-list entry unmapped")
+				}
+				link := rt.space.Load(entry + pageLink)
+				count := int(link&(mem.PageSize-1)) + 1
+				for i := 0; i < count; i++ {
+					pg := int(entry>>mem.PageShift) + i
+					a := Ptr(pg) << mem.PageShift
+					if !rt.space.Mapped(a) {
+						return rt.invariant(a, r.id, "page-list page unmapped")
+					}
+					if prev, dup := seen[pg]; dup {
+						return rt.invariant(a, r.id,
+							"page also on region #%d's lists", prev)
+					}
+					seen[pg] = r.id
+					owner := int32(-1)
+					if pg < len(rt.pageOwner) {
+						owner = rt.pageOwner[pg]
+					}
+					if owner != r.id {
+						return rt.invariant(a, r.id,
+							"page map attributes page to %d, page list to %d", owner, r.id)
+					}
+				}
+				entry = link &^ Ptr(mem.PageSize-1)
+			}
+		}
+	}
+
+	// 2. Page map, reverse direction.
+	for pg, id := range rt.pageOwner {
+		if id < 0 {
+			continue
+		}
+		a := Ptr(pg) << mem.PageShift
+		if int(id) >= len(rt.regions) {
+			return rt.invariant(a, id, "page map names unknown region")
+		}
+		if rt.regions[id].deleted {
+			return rt.invariant(a, id, "page map names deleted region")
+		}
+		if got, ok := seen[pg]; !ok || got != id {
+			return rt.invariant(a, id, "page not on its owner's page lists")
+		}
+	}
+
+	// 3. Free lists.
+	checkFree := func(p Ptr, n int) *Fault {
+		for i := 0; i < n; i++ {
+			pg := int(p>>mem.PageShift) + i
+			a := Ptr(pg) << mem.PageShift
+			if !rt.space.Mapped(a) {
+				return rt.invariant(a, -1, "free page unmapped")
+			}
+			if pg < len(rt.pageOwner) && rt.pageOwner[pg] >= 0 {
+				return rt.invariant(a, rt.pageOwner[pg], "free page has an owner")
+			}
+			if rt.opts.NoPoison {
+				continue
+			}
+			for off := Ptr(0); off < mem.PageSize; off += mem.WordSize {
+				if w := rt.space.Load(a + off); w != mem.PoisonWord {
+					return rt.invariant(a+off, -1,
+						"free page word is %#x, not poison (stray write after free?)", w)
+				}
+			}
+		}
+		return nil
+	}
+	for _, p := range rt.freePages {
+		if f := checkFree(p, 1); f != nil {
+			return f
+		}
+	}
+	for n, spans := range rt.freeSpans {
+		for _, p := range spans {
+			if f := checkFree(p, n); f != nil {
+				return f
+			}
+		}
+	}
+
+	// 4. Object headers.
+	if f := rt.verifyHeaders(); f != nil {
+		return f
+	}
+
+	// 5. Shadow stack.
+	s := &rt.stack
+	if s.hwm < 0 || s.hwm > len(s.frames) {
+		return rt.invariant(0, -1, "high-water mark %d outside stack of %d frames",
+			s.hwm, len(s.frames))
+	}
+	for i, fr := range s.frames {
+		if want := i < s.hwm; fr.scanned != want {
+			return rt.invariant(0, -1, "frame %d scanned=%v under high-water mark %d",
+				i, fr.scanned, s.hwm)
+		}
+	}
+	if n := len(s.frames); n > 0 && s.frames[n-1].scanned {
+		return rt.invariant(0, -1, "active frame is scanned")
+	}
+
+	// 6. Reference counts.
+	if rt.safe {
+		if f := rt.verifyRC(); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// verifyHeaders re-walks every live region's normal-allocator entries the
+// way runCleanups would, dry-running cleanup functions (Destroy disabled via
+// rt.verifying) to measure object extents without mutating counts.
+func (rt *Runtime) verifyHeaders() *Fault {
+	rt.verifying = true
+	defer func() { rt.verifying = false }()
+
+	for _, r := range rt.regions {
+		if r.deleted {
+			continue
+		}
+		homePage := r.hdr &^ Ptr(mem.PageSize-1)
+		entry := rt.space.Load(r.hdr + offNormalFirst)
+		for entry != 0 {
+			link := rt.space.Load(entry + pageLink)
+			count := int(link&(mem.PageSize-1)) + 1
+			end := entry + Ptr(count*mem.PageSize)
+			p := entry + mem.WordSize
+			if entry == homePage {
+				p = r.hdr + hdrBytes
+			}
+			for p < end {
+				hdr := rt.space.Load(p)
+				if hdr == 0 {
+					break // end of the entry's filled prefix
+				}
+				id := CleanupID(hdr &^ arrayFlag)
+				if id <= 0 || int(id) > len(rt.cleanups) {
+					return rt.invariant(p, r.id, "corrupt object header %#x", hdr)
+				}
+				var extent uint64
+				if hdr&arrayFlag != 0 {
+					n := uint64(rt.space.Load(p + 4))
+					esz := uint64(rt.space.Load(p + 8))
+					extent = 3*mem.WordSize + n*esz
+				} else {
+					size := rt.cleanups[id-1].fn(rt, p+mem.WordSize)
+					if size < 0 {
+						return rt.invariant(p, r.id,
+							"cleanup %q reported negative size %d", rt.cleanups[id-1].name, size)
+					}
+					extent = uint64(mem.WordSize + align4(size))
+				}
+				if uint64(p)+extent > uint64(end) {
+					return rt.invariant(p, r.id,
+						"object extent %d runs past its page entry", extent)
+				}
+				p += Ptr(extent)
+			}
+			entry = link &^ Ptr(mem.PageSize-1)
+		}
+	}
+	return nil
+}
+
+// verifyRC recomputes every live region's exact reference count from heap
+// contents and compares it to the stored count.
+func (rt *Runtime) verifyRC() *Fault {
+	want := make(map[int32]uint64)
+
+	// Cross-region words in scanned (normal-allocator) data. Bookkeeping
+	// words — page links, region header fields — only ever hold same-region
+	// addresses, so walking whole entries over-counts nothing.
+	for _, reg := range rt.regions {
+		if reg.deleted {
+			continue
+		}
+		homePage := reg.hdr &^ Ptr(mem.PageSize-1)
+		entry := rt.space.Load(reg.hdr + offNormalFirst)
+		for entry != 0 {
+			link := rt.space.Load(entry + pageLink)
+			count := int(link&(mem.PageSize-1)) + 1
+			end := entry + Ptr(count*mem.PageSize)
+			a := entry + mem.WordSize
+			if entry == homePage {
+				a = reg.hdr + hdrBytes
+			}
+			for ; a < end; a += mem.WordSize {
+				if v := rt.space.Load(a); v != 0 {
+					if t := rt.RegionOf(v); t != nil && t != reg {
+						want[t.id]++
+					}
+				}
+			}
+			entry = link &^ Ptr(mem.PageSize-1)
+		}
+	}
+
+	// Global storage, all segments ever allocated.
+	ranges := append(append([][2]Ptr(nil), rt.globalRanges...),
+		[2]Ptr{rt.globalSeg, rt.globalNext})
+	for _, seg := range ranges {
+		for a := seg[0]; a < seg[1]; a += mem.WordSize {
+			if v := rt.space.Load(a); v != 0 {
+				if t := rt.RegionOf(v); t != nil {
+					want[t.id]++
+				}
+			}
+		}
+	}
+
+	// Counted frame slots: scanned frames, or every frame under EagerLocals.
+	for _, fr := range rt.stack.frames {
+		if !fr.scanned && !rt.opts.EagerLocals {
+			continue
+		}
+		for _, p := range fr.slots {
+			if t := rt.RegionOf(p); t != nil {
+				want[t.id]++
+			}
+		}
+	}
+
+	for _, r := range rt.regions {
+		if r.deleted {
+			continue
+		}
+		got := rt.space.Load(r.hdr + offRC)
+		if uint64(got) != want[r.id] {
+			return rt.invariant(r.hdr+offRC, r.id,
+				"stored reference count %d, recomputed %d", got, want[r.id])
+		}
+	}
+	return nil
+}

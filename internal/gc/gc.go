@@ -82,6 +82,9 @@ func New(sp *mem.Space) *Collector {
 	}
 	old := sp.SetMode(stats.ModeAlloc)
 	g.meta = sp.MapPages(1)
+	if g.meta == 0 {
+		panic("gc: simulated OS refused the collector's metadata page")
+	}
 	g.notePages(g.meta, 1, pageNone)
 	sp.SetMode(old)
 	return g
@@ -127,6 +130,12 @@ func classFor(data int) int {
 func (g *Collector) freeHead(class int) Ptr { return g.meta + Ptr(class*mem.WordSize) }
 
 // Alloc allocates size bytes of zeroed memory. Collection may run first.
+// When the simulated OS refuses pages, the collector runs an emergency
+// collection and retries; if the heap still cannot satisfy the request,
+// Alloc returns 0 (TryAlloc returns the typed error instead). An emergency
+// collection can run between safepoints, so this path assumes live objects
+// are reachable from frames or registered roots — the same contract as
+// Safepoint; it only triggers when the OS is actually refusing memory.
 func (g *Collector) Alloc(size int) Ptr {
 	if size <= 0 {
 		panic("gc: Alloc of non-positive size")
@@ -138,10 +147,35 @@ func (g *Collector) Alloc(size int) Ptr {
 	defer g.sp.SetMode(old)
 	g.c.Cycles[stats.ModeAlloc] += 3
 
+	var p Ptr
 	if data <= maxSmallData {
-		return g.allocSmall(data)
+		p = g.allocSmall(data)
+	} else {
+		p = g.allocBig(data)
 	}
-	return g.allocBig(data)
+	if p == 0 && g.tracer != nil {
+		g.tracer.Emit(trace.Event{Kind: trace.KindFault, Region: -1,
+			Size: int32(data), Aux: -1, Site: "oom"})
+	}
+	return p
+}
+
+// TryAlloc is Alloc returning a typed *mem.OOMError (wrapping
+// mem.ErrOutOfMemory) when even an emergency collection cannot satisfy the
+// request.
+func (g *Collector) TryAlloc(size int) (Ptr, error) {
+	p := g.Alloc(size)
+	if p == 0 {
+		return 0, g.sp.OOM("gc: alloc")
+	}
+	return p, nil
+}
+
+// emergencyCollect runs a collection in response to the OS refusing pages,
+// regardless of the growth policy's pending flag.
+func (g *Collector) emergencyCollect() {
+	g.pending = false
+	g.Collect()
 }
 
 func (g *Collector) allocSmall(data int) Ptr {
@@ -149,7 +183,14 @@ func (g *Collector) allocSmall(data int) Ptr {
 	hd := g.freeHead(class)
 	slot := g.sp.Load(hd)
 	if slot == 0 {
-		g.carvePage(class)
+		if !g.carvePage(class) {
+			// OS refused a fresh page: collect, then retry the replenished
+			// free list before asking the OS once more.
+			g.emergencyCollect()
+			if g.sp.Load(hd) == 0 && !g.carvePage(class) {
+				return 0
+			}
+		}
 		slot = g.sp.Load(hd)
 	}
 	g.sp.Store(hd, g.sp.Load(slot+mem.WordSize)) // pop
@@ -159,8 +200,13 @@ func (g *Collector) allocSmall(data int) Ptr {
 	return slot + mem.WordSize
 }
 
-func (g *Collector) carvePage(class int) {
+// carvePage dedicates a fresh page to class and threads its slots onto the
+// free list, reporting false if the simulated OS refuses the page.
+func (g *Collector) carvePage(class int) bool {
 	page := g.sp.MapPages(1)
+	if page == 0 {
+		return false
+	}
 	g.notePages(page, 1, int16(class))
 	cs := classSizes[class]
 	hd := g.freeHead(class)
@@ -170,28 +216,44 @@ func (g *Collector) carvePage(class int) {
 		g.sp.Store(slot+mem.WordSize, g.sp.Load(hd))
 		g.sp.Store(hd, slot)
 	}
+	return true
 }
 
 func (g *Collector) allocBig(data int) Ptr {
 	n := (data + mem.WordSize + mem.PageSize - 1) / mem.PageSize
-	var page Ptr
-	if spans := g.freeBig[n]; len(spans) > 0 {
-		page = spans[len(spans)-1]
-		g.freeBig[n] = spans[:len(spans)-1]
-		for i := 0; i < n; i++ {
-			g.sp.ZeroPageFree(page + Ptr(i)<<mem.PageShift)
-		}
-	} else {
-		page = g.sp.MapPages(n)
-		g.notePages(page, 1, pageBigHead)
-		if n > 1 {
-			g.notePages(page+mem.PageSize, n-1, pageBigTail)
+	page := g.takeBig(n)
+	if page == 0 {
+		g.emergencyCollect()
+		if page = g.takeBig(n); page == 0 {
+			return 0
 		}
 	}
 	g.bigPages[page] = n
 	g.sp.Store(page, uint32(data)<<2|hdrInuse)
 	g.bytesSinceGC += uint64(n * mem.PageSize)
 	return page + mem.WordSize
+}
+
+// takeBig returns an n-page span from the reclaimed-span list or the OS,
+// or 0 when neither can provide one.
+func (g *Collector) takeBig(n int) Ptr {
+	if spans := g.freeBig[n]; len(spans) > 0 {
+		page := spans[len(spans)-1]
+		g.freeBig[n] = spans[:len(spans)-1]
+		for i := 0; i < n; i++ {
+			g.sp.ZeroPageFree(page + Ptr(i)<<mem.PageShift)
+		}
+		return page
+	}
+	page := g.sp.MapPages(n)
+	if page == 0 {
+		return 0
+	}
+	g.notePages(page, 1, pageBigHead)
+	if n > 1 {
+		g.notePages(page+mem.PageSize, n-1, pageBigTail)
+	}
+	return page
 }
 
 // RequestedSize returns the rounded data size recorded in a live object's

@@ -14,6 +14,7 @@ package mem
 
 import (
 	"fmt"
+	"math/rand"
 
 	"regions/internal/cachesim"
 	"regions/internal/stats"
@@ -65,6 +66,16 @@ type Space struct {
 	// charge disables cycle accounting when false (used while an allocator
 	// initializes pages it has not yet handed to anyone).
 	charge bool
+
+	// Failure model (see fault.go): an optional hard page limit plus an
+	// optional injected fault plan, and the bookkeeping of refused calls.
+	pageLimit int
+	plan      *FaultPlan
+	planRNG   *rand.Rand
+	planCalls uint64
+	mapCalls  uint64
+	mapFails  uint64
+	lastFail  *MapFailure
 }
 
 // NewSpace returns an empty address space whose accesses are charged to c.
@@ -104,16 +115,22 @@ func (s *Space) Mode() stats.Mode { return s.mode }
 func (s *Space) MappedBytes() uint64 { return s.mappedBytes }
 
 // MapPages maps n fresh zeroed pages contiguously and returns the address of
-// the first. It panics if the 32-bit address space is exhausted, which is an
-// experiment configuration error.
+// the first. It returns 0 — the never-mapped nil address — when the simulated
+// OS refuses the request: the 32-bit address space is exhausted, a page limit
+// (SetPageLimit) is reached, or an installed FaultPlan injects a failure.
+// Allocators must treat 0 as out-of-memory and surface a typed error (see
+// Space.OOM); a non-positive count is still an API-misuse panic.
 func (s *Space) MapPages(n int) Addr {
 	if n <= 0 {
 		panic("mem: MapPages of non-positive count")
 	}
-	first := len(s.pages)
-	if uint64(first+n) > 1<<(32-PageShift) {
-		panic("mem: simulated address space exhausted")
+	s.mapCalls++
+	if cause := s.refuse(n); cause != "" {
+		s.mapFails++
+		s.lastFail = &MapFailure{Call: s.mapCalls, Pages: n, Mapped: s.mappedBytes, Cause: cause}
+		return 0
 	}
+	first := len(s.pages)
 	for i := 0; i < n; i++ {
 		s.pages = append(s.pages, &page{})
 	}
@@ -200,6 +217,22 @@ func (s *Space) ZeroRange(a Addr, size int) {
 func (s *Space) ZeroPageFree(a Addr) {
 	p := s.page(a &^ (PageSize - 1))
 	p.words = [PageWords]Word{}
+}
+
+// PoisonWord fills freed pages (PoisonPageFree) so that reads through
+// dangling pointers return an unmistakable pattern and stray writes into
+// freed pages are detectable by a verifier.
+const PoisonWord Word = 0xdeadbeef
+
+// PoisonPageFree fills the page containing a with PoisonWord without
+// charging cycles. Allocators call it when a page returns to a free list;
+// pages are re-zeroed (ZeroPageFree) before reuse, so poisoning is
+// observable only through dangling pointers.
+func (s *Space) PoisonPageFree(a Addr) {
+	p := s.page(a &^ (PageSize - 1))
+	for i := range p.words {
+		p.words[i] = PoisonWord
+	}
 }
 
 // Uncharged runs f with cycle accounting disabled. It exists for test

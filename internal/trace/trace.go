@@ -68,6 +68,12 @@ const (
 	KindParRegionDeleteFail
 	KindParWrite // one atomic-exchange pointer write by a worker
 
+	// Faults (internal/core, internal/gc). Emitted immediately before a
+	// typed fault unwinds (or an OOM error returns), so a crashing run
+	// leaves a diagnosable trace: Site carries the fault kind's name, Aux
+	// its numeric code, Addr and Region the faulting location.
+	KindFault
+
 	numKinds
 )
 
@@ -94,6 +100,7 @@ var kindNames = [numKinds]string{
 	KindParRegionDelete:     "par-region-delete",
 	KindParRegionDeleteFail: "par-region-delete-fail",
 	KindParWrite:            "par-write",
+	KindFault:               "fault",
 }
 
 // String returns the kebab-case event name used throughout the sinks.

@@ -24,6 +24,9 @@ const (
 func NewBSD(sp *mem.Space) *BSD {
 	b := &BSD{heap: sbrkArea{sp: sp}}
 	b.meta = b.heap.sbrk(1) // bucket heads live in the first heap page
+	if b.meta == 0 {
+		panic("xmalloc: simulated OS refused BSD's first heap page")
+	}
 	return b
 }
 
@@ -62,6 +65,9 @@ func (b *BSD) Alloc(size int) Ptr {
 		// Carve new memory: one page for small chunks, whole pages for big.
 		n := pagesFor(chunk)
 		block := b.heap.sbrk(n)
+		if block == 0 {
+			return 0
+		}
 		if chunk <= mem.PageSize {
 			// Push every chunk in the page; the first is returned below.
 			for off := mem.PageSize - chunk; off >= 0; off -= chunk {

@@ -103,6 +103,9 @@ func (z *BZ) AllocAt(id uint32, size int) Ptr {
 		return z.allocShort(size)
 	}
 	p := z.allocInner(size)
+	if p == 0 {
+		return 0
+	}
 	if !s.decided {
 		z.births[p] = bzBirth{site: id, born: z.clock}
 	}
@@ -111,6 +114,9 @@ func (z *BZ) AllocAt(id uint32, size int) Ptr {
 
 func (z *BZ) allocInner(size int) Ptr {
 	base := z.inner.Alloc(size + mem.WordSize)
+	if base == 0 {
+		return 0
+	}
 	old := z.sp.SetMode(stats.ModeAlloc)
 	z.sp.Store(base, bzInner)
 	z.sp.SetMode(old)
@@ -126,6 +132,9 @@ func (z *BZ) allocShort(size int) Ptr {
 			z.reapIfDead(z.cur)
 		}
 		z.cur = z.newChunk()
+		if z.cur == nil {
+			return 0
+		}
 	}
 	c := z.cur
 	p := c.base + Ptr(c.off)
@@ -139,6 +148,9 @@ func (z *BZ) allocShort(size int) Ptr {
 // original does, so one contiguous heap serves both kinds of allocation.
 func (z *BZ) newChunk() *bzChunk {
 	base := z.inner.Alloc(bzChunkBytes)
+	if base == 0 {
+		return nil
+	}
 	c := &bzChunk{base: base}
 	z.chunkAt[base] = c
 	return c

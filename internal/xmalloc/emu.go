@@ -57,12 +57,16 @@ func (e *EmuRegions) NewRegion() *EmuRegion {
 	return &EmuRegion{lib: e, head: slot}
 }
 
-// Alloc allocates size bytes in region r.
+// Alloc allocates size bytes in region r, returning 0 (like the underlying
+// malloc) when the simulated OS refuses memory; the region is unchanged.
 func (e *EmuRegions) Alloc(r *EmuRegion, size int) Ptr {
 	if r.deleted {
 		panic("xmalloc: allocation in deleted emulated region")
 	}
 	base := e.a.Alloc(size + mem.WordSize)
+	if base == 0 {
+		return 0
+	}
 	old := e.sp.SetMode(stats.ModeAlloc)
 	e.sp.Store(base, e.sp.Load(r.head))
 	e.sp.Store(r.head, base)

@@ -1,0 +1,192 @@
+package xmalloc
+
+import (
+	"errors"
+	"testing"
+
+	"regions/internal/mem"
+	"regions/internal/stats"
+)
+
+// TestAllocatorsSurviveInjectedFailure drives each malloc variant under a
+// seeded fault plan: every Alloc either succeeds or returns 0 (malloc's
+// NULL), the heap stays consistent, and service resumes once the plan is
+// cleared.
+func TestAllocatorsSurviveInjectedFailure(t *testing.T) {
+	eachAllocator(t, func(t *testing.T, a Allocator, sp *mem.Space) {
+		sp.SetFaultPlan(&mem.FaultPlan{FailProb: 0.5, Seed: 17})
+		var live []Ptr
+		nulls := 0
+		for i := 0; i < 200; i++ {
+			// Sizes up to two pages so the heap must keep growing via sbrk.
+			size := 32 + (i%5)*2000
+			p := a.Alloc(size)
+			if p == 0 {
+				nulls++
+				if sp.LastMapFailure() == nil {
+					t.Fatal("Alloc returned 0 with no recorded map failure")
+				}
+				continue
+			}
+			sp.Store(p, uint32(i)) // the memory must be usable
+			live = append(live, p)
+			if len(live) > 20 {
+				a.Free(live[0])
+				live = live[1:]
+			}
+		}
+		if nulls == 0 {
+			t.Fatal("fault plan injected no failures; test is vacuous")
+		}
+		if c, ok := a.(checker); ok {
+			if _, err := c.CheckHeap(); err != nil {
+				t.Fatalf("heap inconsistent after injected failures: %v", err)
+			}
+		}
+		// Recovery: the allocator must serve requests again.
+		sp.SetFaultPlan(nil)
+		if p := a.Alloc(64); p == 0 {
+			t.Fatal("allocation failed after the plan was cleared")
+		}
+		if c, ok := a.(checker); ok {
+			if _, err := c.CheckHeap(); err != nil {
+				t.Fatalf("heap inconsistent after recovery: %v", err)
+			}
+		}
+	})
+}
+
+func TestTryAllocTypedError(t *testing.T) {
+	sp := mem.NewSpace(&stats.Counters{})
+	a := NewSun(sp)
+	sp.SetFaultPlan(&mem.FaultPlan{FailProb: 1, Seed: 1})
+	p, err := TryAlloc(sp, a, 3*mem.PageSize)
+	if p != 0 || err == nil {
+		t.Fatalf("TryAlloc = (%#x, %v), want (0, error)", p, err)
+	}
+	var oe *mem.OOMError
+	if !errors.As(err, &oe) || !errors.Is(err, mem.ErrOutOfMemory) {
+		t.Fatalf("error %v is not a typed OOM", err)
+	}
+	if oe.Op != "Sun: alloc" {
+		t.Fatalf("Op = %q", oe.Op)
+	}
+	sp.SetFaultPlan(nil)
+	if p, err := TryAlloc(sp, a, 64); p == 0 || err != nil {
+		t.Fatalf("TryAlloc after recovery = (%#x, %v)", p, err)
+	}
+}
+
+func TestVmallocSurvivesInjectedFailure(t *testing.T) {
+	for _, policy := range []VmPolicy{VmLast, VmPool, VmBestFit} {
+		t.Run(policy.String(), func(t *testing.T) {
+			// Fresh instance per policy: a shared one would satisfy later
+			// policies from pages the earlier region's Close recycled.
+			sp := mem.NewSpace(&stats.Counters{})
+			v := NewVmalloc(sp)
+			r := v.Open(policy, 32)
+			sp.SetFaultPlan(&mem.FaultPlan{FailProb: 1, Seed: 5})
+			pagesBefore := r.Pages()
+			if p := v.Alloc(r, 32); p != 0 {
+				t.Fatalf("Alloc under total refusal returned %#x", p)
+			}
+			if r.Pages() != pagesBefore {
+				t.Fatal("failed allocation changed the region's page count")
+			}
+			sp.SetFaultPlan(nil)
+			if p := v.Alloc(r, 32); p == 0 {
+				t.Fatal("allocation failed after the plan was cleared")
+			}
+			v.Close(r)
+		})
+	}
+}
+
+func TestEmuRegionsSurvivesInjectedFailure(t *testing.T) {
+	sp := mem.NewSpace(&stats.Counters{})
+	slots := sp.MapPages(1)
+	next := slots
+	lib := NewEmuRegions(sp, NewLea(sp), func() Ptr {
+		p := next
+		next += mem.WordSize
+		return p
+	})
+	r := lib.NewRegion()
+	p := lib.Alloc(r, 24)
+	if p == 0 {
+		t.Fatal("seed allocation failed")
+	}
+	sp.SetFaultPlan(&mem.FaultPlan{FailProb: 1, Seed: 9})
+	allocs := r.Allocs()
+	if q := lib.Alloc(r, 3*mem.PageSize); q != 0 {
+		t.Fatalf("Alloc under total refusal returned %#x", q)
+	}
+	if r.Allocs() != allocs {
+		t.Fatal("failed allocation was recorded in the region")
+	}
+	sp.SetFaultPlan(nil)
+	if q := lib.Alloc(r, 24); q == 0 {
+		t.Fatal("allocation failed after the plan was cleared")
+	}
+	lib.Delete(r) // the object list must still walk cleanly
+}
+
+func TestBZSurvivesInjectedFailure(t *testing.T) {
+	sp := mem.NewSpace(&stats.Counters{})
+	z := NewBZ(sp)
+	z.SampleTarget = 4
+	// Train a site to be short-lived so the birth-region path is exercised
+	// alongside the inner (Lea) path.
+	for i := 0; i < 20; i++ {
+		p := z.AllocAt(1, 32)
+		if p == 0 {
+			t.Fatal("training allocation failed without a fault plan")
+		}
+		z.Free(p)
+	}
+	sp.SetFaultPlan(&mem.FaultPlan{FailProb: 0.6, Seed: 13})
+	nulls := 0
+	var live []Ptr
+	for i := 0; i < 150; i++ {
+		p := z.AllocAt(uint32(1+i%3), 32+(i%4)*2000)
+		if p == 0 {
+			nulls++
+			continue
+		}
+		sp.Store(p, uint32(i))
+		live = append(live, p)
+		if len(live) > 12 {
+			z.Free(live[0])
+			live = live[1:]
+		}
+	}
+	if nulls == 0 {
+		t.Fatal("fault plan injected no failures; test is vacuous")
+	}
+	sp.SetFaultPlan(nil)
+	if p := z.AllocAt(1, 32); p == 0 {
+		t.Fatal("allocation failed after the plan was cleared")
+	}
+}
+
+func TestConstructorsPanicOnFirstPageRefusal(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		fn   func(sp *mem.Space)
+	}{
+		{"Sun", func(sp *mem.Space) { NewSun(sp) }},
+		{"BSD", func(sp *mem.Space) { NewBSD(sp) }},
+		{"Lea", func(sp *mem.Space) { NewLea(sp) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			sp := mem.NewSpace(&stats.Counters{})
+			sp.SetFaultPlan(&mem.FaultPlan{FailNth: 1})
+			defer func() {
+				if recover() == nil {
+					t.Fatal("constructor succeeded without its first heap page")
+				}
+			}()
+			mk.fn(sp)
+		})
+	}
+}

@@ -42,6 +42,9 @@ func NewLea(sp *mem.Space) *Lea {
 	defer enterAlloc(sp)()
 	l := &Lea{heap: sbrkArea{sp: sp}, growBy: 16 * 1024}
 	page := l.heap.sbrk(1)
+	if page == 0 {
+		panic("xmalloc: simulated OS refused Lea's first heap page")
+	}
 	l.meta = page
 	// Bins occupy the start of the first page; the wilderness begins right
 	// after them, PREV_INUSE set (there is no previous chunk).
@@ -160,12 +163,14 @@ func (l *Lea) Alloc(size int) Ptr {
 			c = sp.Load(c + 8)
 		}
 	}
-	// Wilderness.
+	// Wilderness. An OS refusal aborts before the top chunk is touched.
 	topSz := l.size(l.top)
 	if topSz < sz+leaMinChunk {
 		need := int(sz+leaMinChunk-topSz) + l.growBy
 		n := pagesFor(need)
-		l.heap.sbrk(n)
+		if l.heap.sbrk(n) == 0 {
+			return 0
+		}
 		topSz += Ptr(n * mem.PageSize)
 		l.setSize(l.top, topSz|l.sizeBits(l.top)&leaPrevInuse)
 	}

@@ -27,6 +27,9 @@ func NewSun(sp *mem.Space) *Sun {
 	defer enterAlloc(sp)()
 	s := &Sun{heap: sbrkArea{sp: sp}, growBy: 16 * 1024}
 	page := s.heap.sbrk(1)
+	if page == 0 {
+		panic("xmalloc: simulated OS refused Sun's first heap page")
+	}
 	s.root = page
 	sp.Store(s.root, 0)
 	s.first = page + 8
@@ -124,13 +127,17 @@ func (s *Sun) findBest(sz Ptr) Ptr {
 }
 
 // grow extends the heap, converting the old sentinel plus the new pages
-// into one free chunk (coalescing backward if the last chunk was free).
-func (s *Sun) grow(need Ptr) {
+// into one free chunk (coalescing backward if the last chunk was free). It
+// reports false — without touching any heap metadata — when the simulated
+// OS refuses the pages.
+func (s *Sun) grow(need Ptr) bool {
 	sp := s.heap.sp
 	n := pagesFor(int(need) + 8 + s.growBy)
 	oldSentinel := s.heap.end - 8
 	prevBits := s.sizeBits(oldSentinel)
-	s.heap.sbrk(n)
+	if s.heap.sbrk(n) == 0 {
+		return false
+	}
 
 	c := oldSentinel
 	sz := Ptr(n*mem.PageSize + 8 - 8) // reclaim old sentinel, place new one
@@ -145,6 +152,7 @@ func (s *Sun) grow(need Ptr) {
 	sp.Store(c+sz, sz)
 	sp.Store(c+sz+4, 0) // new sentinel, PREV_INUSE clear
 	s.insert(c, sz)
+	return true
 }
 
 // Alloc implements Allocator.
@@ -158,7 +166,9 @@ func (s *Sun) Alloc(size int) Ptr {
 
 	c := s.findBest(sz)
 	if c == 0 {
-		s.grow(sz)
+		if !s.grow(sz) {
+			return 0
+		}
 		c = s.findBest(sz)
 	}
 	csz := s.size(c)

@@ -89,13 +89,18 @@ func (v *Vmalloc) page() Ptr {
 	return v.sp.MapPages(1)
 }
 
-// carve returns size fresh bytes from the region's bump space.
+// carve returns size fresh bytes from the region's bump space, or 0 — with
+// the region unchanged — when the page pool is empty and the simulated OS
+// refuses a page.
 func (r *VmRegion) carve(size int) Ptr {
 	if size > mem.PageSize {
 		panic("xmalloc: vmalloc allocation larger than a page")
 	}
 	if r.avail < size {
 		p := r.v.page()
+		if p == 0 {
+			return 0
+		}
 		r.pages = append(r.pages, p)
 		r.cur = p
 		r.avail = mem.PageSize
@@ -106,7 +111,8 @@ func (r *VmRegion) carve(size int) Ptr {
 	return p
 }
 
-// Alloc allocates size bytes in region r under its policy.
+// Alloc allocates size bytes in region r under its policy, returning 0 when
+// the simulated OS refuses the backing page (the region is unchanged).
 func (v *Vmalloc) Alloc(r *VmRegion, size int) Ptr {
 	if r.closed {
 		panic("xmalloc: allocation in closed vmalloc region")
@@ -156,6 +162,9 @@ func (v *Vmalloc) Alloc(r *VmRegion, size int) Ptr {
 			prev = b
 		}
 		b := r.carve(need)
+		if b == 0 {
+			return 0
+		}
 		v.sp.Store(b, uint32(need))
 		return b + mem.WordSize
 	}

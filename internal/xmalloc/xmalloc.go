@@ -29,14 +29,25 @@ import (
 type Ptr = mem.Addr
 
 // Allocator is the malloc/free interface shared by the three allocators.
-// Alloc returns a 4-aligned pointer to size usable bytes; Free releases a
-// pointer previously returned by Alloc. Both panic on API misuse (zero or
-// negative sizes, freeing a bad pointer); the simulated address space
-// panics on exhaustion.
+// Alloc returns a 4-aligned pointer to size usable bytes, or 0 — real
+// malloc's NULL — when the simulated OS refuses the pages behind it (page
+// limit or an injected mem.FaultPlan); TryAlloc wraps the 0 in a typed
+// error. Free releases a pointer previously returned by Alloc. Both panic
+// on API misuse (zero or negative sizes, freeing a bad pointer).
 type Allocator interface {
 	Name() string
 	Alloc(size int) Ptr
 	Free(p Ptr)
+}
+
+// TryAlloc allocates via a, converting a 0 return into a typed *mem.OOMError
+// (wrapping mem.ErrOutOfMemory) built from sp's most recent refused mapping.
+func TryAlloc(sp *mem.Space, a Allocator, size int) (Ptr, error) {
+	p := a.Alloc(size)
+	if p == 0 {
+		return 0, sp.OOM(a.Name() + ": alloc")
+	}
+	return p, nil
 }
 
 // sbrkArea manages a contiguous heap segment grown page-by-page from the
@@ -50,9 +61,14 @@ type sbrkArea struct {
 
 func (h *sbrkArea) space() *mem.Space { return h.sp }
 
-// sbrk extends the heap by n pages and returns the old break.
+// sbrk extends the heap by n pages and returns the old break, or 0 when the
+// simulated OS refuses the pages (the area is then unchanged, like sbrk
+// returning -1).
 func (h *sbrkArea) sbrk(npages int) Ptr {
 	p := h.sp.MapPages(npages)
+	if p == 0 {
+		return 0
+	}
 	if h.end == 0 {
 		h.start = p
 	} else if p != h.end {

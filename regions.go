@@ -64,6 +64,41 @@ type Runtime = core.Runtime
 // Counters are the run's statistics (allocation volumes, cycle accounting).
 type Counters = stats.Counters
 
+// --- failure model --------------------------------------------------------------
+
+// ErrOutOfMemory is the sentinel wrapped by every allocation failure caused
+// by the simulated OS refusing pages; test with errors.Is.
+var ErrOutOfMemory = mem.ErrOutOfMemory
+
+// FaultPlan is a deterministic, seeded schedule of injected page-mapping
+// failures: fail the Nth mapping, fail with probability p, or fail past a
+// byte budget. Install one with System.SetFaultPlan.
+type FaultPlan = mem.FaultPlan
+
+// OOMError is the typed error describing one refused page mapping; it wraps
+// ErrOutOfMemory.
+type OOMError = mem.OOMError
+
+// Fault is a structured runtime fault: kind, faulting address, region id,
+// and context. Recoverable faults (FaultOOM) are returned by the Try*
+// methods; invariant violations are raised as panics carrying a *Fault.
+// Every fault is also emitted as an EvFault trace event before it unwinds.
+type Fault = core.Fault
+
+// FaultKind classifies a Fault.
+type FaultKind = core.FaultKind
+
+// Fault kinds.
+const (
+	FaultOOM             = core.FaultOOM
+	FaultRCUnderflow     = core.FaultRCUnderflow
+	FaultCorruptHeader   = core.FaultCorruptHeader
+	FaultDeletedRegion   = core.FaultDeletedRegion
+	FaultDanglingDestroy = core.FaultDanglingDestroy
+	FaultStackUnderflow  = core.FaultStackUnderflow
+	FaultInvariant       = core.FaultInvariant
+)
+
 // ParWorld, ParRegion, ParWorker and ParSlot form the paper's parallel
 // extension: per-worker local reference counts, atomic-exchange pointer
 // writes, and globally synchronized creation and deletion.
@@ -123,10 +158,33 @@ func (s *System) Counters() *Counters { return s.rt.Counters() }
 // MappedBytes returns the memory requested from the simulated OS so far.
 func (s *System) MappedBytes() uint64 { return s.sp.MappedBytes() }
 
+// SetPageLimit caps the 4 KB pages the simulated OS will hand out — the
+// analogue of ulimit -v. 0 removes the limit.
+func (s *System) SetPageLimit(pages int) { s.sp.SetPageLimit(pages) }
+
+// SetFaultPlan installs a deterministic schedule of injected page-mapping
+// failures; nil removes it. Failed operations surface as *Fault errors from
+// the Try* methods (or panics from the paper-shaped methods).
+func (s *System) SetFaultPlan(p *FaultPlan) { s.sp.SetFaultPlan(p) }
+
+// Verify audits every heap invariant the runtime maintains — page
+// ownership, object headers, poisoned free pages, the shadow-stack
+// high-water mark, and exact reference counts recomputed from heap contents
+// — returning nil or a *Fault of kind FaultInvariant. It charges no
+// simulated cycles.
+func (s *System) Verify() error { return s.rt.Verify() }
+
 // --- the paper's region interface -------------------------------------------
 
-// NewRegion creates an empty region (the paper's newregion).
+// NewRegion creates an empty region (the paper's newregion). It panics with
+// a *Fault if the simulated OS refuses memory; TryNewRegion is the graceful
+// variant.
 func (s *System) NewRegion() *Region { return s.rt.NewRegion() }
+
+// TryNewRegion is NewRegion returning an error (a *Fault wrapping
+// ErrOutOfMemory) instead of panicking when the simulated OS refuses
+// memory.
+func (s *System) TryNewRegion() (*Region, error) { return s.rt.TryNewRegion() }
 
 // DeleteRegion attempts to delete r (the paper's deleteregion). Under a
 // safe system it fails, returning false, while external references to r's
@@ -148,6 +206,23 @@ func (s *System) RarrayAlloc(r *Region, n, elemSize int, cleanup CleanupID) Ptr 
 // RstrAlloc allocates size bytes of region-pointer-free memory: no
 // bookkeeping, no clearing, never scanned (the paper's rstralloc).
 func (s *System) RstrAlloc(r *Region, size int) Ptr { return s.rt.RstrAlloc(r, size) }
+
+// TryRalloc, TryRarrayAlloc and TryRstrAlloc are the graceful variants of
+// the three allocators: on OOM they return a *Fault wrapping ErrOutOfMemory
+// and leave the region unchanged, instead of panicking.
+func (s *System) TryRalloc(r *Region, size int, cleanup CleanupID) (Ptr, error) {
+	return s.rt.TryRalloc(r, size, cleanup)
+}
+
+// TryRarrayAlloc is the graceful variant of RarrayAlloc; see TryRalloc.
+func (s *System) TryRarrayAlloc(r *Region, n, elemSize int, cleanup CleanupID) (Ptr, error) {
+	return s.rt.TryRarrayAlloc(r, n, elemSize, cleanup)
+}
+
+// TryRstrAlloc is the graceful variant of RstrAlloc; see TryRalloc.
+func (s *System) TryRstrAlloc(r *Region, size int) (Ptr, error) {
+	return s.rt.TryRstrAlloc(r, size)
+}
 
 // RegionOf returns the region containing p, or nil (the paper's regionof).
 func (s *System) RegionOf(p Ptr) *Region { return s.rt.RegionOf(p) }
@@ -241,6 +316,7 @@ const (
 	EvStackUnscan      = trace.KindStackUnscan
 	EvCleanup          = trace.KindCleanup
 	EvDestroy          = trace.KindDestroy
+	EvFault            = trace.KindFault
 )
 
 // NewTracer returns a tracer holding the last capacity events (a default
