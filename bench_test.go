@@ -8,6 +8,7 @@
 package regions_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -136,6 +137,83 @@ func BenchmarkAlloc(b *testing.B) {
 	}
 	b.Run("untraced", func(b *testing.B) { run(b, nil) })
 	b.Run("traced", func(b *testing.B) { run(b, regions.NewTracer(1<<16)) })
+}
+
+// TestAllocFastPathAllocsPerRun gates the allocation fast path: amortized
+// over region rotation, an Ralloc must cost (well) under a quarter of a Go
+// heap allocation — the bump-pointer path itself allocates nothing; only
+// page and region bookkeeping every few thousand operations does.
+func TestAllocFastPathAllocsPerRun(t *testing.T) {
+	sys := regions.New()
+	cln := sys.SizeCleanup(16)
+	r := sys.NewRegion()
+	i := 0
+	avg := testing.AllocsPerRun(20000, func() {
+		sys.Ralloc(r, 16, cln)
+		i++
+		if i%4096 == 0 {
+			sys.DeleteRegion(r)
+			r = sys.NewRegion()
+		}
+	})
+	if avg >= 0.25 {
+		t.Fatalf("alloc fast path costs %.3f Go allocs/op, want < 0.25", avg)
+	}
+}
+
+// BenchmarkRegionOf measures the public page→region lookup (backed by the
+// dense page-index array) against a hash-map replica of the same relation,
+// over an identical pointer stream.
+func BenchmarkRegionOf(b *testing.B) {
+	sys := regions.New()
+	cln := sys.SizeCleanup(64)
+	var ptrs []regions.Ptr
+	for i := 0; i < 64; i++ {
+		r := sys.NewRegion()
+		for j := 0; j < 32; j++ {
+			ptrs = append(ptrs, sys.Ralloc(r, 64, cln))
+		}
+	}
+	b.Run("dense", func(b *testing.B) {
+		var sink *regions.Region
+		for i := 0; i < b.N; i++ {
+			sink = sys.RegionOf(ptrs[i%len(ptrs)])
+		}
+		_ = sink
+	})
+	b.Run("map", func(b *testing.B) {
+		const pageShift = 12
+		replica := make(map[uint32]*regions.Region, len(ptrs))
+		for _, p := range ptrs {
+			replica[uint32(p>>pageShift)] = sys.RegionOf(p)
+		}
+		b.ResetTimer()
+		var sink *regions.Region
+		for i := 0; i < b.N; i++ {
+			sink = replica[uint32(ptrs[i%len(ptrs)]>>pageShift)]
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkShardThroughput runs the six apps through the shard engine at
+// increasing shard counts; compare the reported sim-Mcycles/op (the
+// simulated makespan) across sub-benchmarks to see the modelled scaling.
+func BenchmarkShardThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunThroughput(shards, benchDiv, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = r.SimMakespanMcycles
+			}
+			b.ReportMetric(makespan, "sim-Mcycles/op")
+		})
+	}
 }
 
 // BenchmarkCorePrimitives measures the region runtime's primitive costs.

@@ -28,6 +28,9 @@ func main() {
 		related  = flag.Bool("related", false, "render the related-work allocator comparison")
 		jsonOut  = flag.Bool("json", false, "emit the full measurement matrix as JSON")
 		verify   = flag.Bool("verify", true, "cross-check checksums across environments first")
+		shards   = flag.Int("shards", 0, "run the whole-app throughput workload on N shards")
+		repeats  = flag.Int("repeats", 4, "copies of each app per throughput run")
+		benchOut = flag.String("bench-out", "", "write the benchmark report (micro + shard sweep) to this file")
 	)
 	flag.Parse()
 
@@ -46,8 +49,41 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "regionbench: -shards must be positive, got %d\n", *shards)
+		os.Exit(2)
+	}
+
 	s := bench.NewSuite(*scaleDiv)
 	w := os.Stdout
+
+	// The throughput/report modes are self-contained: run them and exit.
+	if *benchOut != "" {
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "regionbench:", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteBenchReport(f, *scaleDiv, *repeats); err != nil {
+			fmt.Fprintln(os.Stderr, "regionbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "regionbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "wrote %s\n", *benchOut)
+		return
+	}
+	if *shards > 0 {
+		r, err := bench.RunThroughput(*shards, *scaleDiv, *repeats)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "regionbench:", err)
+			os.Exit(1)
+		}
+		bench.PrintThroughput(w, r)
+		return
+	}
 
 	if *table == 0 && *figure == 0 && !*ablation && !*related && !*jsonOut {
 		*all = true

@@ -28,17 +28,17 @@ func main() {
 	defer sys.PopFrame()
 
 	// A long-lived index and a cache meant to be dropped wholesale.
-	index := sys.NewRegion()
-	table := sys.RarrayAlloc(index, 8, 4, sys.RegisterCleanup("slot",
+	index := sys.Bind(sys.NewRegion())
+	table := index.AllocArray(8, 4, sys.RegisterCleanup("slot",
 		func(rt *regions.Runtime, obj regions.Ptr) int {
 			rt.Destroy(rt.Space().Load(obj))
 			return 4
 		}))
 	f.Set(0, table)
 
-	cache := sys.NewRegion()
+	cache := sys.Bind(sys.NewRegion())
 	for i := 0; i < 20; i++ {
-		entry := sys.Ralloc(cache, 8, clnEntry)
+		entry := cache.Alloc(8, clnEntry)
 		sys.Store(entry, uint32(i))
 		if i%7 == 0 {
 			// The bug: some cache entries leak into the long-lived index.
@@ -46,11 +46,11 @@ func main() {
 		}
 	}
 
-	if sys.DeleteRegion(cache) {
+	if cache.Delete() {
 		panic("unexpected: delete should have failed")
 	}
 	fmt.Println("deleteregion(&cache) refused — hunting the stale pointers:")
-	refs := sys.Referrers(cache)
+	refs := cache.Referrers()
 	for _, r := range refs {
 		fmt.Println("  ", r)
 	}
@@ -64,7 +64,7 @@ func main() {
 			f.Set(r.Slot, 0)
 		}
 	}
-	if !sys.DeleteRegion(cache) {
+	if !cache.Delete() {
 		panic("delete still failing")
 	}
 	fmt.Println("deleteregion(&cache) succeeded")

@@ -23,7 +23,7 @@ func main() {
 
 	cln := sys.SizeCleanup(64)
 	created, refused := 0, 0
-	var live []*regions.Region
+	var live []regions.Handle
 	for i := 0; i < 30; i++ {
 		r, err := sys.TryNewRegion()
 		if err != nil {
@@ -35,9 +35,10 @@ func main() {
 			continue
 		}
 		created++
-		live = append(live, r)
+		h := sys.Bind(r)
+		live = append(live, h)
 		for j := 0; j < 8; j++ {
-			if _, err := sys.TryRalloc(r, 64, cln); err != nil {
+			if _, err := h.TryAlloc(64, cln); err != nil {
 				refused++
 			}
 		}
@@ -51,8 +52,8 @@ func main() {
 
 	// Clear the plan: full service resumes, and everything deletes cleanly.
 	sys.SetFaultPlan(nil)
-	for _, r := range live {
-		if !sys.DeleteRegion(r) {
+	for _, h := range live {
+		if !h.Delete() {
 			panic("delete failed after the plan was cleared")
 		}
 	}

@@ -26,8 +26,8 @@ func main() {
 		rt.Destroy(rt.Space().Load(obj + fieldNext))
 		return listSize
 	})
-	cons := func(r *regions.Region, x uint32, l regions.Ptr) regions.Ptr {
-		p := sys.Ralloc(r, listSize, clnList)
+	cons := func(r regions.Handle, x uint32, l regions.Ptr) regions.Ptr {
+		p := r.Alloc(listSize, clnList)
 		sys.Store(p+fieldI, x)
 		sys.StorePtr(p+fieldNext, l)
 		return p
@@ -38,7 +38,7 @@ func main() {
 	f := sys.PushFrame(2)
 	defer sys.PopFrame()
 
-	main := sys.NewRegion()
+	main := sys.Bind(sys.NewRegion())
 	var l regions.Ptr
 	for i := 5; i >= 1; i-- {
 		l = cons(main, uint32(i), l)
@@ -48,9 +48,9 @@ func main() {
 	printList(sys, l)
 
 	// work(l) from Figure 3: copy into a temporary region.
-	tmp := sys.NewRegion()
-	var copyList func(r *regions.Region, l regions.Ptr) regions.Ptr
-	copyList = func(r *regions.Region, l regions.Ptr) regions.Ptr {
+	tmp := sys.Bind(sys.NewRegion())
+	var copyList func(r regions.Handle, l regions.Ptr) regions.Ptr
+	copyList = func(r regions.Handle, l regions.Ptr) regions.Ptr {
 		if l == 0 {
 			return 0
 		}
@@ -63,13 +63,13 @@ func main() {
 
 	// Safety: while the copy is reachable from a live local, the region
 	// cannot be deleted.
-	if sys.DeleteRegion(tmp) {
+	if tmp.Delete() {
 		panic("unexpected: deletion with a live reference")
 	}
 	fmt.Println("deleteregion(&tmp) refused: a live local still points in")
 
 	f.Set(1, 0) // the local dies
-	if !sys.DeleteRegion(tmp) {
+	if !tmp.Delete() {
 		panic("deletion failed with no references")
 	}
 	fmt.Println("deleteregion(&tmp) succeeded after the local died")

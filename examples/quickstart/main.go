@@ -22,13 +22,13 @@ import (
 func main() {
 	sys := regions.New()
 
-	r := sys.NewRegion()
+	r := sys.Bind(sys.NewRegion())
 	for i := 0; i < 10; i++ {
 		size := (i + 1) * 4
-		x := sys.Ralloc(r, size, sys.SizeCleanup(size))
+		x := r.Alloc(size, sys.SizeCleanup(size))
 		work(sys, i, x, size)
 	}
-	if !sys.DeleteRegion(r) {
+	if !r.Delete() {
 		panic("deleteregion failed")
 	}
 

@@ -1,0 +1,119 @@
+package regions_test
+
+import (
+	"errors"
+	"testing"
+
+	"regions"
+)
+
+// TestHandleMirrorsSystemCalls checks every Handle method against the flat
+// System spelling of the same operation.
+func TestHandleMirrorsSystemCalls(t *testing.T) {
+	sys := regions.New()
+	h := sys.Bind(sys.NewRegion())
+	if h.System() != sys {
+		t.Fatal("System() does not return the binding system")
+	}
+	if h.Region() == nil {
+		t.Fatal("Region() is nil")
+	}
+
+	cln := sys.SizeCleanup(16)
+	p := h.Alloc(16, cln)
+	if got := sys.RegionOf(p); got != h.Region() {
+		t.Fatalf("Alloc landed in region %v, want %v", got, h.Region())
+	}
+	arr := h.AllocArray(4, 8, sys.SizeCleanup(8))
+	if got := sys.RegionOf(arr); got != h.Region() {
+		t.Fatal("AllocArray landed in the wrong region")
+	}
+	str := h.AllocStr(64)
+	if got := sys.RegionOf(str); got != h.Region() {
+		t.Fatal("AllocStr landed in the wrong region")
+	}
+
+	if _, err := h.TryAlloc(16, cln); err != nil {
+		t.Fatalf("TryAlloc: %v", err)
+	}
+	if _, err := h.TryAllocArray(2, 8, sys.SizeCleanup(8)); err != nil {
+		t.Fatalf("TryAllocArray: %v", err)
+	}
+	if _, err := h.TryAllocStr(32); err != nil {
+		t.Fatalf("TryAllocStr: %v", err)
+	}
+
+	if !h.Delete() {
+		t.Fatal("Delete failed on an unreferenced region")
+	}
+}
+
+// TestHandleReferrersAndTryDelete walks the debugging path through the
+// handle: a live local blocks deletion, Referrers names it, clearing it
+// unblocks the delete.
+func TestHandleReferrersAndTryDelete(t *testing.T) {
+	sys := regions.New()
+	f := sys.PushFrame(1)
+	defer sys.PopFrame()
+
+	h := sys.Bind(sys.NewRegion())
+	p := h.Alloc(16, sys.SizeCleanup(16))
+	f.Set(0, p)
+
+	if ok, err := h.TryDelete(); ok || err != nil {
+		t.Fatalf("TryDelete with a live local = (%v, %v), want (false, nil)", ok, err)
+	}
+	refs := h.Referrers()
+	if len(refs) != 1 || refs[0].Kind != regions.RefFrame {
+		t.Fatalf("Referrers = %v, want one frame reference", refs)
+	}
+	f.Set(refs[0].Slot, 0)
+	if ok, err := h.TryDelete(); !ok || err != nil {
+		t.Fatalf("TryDelete after clearing = (%v, %v), want (true, nil)", ok, err)
+	}
+
+	// A second delete is a fault: Delete panics, TryDelete returns the error.
+	if ok, err := h.TryDelete(); ok || err == nil {
+		t.Fatalf("TryDelete on a deleted region = (%v, %v), want error", ok, err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Delete on a deleted region did not panic")
+			}
+		}()
+		h.Delete()
+	}()
+}
+
+// TestHandleOOMSurfacesTypedError checks the error contract on the handle's
+// Try path: a refused page request comes back as a *Fault wrapping
+// ErrOutOfMemory.
+func TestHandleOOMSurfacesTypedError(t *testing.T) {
+	sys := regions.New()
+	h := sys.Bind(sys.NewRegion())
+	sys.SetFaultPlan(&regions.FaultPlan{FailProb: 1})
+	// The region's first page is already mapped; exhaust it so the next
+	// allocation must request a page and be refused.
+	var lastErr error
+	for i := 0; i < 4096; i++ {
+		if _, err := h.TryAllocStr(256); err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("no OOM under a 100% fault plan")
+	}
+	var fault *regions.Fault
+	if !errors.Is(lastErr, regions.ErrOutOfMemory) || !errors.As(lastErr, &fault) {
+		t.Fatalf("error %v is not a typed OOM fault", lastErr)
+	}
+	sys.SetFaultPlan(nil)
+	if !h.Delete() {
+		t.Fatal("delete failed after the plan was cleared")
+	}
+	if err := sys.Verify(); err != nil {
+		t.Fatalf("heap invariants violated: %v", err)
+	}
+}

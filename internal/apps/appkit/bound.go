@@ -1,0 +1,37 @@
+package appkit
+
+// BoundRegion is a region handle bound to its environment, mirroring the
+// public regions.Handle: application code calls b.Alloc(...) instead of
+// threading an (env, region) pair through every helper. It is a two-word
+// value type; copy it freely.
+type BoundRegion struct {
+	env RegionEnv
+	r   Region
+}
+
+// Bind binds r to e.
+func Bind(e RegionEnv, r Region) BoundRegion { return BoundRegion{env: e, r: r} }
+
+// NewBound creates a fresh region in e and returns it bound.
+func NewBound(e RegionEnv) BoundRegion { return Bind(e, e.NewRegion()) }
+
+// Env returns the environment the handle is bound to.
+func (b BoundRegion) Env() RegionEnv { return b.env }
+
+// Region returns the underlying region handle.
+func (b BoundRegion) Region() Region { return b.r }
+
+// Alloc allocates size bytes of cleared, scanned memory (Ralloc).
+func (b BoundRegion) Alloc(size int, cln CleanupID) Ptr { return b.env.Ralloc(b.r, size, cln) }
+
+// AllocArray allocates a cleared array of n elemSize-byte elements
+// (RarrayAlloc).
+func (b BoundRegion) AllocArray(n, elemSize int, cln CleanupID) Ptr {
+	return b.env.RarrayAlloc(b.r, n, elemSize, cln)
+}
+
+// AllocStr allocates size bytes of region-pointer-free memory (RstrAlloc).
+func (b BoundRegion) AllocStr(size int) Ptr { return b.env.RstrAlloc(b.r, size) }
+
+// Delete attempts to delete the bound region (DeleteRegion).
+func (b BoundRegion) Delete() bool { return b.env.DeleteRegion(b.r) }

@@ -11,14 +11,13 @@ import (
 // they need neither clearing nor cleanups), and there is no reference
 // counting at all — the space saving Table 3 shows for region-based cfrac.
 type regionArena struct {
-	e appkit.RegionEnv
-	r appkit.Region
+	b appkit.BoundRegion
 }
 
-func (a *regionArena) Space() *mem.Space { return a.e.Space() }
+func (a *regionArena) Space() *mem.Space { return a.b.Env().Space() }
 
 func (a *regionArena) AllocNum(limbs int) bignum.Ptr {
-	return a.e.RstrAlloc(a.r, bignum.NumBytes(limbs))
+	return a.b.AllocStr(bignum.NumBytes(limbs))
 }
 
 // RunRegion is the region variant of cfrac, following the paper's port:
@@ -47,10 +46,10 @@ func factorOneR(e appkit.RegionEnv, f appkit.Frame, n uint64) uint64 {
 		// Long-lived values — N, kN, g, the saved relations — go in the
 		// solution region; the rolling CFRAC state lives in a temporary
 		// region recycled every rotateEvery iterations.
-		sol := e.NewRegion()
-		solA := &regionArena{e: e, r: sol}
-		tmp := e.NewRegion()
-		tmpA := &regionArena{e: e, r: tmp}
+		sol := appkit.NewBound(e)
+		solA := &regionArena{b: sol}
+		tmp := appkit.NewBound(e)
+		tmpA := &regionArena{b: tmp}
 
 		nBig := bignum.FromUint64(solA, n)
 		f.Set(slotN, nBig)
@@ -98,12 +97,12 @@ func factorOneR(e appkit.RegionEnv, f appkit.Frame, n uint64) uint64 {
 			if iter%rotateEvery == 0 {
 				// Copy the live rolling state forward into a fresh
 				// temporary region and delete the old one.
-				next := e.NewRegion()
-				nextA := &regionArena{e: e, r: next}
+				next := appkit.NewBound(e)
+				nextA := &regionArena{b: next}
 				for _, s := range []int{slotP, slotQ, slotQprev, slotA1, slotA2} {
 					f.Set(s, bignum.Copy(nextA, f.Get(s)))
 				}
-				if !e.DeleteRegion(tmp) {
+				if !tmp.Delete() {
 					panic("cfrac: temporary region not deletable")
 				}
 				tmp, tmpA = next, nextA
@@ -113,10 +112,10 @@ func factorOneR(e appkit.RegionEnv, f appkit.Frame, n uint64) uint64 {
 
 		var factor uint64
 		for _, dep := range dependencies(rels) {
-			depReg := e.NewRegion()
-			depA := &regionArena{e: e, r: depReg}
+			depReg := appkit.NewBound(e)
+			depA := &regionArena{b: depReg}
 			factor = combineDep(depA, sp, f.Get(slotN), n, fb, rels, dep)
-			if !e.DeleteRegion(depReg) {
+			if !depReg.Delete() {
 				panic("cfrac: combination region not deletable")
 			}
 			e.Safepoint()
@@ -129,10 +128,10 @@ func factorOneR(e appkit.RegionEnv, f appkit.Frame, n uint64) uint64 {
 		for i := 0; i < numSlots; i++ {
 			f.Set(i, 0)
 		}
-		if !e.DeleteRegion(tmp) {
+		if !tmp.Delete() {
 			panic("cfrac: temporary region not deletable")
 		}
-		if !e.DeleteRegion(sol) {
+		if !sol.Delete() {
 			panic("cfrac: solution region not deletable")
 		}
 		e.Safepoint()

@@ -28,8 +28,8 @@ func RunRegion(e appkit.RegionEnv, scale int) uint32 {
 			sSpoly
 			sScratch
 		)
-		basisReg := e.NewRegion()
-		basis := e.RarrayAlloc(basisReg, maxBasis, 4, clnPtr)
+		basisReg := appkit.NewBound(e)
+		basis := basisReg.AllocArray(maxBasis, 4, clnPtr)
 		f.Set(sBasis, basis)
 		nb := 0
 
@@ -43,7 +43,7 @@ func RunRegion(e appkit.RegionEnv, scale int) uint32 {
 		}
 
 		for _, gen := range sys {
-			tmp := e.NewRegion()
+			tmp := appkit.NewBound(e)
 			g := buildPolyR(e, clnTerm, tmp, f, sTmp, gen)
 			f.Set(sCur, g)
 			r, tmp := normalFormR(e, clnTerm, tmp, f, g, basis, nb)
@@ -55,7 +55,7 @@ func RunRegion(e appkit.RegionEnv, scale int) uint32 {
 			}
 			f.Set(sRes, 0)
 			f.Set(sTmp, 0)
-			if !e.DeleteRegion(tmp) {
+			if !tmp.Delete() {
 				panic("grobner: scratch region not deletable")
 			}
 		}
@@ -78,7 +78,7 @@ func RunRegion(e appkit.RegionEnv, scale int) uint32 {
 			if monoLCM(mi, mj) == monoMul(mi, mj) {
 				continue
 			}
-			tmp := e.NewRegion()
+			tmp := appkit.NewBound(e)
 			s := spolyR(e, clnTerm, tmp, f, gi, gj)
 			// normalFormR roots s immediately and may rotate the scratch
 			// region, so no slot may still point into the original tmp.
@@ -95,7 +95,7 @@ func RunRegion(e appkit.RegionEnv, scale int) uint32 {
 			// it can be deleted — the paper's "stale pointers" lesson.
 			f.Set(sRes, 0)
 			f.Set(sTmp, 0)
-			if !e.DeleteRegion(tmp) {
+			if !tmp.Delete() {
 				panic("grobner: scratch region not deletable")
 			}
 		}
@@ -106,7 +106,7 @@ func RunRegion(e appkit.RegionEnv, scale int) uint32 {
 		for i := 0; i < 6; i++ {
 			f.Set(i, 0)
 		}
-		if !e.DeleteRegion(basisReg) {
+		if !basisReg.Delete() {
 			panic("grobner: basis region not deletable")
 		}
 		e.PopFrame()
@@ -116,12 +116,12 @@ func RunRegion(e appkit.RegionEnv, scale int) uint32 {
 }
 
 // buildPolyR converts generator terms into a term list in region r.
-func buildPolyR(e appkit.RegionEnv, cln appkit.CleanupID, r appkit.Region,
+func buildPolyR(e appkit.RegionEnv, cln appkit.CleanupID, r appkit.BoundRegion,
 	f appkit.Frame, slot int, terms []genTerm) appkit.Ptr {
 	sp := e.Space()
 	var head, tail appkit.Ptr
 	for _, t := range terms {
-		n := e.Ralloc(r, termSize, cln)
+		n := r.Alloc(termSize, cln)
 		sp.Store(n+tCoef, t.coef)
 		sp.Store(n+tMono, t.mono)
 		if head == 0 {
@@ -139,11 +139,11 @@ func buildPolyR(e appkit.RegionEnv, cln appkit.CleanupID, r appkit.Region,
 // copyPolyR copies p into region dst (the paper's explicit copy of partial
 // solutions and basis polynomials into longer-lived regions). It returns
 // the copy's head and tail.
-func copyPolyR(e appkit.RegionEnv, cln appkit.CleanupID, dst appkit.Region,
+func copyPolyR(e appkit.RegionEnv, cln appkit.CleanupID, dst appkit.BoundRegion,
 	f appkit.Frame, slot int, p appkit.Ptr) (head, tail appkit.Ptr) {
 	sp := e.Space()
 	for ; p != 0; p = sp.Load(p + tNext) {
-		n := e.Ralloc(dst, termSize, cln)
+		n := dst.Alloc(termSize, cln)
 		sp.Store(n+tCoef, sp.Load(p+tCoef))
 		sp.Store(n+tMono, sp.Load(p+tMono))
 		if head == 0 {
@@ -158,7 +158,7 @@ func copyPolyR(e appkit.RegionEnv, cln appkit.CleanupID, dst appkit.Region,
 }
 
 // combineR is combineM allocating into region r.
-func combineR(e appkit.RegionEnv, cln appkit.CleanupID, r appkit.Region,
+func combineR(e appkit.RegionEnv, cln appkit.CleanupID, r appkit.BoundRegion,
 	f appkit.Frame, a, b appkit.Ptr, cB, mB uint32) appkit.Ptr {
 	sp := e.Space()
 	const slot = 5 // sScratch
@@ -167,7 +167,7 @@ func combineR(e appkit.RegionEnv, cln appkit.CleanupID, r appkit.Region,
 		if coef == 0 {
 			return
 		}
-		n := e.Ralloc(r, termSize, cln)
+		n := r.Alloc(termSize, cln)
 		sp.Store(n+tCoef, coef)
 		sp.Store(n+tMono, mono)
 		if head == 0 {
@@ -214,8 +214,8 @@ func combineR(e appkit.RegionEnv, cln appkit.CleanupID, r appkit.Region,
 // the live polynomials are copied into a fresh scratch region and the old
 // one is deleted, bounding the scratch footprint; the caller must delete
 // the returned region, which may differ from tmp.
-func normalFormR(e appkit.RegionEnv, cln appkit.CleanupID, tmp appkit.Region,
-	fr appkit.Frame, f appkit.Ptr, basis appkit.Ptr, nb int) (appkit.Ptr, appkit.Region) {
+func normalFormR(e appkit.RegionEnv, cln appkit.CleanupID, tmp appkit.BoundRegion,
+	fr appkit.Frame, f appkit.Ptr, basis appkit.Ptr, nb int) (appkit.Ptr, appkit.BoundRegion) {
 	sp := e.Space()
 	const (
 		sCur        = 1
@@ -258,7 +258,7 @@ func normalFormR(e appkit.RegionEnv, cln appkit.CleanupID, tmp appkit.Region,
 		cur = combineR(e, cln, tmp, fr, cur, g, P-ltc, monoDiv(ltm, sp.Load(g+tMono)))
 		fr.Set(sCur, cur)
 		if steps%rotateSteps == 0 {
-			next := e.NewRegion()
+			next := appkit.NewBound(e)
 			cur, _ = copyPolyR(e, cln, next, fr, sScratch, cur)
 			fr.Set(sCur, cur)
 			if resHead != 0 {
@@ -266,7 +266,7 @@ func normalFormR(e appkit.RegionEnv, cln appkit.CleanupID, tmp appkit.Region,
 				fr.Set(sRes, resHead)
 			}
 			fr.Set(sScratch, 0)
-			if !e.DeleteRegion(tmp) {
+			if !tmp.Delete() {
 				panic("grobner: scratch region not deletable")
 			}
 			tmp = next
@@ -279,7 +279,7 @@ func normalFormR(e appkit.RegionEnv, cln appkit.CleanupID, tmp appkit.Region,
 }
 
 // spolyR builds the S-polynomial in scratch region tmp.
-func spolyR(e appkit.RegionEnv, cln appkit.CleanupID, tmp appkit.Region,
+func spolyR(e appkit.RegionEnv, cln appkit.CleanupID, tmp appkit.BoundRegion,
 	f appkit.Frame, gi, gj appkit.Ptr) appkit.Ptr {
 	sp := e.Space()
 	mi, mj := sp.Load(gi+tMono), sp.Load(gj+tMono)

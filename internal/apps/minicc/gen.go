@@ -95,7 +95,7 @@ func (c *compiler) emit(op, a, b, dst int) int {
 	sp := c.sp
 	cur := c.f.Get(sChunks)
 	if cur == 0 || sp.Load(cur+qcUsed) == quadsPerChunk {
-		nc := c.e.Ralloc(c.work, qcQuads+quadsPerChunk*quadBytes, c.clnChunk)
+		nc := c.work.Alloc(qcQuads+quadsPerChunk*quadBytes, c.clnChunk)
 		if cur != 0 {
 			c.e.StorePtr(nc+qcNext, cur) // for cleanup; order kept host-side
 		}
@@ -301,8 +301,8 @@ func (c *compiler) rotateWork() {
 	}
 	c.stmts = 0
 	old := c.work
-	c.work = c.e.NewRegion()
-	if !c.e.DeleteRegion(old) {
+	c.work = appkit.NewBound(c.e)
+	if !old.Delete() {
 		panic("minicc: working region not deletable")
 	}
 }
@@ -310,25 +310,25 @@ func (c *compiler) rotateWork() {
 // compileFile compiles src once: returns main's result and the module hash.
 func (c *compiler) compileFile(src []byte) (int32, uint32) {
 	e, sp := c.e, c.sp
-	c.file = e.NewRegion()
-	c.work = e.NewRegion()
+	c.file = appkit.NewBound(e)
+	c.work = appkit.NewBound(e)
 	c.nfns = 0
 	c.quadOff = 0
 	c.stmts = 0
 
-	text := e.RstrAlloc(c.file, len(src))
+	text := c.file.AllocStr(len(src))
 	appkit.StoreBytes(sp, text, src)
 	c.toks = c.lex(text, len(src))
 	c.pos = 0
 
-	c.f.Set(sNames, e.RarrayAlloc(c.file, nameBuckets, 4, c.clnPtr))
-	globals := e.RstrAlloc(c.file, nGlobals*4)
+	c.f.Set(sNames, c.file.AllocArray(nameBuckets, 4, c.clnPtr))
+	globals := c.file.AllocStr(nGlobals * 4)
 	for i := 0; i < nGlobals; i++ {
 		sp.Store(globals+appkit.Ptr(i*4), 0)
 	}
 	c.f.Set(sGlobals, globals)
-	c.f.Set(sModule, e.RstrAlloc(c.file, maxQuads*quadBytes))
-	c.f.Set(sMeta, e.RstrAlloc(c.file, maxFns*metaEntry))
+	c.f.Set(sModule, c.file.AllocStr(maxQuads*quadBytes))
+	c.f.Set(sMeta, c.file.AllocStr(maxFns*metaEntry))
 
 	mainIdx := -1
 	for c.pos < len(c.toks) {
@@ -365,10 +365,10 @@ func (c *compiler) compileFile(src []byte) (int32, uint32) {
 	for i := 0; i < numSlots; i++ {
 		c.f.Set(i, 0)
 	}
-	if !e.DeleteRegion(c.work) {
+	if !c.work.Delete() {
 		panic("minicc: working region not deletable")
 	}
-	if !e.DeleteRegion(c.file) {
+	if !c.file.Delete() {
 		panic("minicc: file region not deletable")
 	}
 	return result, modHash

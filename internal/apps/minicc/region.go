@@ -72,8 +72,8 @@ type compiler struct {
 
 	clnName, clnEnv, clnNode, clnCons, clnChunk, clnPtr appkit.CleanupID
 
-	file appkit.Region // file-wide data
-	work appkit.Region // rolling per-~100-statements region
+	file appkit.BoundRegion // file-wide data
+	work appkit.BoundRegion // rolling per-~100-statements region
 
 	chunks []appkit.Ptr // host mirror of the quad chunk list
 	nq     int          // quads emitted for the current function
@@ -237,7 +237,7 @@ func (c *compiler) internName(name string) appkit.Ptr {
 			return s
 		}
 	}
-	s := c.e.Ralloc(c.file, nmChars+(len(name)+3)&^3, c.clnName)
+	s := c.file.Alloc(nmChars+(len(name)+3)&^3, c.clnName)
 	c.e.StorePtr(s+nmNext, sp.Load(b))
 	sp.Store(s+nmLen, uint32(len(name)))
 	appkit.StoreBytes(sp, s+nmChars, []byte(name))
@@ -252,7 +252,7 @@ func (c *compiler) bind(global bool, name appkit.Ptr, kind, idx, arity int) {
 	if global {
 		reg, slot = c.file, sGEnv
 	}
-	en := c.e.Ralloc(reg, envEntrySize, c.clnEnv)
+	en := reg.Alloc(envEntrySize, c.clnEnv)
 	c.e.StorePtr(en+enNext, c.f.Get(slot))
 	c.e.StorePtr(en+enName, name)
 	c.sp.Store(en+enKind, uint32(kind))
@@ -314,7 +314,7 @@ func (c *compiler) accept(kind string) bool {
 }
 
 func (c *compiler) node(kind uint32, a, b, d appkit.Ptr, ptrs int) appkit.Ptr {
-	n := c.e.Ralloc(c.work, nodeSize, c.clnNode)
+	n := c.work.Alloc(nodeSize, c.clnNode)
 	c.sp.Store(n+aKind, kind)
 	// Fields that hold pointers must go through the barrier; immediates use
 	// plain stores. ptrs is a bitmask of which of a, b, d are pointers.
@@ -401,7 +401,7 @@ func (c *compiler) parsePrimary() appkit.Ptr {
 				if args != 0 {
 					c.expect(",")
 				}
-				cell := c.e.Ralloc(c.work, 8, c.clnCons)
+				cell := c.work.Alloc(8, c.clnCons)
 				c.e.StorePtr(cell, c.parseExpr())
 				if args == 0 {
 					args = cell
@@ -432,7 +432,7 @@ func (c *compiler) parseStmt() appkit.Ptr {
 	case c.accept("{"):
 		var head, tail appkit.Ptr
 		for !c.accept("}") {
-			cell := c.e.Ralloc(c.work, 8, c.clnCons)
+			cell := c.work.Alloc(8, c.clnCons)
 			if head == 0 {
 				head = cell
 				c.f.Set(sScr2, head)
@@ -523,7 +523,7 @@ func (c *compiler) parseTop() (appkit.Ptr, bool) {
 		if kw := c.expect("id").text; kw != "int" {
 			panic("minicc: expected int parameter")
 		}
-		cell := c.e.Ralloc(c.work, 8, c.clnCons)
+		cell := c.work.Alloc(8, c.clnCons)
 		c.e.StorePtr(cell, c.internName(c.expect("id").text))
 		if params == 0 {
 			params = cell

@@ -42,16 +42,16 @@ func runRegion(e appkit.RegionEnv, scale int, single bool) uint32 {
 		sPost
 	)
 
-	small := e.NewRegion()
+	small := appkit.NewBound(e)
 	large := small
 	if !single {
-		large = e.NewRegion()
+		large = appkit.NewBound(e)
 	}
 
 	// Index buckets with the postings; matrix and texts with the large data.
-	buckets := e.RarrayAlloc(small, idxBuckets, 4, clnPtr)
+	buckets := small.AllocArray(idxBuckets, 4, clnPtr)
 	f.Set(sBuckets, buckets)
-	matrix := e.RstrAlloc(large, scale*scale*4)
+	matrix := large.AllocStr(scale * scale * 4)
 	f.Set(sMatrix, matrix)
 	for i := 0; i < scale*scale; i++ {
 		sp.Store(matrix+appkit.Ptr(i*4), 0)
@@ -59,13 +59,13 @@ func runRegion(e appkit.RegionEnv, scale int, single bool) uint32 {
 
 	postings := 0
 	for d, doc := range docs {
-		text := e.RstrAlloc(large, textObjSize(len(doc)))
+		text := large.AllocStr(textObjSize(len(doc)))
 		f.Set(sText, text)
 		sp.Store(text+txtLen, uint32(len(doc)))
 		appkit.StoreBytes(sp, text+txtBytes, doc)
 
 		for _, fp := range fingerprintDoc(sp, text) {
-			post := e.Ralloc(small, postingSize, clnPost)
+			post := small.Alloc(postingSize, clnPost)
 			b := buckets + appkit.Ptr(fp.hash%idxBuckets*4)
 			e.StorePtr(post+pNext, sp.Load(b))
 			sp.Store(post+pHash, fp.hash)
@@ -78,9 +78,9 @@ func runRegion(e appkit.RegionEnv, scale int, single bool) uint32 {
 			// small nodes; the optimized version segregates it.
 			var snip appkit.Ptr
 			if single {
-				snip = e.Ralloc(large, snippetObjSize(), clnSnip)
+				snip = large.Alloc(snippetObjSize(), clnSnip)
 			} else {
-				snip = e.RstrAlloc(large, snippetObjSize())
+				snip = large.AllocStr(snippetObjSize())
 			}
 			writeSnippet(sp, snip, doc, fp.pos)
 			e.StorePtr(post+pSnippet, snip)
@@ -94,7 +94,7 @@ func runRegion(e appkit.RegionEnv, scale int, single bool) uint32 {
 
 	scorePairs(sp, buckets, matrix, scale)
 	matches := collectMatches(sp, matrix, scale)
-	cov := e.RstrAlloc(large, scale*4)
+	cov := large.AllocStr(scale * 4)
 	f.Set(sText, cov)
 	coveragePass(sp, buckets, cov, scale)
 	for d := 0; d < scale; d++ {
@@ -107,11 +107,11 @@ func runRegion(e appkit.RegionEnv, scale int, single bool) uint32 {
 	f.Set(sMatrix, 0)
 	// The postings hold counted pointers into the large region, so the
 	// small region must go first; its cleanups release those references.
-	if !e.DeleteRegion(small) {
+	if !small.Delete() {
 		panic("moss: small region not deletable")
 	}
 	if !single {
-		if !e.DeleteRegion(large) {
+		if !large.Delete() {
 			panic("moss: large region not deletable")
 		}
 	}

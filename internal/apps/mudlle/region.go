@@ -49,10 +49,10 @@ type compiler struct {
 
 	clnSym, clnNode, clnCons, clnDef, clnEnv, clnChunk, clnPtr appkit.CleanupID
 
-	ast appkit.Region
+	ast appkit.BoundRegion
 
 	// Function-compile scratch (reset per function).
-	fnReg   appkit.Region
+	fnReg   appkit.BoundRegion
 	chunks  []appkit.Ptr // host mirror of the chunk list for patching
 	pc      int
 	nlocals int
@@ -226,7 +226,7 @@ func (c *compiler) intern(name string) appkit.Ptr {
 			return s
 		}
 	}
-	s := c.e.Ralloc(c.ast, symChars+(len(name)+3)&^3, c.clnSym)
+	s := c.ast.Alloc(symChars+(len(name)+3)&^3, c.clnSym)
 	c.e.StorePtr(s+symNext, sp.Load(b))
 	sp.Store(s+symLen, uint32(len(name)))
 	appkit.StoreBytes(sp, s+symChars, []byte(name))
@@ -261,7 +261,7 @@ func (c *compiler) expect(kind byte) token {
 }
 
 func (c *compiler) newNode(kind uint32) appkit.Ptr {
-	n := c.e.Ralloc(c.ast, nodeSize, c.clnNode)
+	n := c.ast.Alloc(nodeSize, c.clnNode)
 	c.sp.Store(n+nKind, kind)
 	return n
 }
@@ -319,7 +319,7 @@ func (c *compiler) parseArgs() appkit.Ptr {
 		return 0
 	}
 	// Build in order: the car is parsed first, then the tail.
-	cell := c.e.Ralloc(c.ast, 8, c.clnCons)
+	cell := c.ast.Alloc(8, c.clnCons)
 	c.e.StorePtr(cell, c.parseExpr())
 	c.e.StorePtr(cell+4, c.parseArgs())
 	return cell
@@ -336,7 +336,7 @@ func (c *compiler) parseDefine() appkit.Ptr {
 	var params appkit.Ptr
 	var tail appkit.Ptr
 	for c.peek().kind == 's' {
-		cell := c.e.Ralloc(c.ast, 8, c.clnCons)
+		cell := c.ast.Alloc(8, c.clnCons)
 		c.e.StorePtr(cell, c.intern(c.nextT().text))
 		if params == 0 {
 			params = cell
@@ -347,7 +347,7 @@ func (c *compiler) parseDefine() appkit.Ptr {
 		tail = cell
 	}
 	c.expect(')')
-	def := c.e.Ralloc(c.ast, 16, c.clnDef)
+	def := c.ast.Alloc(16, c.clnDef)
 	c.e.StorePtr(def+4, name)
 	c.e.StorePtr(def+8, params)
 	c.f.Set(sScratch, def)
@@ -364,7 +364,7 @@ func (c *compiler) emit(bytes ...byte) {
 	for _, b := range bytes {
 		cur := c.f.Get(sChunks)
 		if cur == 0 || sp.Load(cur+chUsed) == chunkCap {
-			nc := c.e.Ralloc(c.fnReg, chBytes+chunkCap, c.clnChunk)
+			nc := c.fnReg.Alloc(chBytes+chunkCap, c.clnChunk)
 			if cur != 0 {
 				// Chunks link newest-first is wrong for replay; keep a
 				// host-side ordered mirror and link for cleanup only.
@@ -410,7 +410,7 @@ func (c *compiler) symName(sym appkit.Ptr) string {
 
 // bind pushes a new environment entry in the function region.
 func (c *compiler) bind(sym appkit.Ptr, slot int) {
-	e := c.e.Ralloc(c.fnReg, 12, c.clnEnv)
+	e := c.fnReg.Alloc(12, c.clnEnv)
 	c.e.StorePtr(e+envNext, c.f.Get(sEnv))
 	c.e.StorePtr(e+envSym, sym) // cross-region pointer into the file region
 	c.sp.Store(e+envSlot, uint32(slot))
@@ -473,7 +473,7 @@ func (c *compiler) gen(n appkit.Ptr) {
 // copies it into the module image and deletes the region.
 func (c *compiler) compileFn(def appkit.Ptr) {
 	sp := c.sp
-	c.fnReg = c.e.NewRegion()
+	c.fnReg = appkit.NewBound(c.e)
 	c.chunks = c.chunks[:0]
 	c.pc = 0
 	c.f.Set(sEnv, 0)
@@ -522,30 +522,30 @@ func (c *compiler) compileFn(def appkit.Ptr) {
 	// The function's scratch dies all at once.
 	c.f.Set(sEnv, 0)
 	c.f.Set(sChunks, 0)
-	if !c.e.DeleteRegion(c.fnReg) {
+	if !c.fnReg.Delete() {
 		panic("mudlle: function region not deletable")
 	}
-	c.fnReg = nil
+	c.fnReg = appkit.BoundRegion{}
 }
 
 // compileFile runs the whole pipeline for one compilation of src and
 // returns the VM result of main plus the module size.
 func (c *compiler) compileFile(src []byte) (int32, uint32) {
 	e, sp := c.e, c.sp
-	c.ast = e.NewRegion()
+	c.ast = appkit.NewBound(e)
 	c.nfns = 0
 	c.moduleOff = 0
 
 	// The source text lives in the file region, like the original's input
 	// buffer; the lexer reads it back out of the heap.
-	text := e.RstrAlloc(c.ast, len(src))
+	text := c.ast.AllocStr(len(src))
 	appkit.StoreBytes(sp, text, src)
 	c.toks = c.lex(text, len(src))
 	c.pos = 0
 
-	c.f.Set(sSymtab, e.RarrayAlloc(c.ast, symBuckets, 4, c.clnPtr))
-	c.f.Set(sModule, e.RstrAlloc(c.ast, moduleCap))
-	meta := e.RstrAlloc(c.ast, maxFns*metaEntry)
+	c.f.Set(sSymtab, c.ast.AllocArray(symBuckets, 4, c.clnPtr))
+	c.f.Set(sModule, c.ast.AllocStr(moduleCap))
+	meta := c.ast.AllocStr(maxFns * metaEntry)
 	c.f.Set(sMeta, meta)
 
 	mainIdx := -1
@@ -571,9 +571,9 @@ func (c *compiler) compileFile(src []byte) (int32, uint32) {
 	for i := 0; i < numSlots; i++ {
 		c.f.Set(i, 0)
 	}
-	if !e.DeleteRegion(c.ast) {
+	if !c.ast.Delete() {
 		panic("mudlle: file region not deletable")
 	}
-	c.ast = nil
+	c.ast = appkit.BoundRegion{}
 	return result, modHash
 }

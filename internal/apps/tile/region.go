@@ -41,10 +41,10 @@ func RunRegion(e appkit.RegionEnv, scale int) uint32 {
 		sRight
 	)
 
-	doc := e.NewRegion()
+	doc := appkit.NewBound(e)
 
 	// Vocabulary hash table: ralloc'd (and therefore cleared) bucket array.
-	vocab := e.RarrayAlloc(doc, hashBuckets, 4, clnPtr)
+	vocab := doc.AllocArray(hashBuckets, 4, clnPtr)
 	f.Set(sVocab, vocab)
 
 	nextID := uint32(0)
@@ -59,7 +59,7 @@ func RunRegion(e appkit.RegionEnv, scale int) uint32 {
 			node = sp.Load(node + wNext)
 		}
 		if node == 0 {
-			node = e.Ralloc(doc, wordNodeSize(len(w)), clnWord)
+			node = doc.Alloc(wordNodeSize(len(w)), clnWord)
 			e.StorePtr(node+wNext, sp.Load(b))
 			sp.Store(node+wID, nextID)
 			sp.Store(node+wLen, uint32(len(w)))
@@ -71,7 +71,7 @@ func RunRegion(e appkit.RegionEnv, scale int) uint32 {
 
 		cur := f.Get(sCur)
 		if cur == 0 || sp.Load(cur+tN) == chunkCap {
-			nc := e.Ralloc(doc, tokenChunkSize(), clnChunk)
+			nc := doc.Alloc(tokenChunkSize(), clnChunk)
 			if cur == 0 {
 				f.Set(sChunks, nc)
 			} else {
@@ -91,7 +91,7 @@ func RunRegion(e appkit.RegionEnv, scale int) uint32 {
 	var sims []uint32
 	var gaps []int
 	for g := windowSize; g+windowSize <= nBlocks; g += gapStride {
-		tmp := e.NewRegion()
+		tmp := appkit.NewBound(e)
 		left := buildGapTableRegion(e, tmp, clnGap, clnPtr, f, sLeft, g-windowSize, g)
 		right := buildGapTableRegion(e, tmp, clnGap, clnPtr, f, sRight, g, g+windowSize)
 		sims = append(sims, cosine(sp, left, right))
@@ -99,7 +99,7 @@ func RunRegion(e appkit.RegionEnv, scale int) uint32 {
 		// Clear the stale locals, then drop the whole scratch region.
 		f.Set(sLeft, 0)
 		f.Set(sRight, 0)
-		if !e.DeleteRegion(tmp) {
+		if !tmp.Delete() {
 			panic("tile: scratch region not deletable")
 		}
 		e.Safepoint()
@@ -114,7 +114,7 @@ func RunRegion(e appkit.RegionEnv, scale int) uint32 {
 	f.Set(sVocab, 0)
 	f.Set(sChunks, 0)
 	f.Set(sCur, 0)
-	if !e.DeleteRegion(doc) {
+	if !doc.Delete() {
 		panic("tile: document region not deletable")
 	}
 	e.Finalize()
@@ -123,10 +123,10 @@ func RunRegion(e appkit.RegionEnv, scale int) uint32 {
 
 // buildGapTableRegion counts word occurrences of blocks [from, to) into a
 // fresh table allocated in the scratch region.
-func buildGapTableRegion(e appkit.RegionEnv, tmp appkit.Region, clnGap, clnPtr appkit.CleanupID,
+func buildGapTableRegion(e appkit.RegionEnv, tmp appkit.BoundRegion, clnGap, clnPtr appkit.CleanupID,
 	f appkit.Frame, slot, from, to int) appkit.Ptr {
 	sp := e.Space()
-	table := e.RarrayAlloc(tmp, gapBuckets, 4, clnPtr)
+	table := tmp.AllocArray(gapBuckets, 4, clnPtr)
 	f.Set(slot, table)
 	forEachToken(sp, f.Get(sChunksSlot), from*blockTokens, to*blockTokens, func(id uint32) {
 		b := table + appkit.Ptr(id%gapBuckets*4)
@@ -135,7 +135,7 @@ func buildGapTableRegion(e appkit.RegionEnv, tmp appkit.Region, clnGap, clnPtr a
 			node = sp.Load(node + gNext)
 		}
 		if node == 0 {
-			node = e.Ralloc(tmp, 12, clnGap)
+			node = tmp.Alloc(12, clnGap)
 			e.StorePtr(node+gNext, sp.Load(b))
 			sp.Store(node+gID, id)
 			e.StorePtr(b, node)

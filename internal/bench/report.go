@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// Report is the checked-in benchmark artifact (BENCH_PR3.json); see
+// docs/PERFORMANCE.md for the field-by-field schema and how to regenerate
+// it. Wall-clock fields vary with the host; the simulated-cycle fields and
+// checksums are deterministic.
+type Report struct {
+	Schema     string             `json:"schema"`
+	GoMaxProcs int                `json:"goMaxProcs"`
+	NumCPU     int                `json:"numCPU"`
+	ScaleDiv   int                `json:"scaleDiv"`
+	Repeats    int                `json:"repeats"`
+	Micro      []MicroResult      `json:"micro"`
+	Throughput []ThroughputResult `json:"throughput"`
+}
+
+// BenchShardCounts is the shard sweep the report runs.
+var BenchShardCounts = []int{1, 2, 4, 8}
+
+// BuildBenchReport runs the micro benchmarks and the shard throughput sweep
+// and assembles the report.
+func BuildBenchReport(scaleDiv, repeats int) (*Report, error) {
+	tp, err := ThroughputSweep(scaleDiv, repeats, BenchShardCounts)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Schema:     "regions-bench/v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		ScaleDiv:   scaleDiv,
+		Repeats:    repeats,
+		Micro:      RunMicro(),
+		Throughput: tp,
+	}, nil
+}
+
+// WriteBenchReport writes the report as indented JSON.
+func WriteBenchReport(w io.Writer, scaleDiv, repeats int) error {
+	r, err := BuildBenchReport(scaleDiv, repeats)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// PrintThroughput renders one throughput run as a human-readable line.
+func PrintThroughput(w io.Writer, r ThroughputResult) {
+	fmt.Fprintf(w, "shards=%d tasks=%d wall=%.2fs (%.1f tasks/s) sim-makespan=%.1f Mcycles checksum=%#x\n",
+		r.Shards, r.Tasks, r.WallSeconds, r.TasksPerSec, r.SimMakespanMcycles, r.Checksum)
+}

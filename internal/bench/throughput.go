@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"regions/internal/apps/appkit"
+	"regions/internal/shard"
+)
+
+// ThroughputResult is one whole-app throughput run: every benchmark app
+// submitted Repeats times to an engine of Shards shards. Wall-clock numbers
+// depend on the host; the simulated makespan (the maximum modelled cycle
+// count over shards, since shards are independent machines running
+// concurrently) is deterministic and is what scaling claims should cite.
+type ThroughputResult struct {
+	Shards             int     `json:"shards"`
+	Tasks              int     `json:"tasks"`
+	WallSeconds        float64 `json:"wallSeconds"`
+	TasksPerSec        float64 `json:"tasksPerSec"`
+	SimMakespanMcycles float64 `json:"simMakespanMcycles"`
+	SimTotalMcycles    float64 `json:"simTotalMcycles"`
+	// SimSpeedup is the 1-shard makespan divided by this run's makespan;
+	// filled by ThroughputSweep, 0 on standalone runs.
+	SimSpeedup float64 `json:"simSpeedup,omitempty"`
+	Checksum   uint32  `json:"checksum"`
+}
+
+// RunThroughput drives the six benchmark apps through a shard engine:
+// repeats copies of each app, submitted app-major so round-robin placement
+// spreads each app's copies across shards. Returns an error if any task
+// failed.
+func RunThroughput(shards, scaleDiv, repeats int) (ThroughputResult, error) {
+	if scaleDiv < 1 {
+		scaleDiv = 1
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	eng := shard.New(shard.Config{Shards: shards})
+	start := time.Now()
+	for _, app := range Apps() {
+		app := app
+		scale := app.DefaultScale / scaleDiv
+		if scale < 1 {
+			scale = 1
+		}
+		for rep := 0; rep < repeats; rep++ {
+			eng.Submit(shard.Task{
+				Name: app.Name,
+				Run:  func(e appkit.RegionEnv) uint32 { return app.Region(e, scale) },
+			})
+		}
+	}
+	agg := eng.Close()
+	wall := time.Since(start).Seconds()
+	if agg.Failures > 0 {
+		for _, s := range agg.PerShard {
+			if s.LastError != "" {
+				return ThroughputResult{}, fmt.Errorf("bench: %d task failures, e.g. %s", agg.Failures, s.LastError)
+			}
+		}
+		return ThroughputResult{}, fmt.Errorf("bench: %d task failures", agg.Failures)
+	}
+	return ThroughputResult{
+		Shards:             shards,
+		Tasks:              int(agg.Tasks),
+		WallSeconds:        wall,
+		TasksPerSec:        float64(agg.Tasks) / wall,
+		SimMakespanMcycles: float64(agg.MakespanCycles) / 1e6,
+		SimTotalMcycles:    float64(agg.TotalCycles) / 1e6,
+		Checksum:           agg.Checksum,
+	}, nil
+}
+
+// ThroughputSweep runs the same workload at every shard count, checks the
+// aggregate checksum is placement-independent, and fills each result's
+// simulated speedup relative to the 1-shard run.
+func ThroughputSweep(scaleDiv, repeats int, shardCounts []int) ([]ThroughputResult, error) {
+	var out []ThroughputResult
+	for _, n := range shardCounts {
+		r, err := RunThroughput(n, scaleDiv, repeats)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	base := out[0]
+	for i := range out {
+		if out[i].Checksum != base.Checksum {
+			return nil, fmt.Errorf("bench: checksum at %d shards = %#x, want %#x — placement changed results",
+				out[i].Shards, out[i].Checksum, base.Checksum)
+		}
+		if out[i].SimMakespanMcycles > 0 {
+			out[i].SimSpeedup = base.SimMakespanMcycles / out[i].SimMakespanMcycles
+		}
+	}
+	return out, nil
+}

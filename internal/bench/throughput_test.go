@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+// TestThroughputSweepScalesAndAgrees runs the whole-app workload at 1, 2,
+// and 4 shards at a small scale: the aggregate checksum must be
+// placement-independent and the simulated makespan must shrink with shard
+// count (the modelled scaling the engine exists for).
+func TestThroughputSweepScalesAndAgrees(t *testing.T) {
+	results, err := ThroughputSweep(48, 2, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for _, r := range results[1:] {
+		if r.Checksum != results[0].Checksum {
+			t.Fatalf("checksum at %d shards differs", r.Shards)
+		}
+	}
+	if s := results[1].SimSpeedup; s < 1.5 {
+		t.Fatalf("2-shard simulated speedup %.2f, want >= 1.5", s)
+	}
+	if s := results[2].SimSpeedup; s < 2 {
+		t.Fatalf("4-shard simulated speedup %.2f, want >= 2", s)
+	}
+}

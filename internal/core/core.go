@@ -95,10 +95,18 @@ type Region struct {
 }
 
 // Options configures a Runtime beyond the paper's two libraries, enabling
-// the ablation experiments.
+// the ablation experiments and the sharded throughput engine.
 type Options struct {
 	// Safe enables reference counting, stack scanning, and cleanups.
 	Safe bool
+	// PageBatch, when above 1, makes the runtime request free pages from
+	// the simulated OS in batches of this size and serve single-page needs
+	// from the resulting free-page cache. The default (0 or 1) maps pages
+	// one at a time, exactly as the paper's library does; shard runtimes
+	// set a batch so steady-state region churn stops round-tripping
+	// through the OS. Batching changes only when OS calls happen, not the
+	// simulated cycle accounting of allocation itself.
+	PageBatch int
 	// NoColoring disables the 64-byte offsets of region structures in
 	// their first pages (Section 4.1's cache-conflict mitigation).
 	NoColoring bool
@@ -122,9 +130,9 @@ type Runtime struct {
 	opts  Options
 
 	regions   []*Region
-	pageOwner []int32       // page number -> region id, -1 if none
-	freePages []Ptr         // single free pages available for reuse
-	freeSpans map[int][]Ptr // freed multi-page entries by page count
+	pages     pageIndex // dense page number -> region map (see pageindex.go)
+	freePages []Ptr     // single free pages available for reuse
+	spans     freeSpanTable
 	colorSeq  int
 
 	cleanups     []cleanupEntry
@@ -211,43 +219,43 @@ func (rt *Runtime) charge(mode stats.Mode, n uint64) {
 // ---------------------------------------------------------------------------
 // Pages and the page-to-region map
 
-func (rt *Runtime) notePages(first Ptr, n int, id int32) {
-	firstNo := int(first >> mem.PageShift)
-	for len(rt.pageOwner) < firstNo+n {
-		rt.pageOwner = append(rt.pageOwner, -1)
-	}
-	for i := 0; i < n; i++ {
-		rt.pageOwner[firstNo+i] = id
-	}
+func (rt *Runtime) notePages(first Ptr, n int, r *Region) {
+	rt.pages.set(first, n, r)
 }
 
-// acquirePages returns n contiguous zeroed pages owned by region id, or 0
+// acquirePages returns n contiguous zeroed pages owned by region r, or 0
 // when the free lists cannot satisfy the request and the simulated OS
-// refuses to map fresh pages. Single pages come from the free page list;
-// freed multi-page spans are reused for allocations of the same page count.
-func (rt *Runtime) acquirePages(n int, id int32) Ptr {
+// refuses to map fresh pages. Single pages come from the free page list
+// (refilled in batches when Options.PageBatch is set); freed multi-page
+// spans are reused for allocations of the same page count.
+func (rt *Runtime) acquirePages(n int, r *Region) Ptr {
 	rt.charge(stats.ModeAlloc, 2) // list manipulation
-	if n == 1 && len(rt.freePages) > 0 {
-		p := rt.freePages[len(rt.freePages)-1]
-		rt.freePages = rt.freePages[:len(rt.freePages)-1]
-		rt.space.ZeroPageFree(p)
-		rt.notePages(p, 1, id)
-		return p
-	}
-	if spans := rt.freeSpans[n]; n > 1 && len(spans) > 0 {
-		p := spans[len(spans)-1]
-		rt.freeSpans[n] = spans[:len(spans)-1]
-		for i := 0; i < n; i++ {
-			rt.space.ZeroPageFree(p + Ptr(i)<<mem.PageShift)
+	if n == 1 {
+		if len(rt.freePages) == 0 {
+			rt.refillPageCache()
 		}
-		rt.notePages(p, n, id)
-		return p
+		if len(rt.freePages) > 0 {
+			p := rt.freePages[len(rt.freePages)-1]
+			rt.freePages = rt.freePages[:len(rt.freePages)-1]
+			rt.space.ZeroPageFree(p)
+			rt.notePages(p, 1, r)
+			return p
+		}
+	}
+	if n > 1 {
+		if p := rt.spans.take(n); p != 0 {
+			for i := 0; i < n; i++ {
+				rt.space.ZeroPageFree(p + Ptr(i)<<mem.PageShift)
+			}
+			rt.notePages(p, n, r)
+			return p
+		}
 	}
 	p := rt.space.MapPages(n)
 	if p == 0 {
 		return 0
 	}
-	rt.notePages(p, n, id)
+	rt.notePages(p, n, r)
 	return p
 }
 
@@ -258,17 +266,14 @@ func (rt *Runtime) acquirePages(n int, id int32) Ptr {
 // stray writes into free pages; reuse paths re-zero before handing out.
 func (rt *Runtime) releaseEntry(first Ptr, n int) {
 	rt.charge(stats.ModeFree, uint64(1+n))
-	rt.notePages(first, n, -1)
+	rt.notePages(first, n, nil)
 	if !rt.opts.NoPoison {
 		for i := 0; i < n; i++ {
 			rt.space.PoisonPageFree(first + Ptr(i)<<mem.PageShift)
 		}
 	}
 	if n > 1 {
-		if rt.freeSpans == nil {
-			rt.freeSpans = map[int][]Ptr{}
-		}
-		rt.freeSpans[n] = append(rt.freeSpans[n], first)
+		rt.spans.put(first, n)
 		return
 	}
 	rt.freePages = append(rt.freePages, first)
@@ -276,20 +281,15 @@ func (rt *Runtime) releaseEntry(first Ptr, n int) {
 
 // RegionOf returns the region containing p, or nil if p is not a region
 // address (nil, global storage, or allocator-free space). This is the
-// paper's regionof, backed by the page-to-region map (Section 4.1).
+// paper's regionof, backed by the dense page-index array (Section 4.1):
+// a shift, one bounds check, and one load. The nil pointer needs no test
+// of its own — it lands on the reserved page 0, which is never owned.
 func (rt *Runtime) RegionOf(p Ptr) *Region {
-	if p == 0 {
+	pg := p >> mem.PageShift
+	if pg >= Ptr(len(rt.pages.owners)) {
 		return nil
 	}
-	pg := int(p >> mem.PageShift)
-	if pg >= len(rt.pageOwner) {
-		return nil
-	}
-	id := rt.pageOwner[pg]
-	if id < 0 {
-		return nil
-	}
-	return rt.regions[id]
+	return rt.pages.owners[pg]
 }
 
 // ---------------------------------------------------------------------------
@@ -317,11 +317,11 @@ func (rt *Runtime) TryNewRegion() (*Region, error) {
 	rt.charge(stats.ModeAlloc, 3)
 
 	id := int32(len(rt.regions))
-	page := rt.acquirePages(1, id)
+	r := &Region{rt: rt, id: id}
+	page := rt.acquirePages(1, r)
 	if page == 0 {
 		return nil, rt.oomFault("newregion", id)
 	}
-	r := &Region{rt: rt, id: id}
 	rt.regions = append(rt.regions, r)
 
 	color := Ptr(rt.colorSeq*colorStep) % (colorMax + colorStep)
@@ -366,7 +366,7 @@ func (rt *Runtime) bump(r *Region, firstOff, availOff Ptr, total int) Ptr {
 	npages := (total + mem.WordSize + mem.PageSize - 1) / mem.PageSize
 	if npages == 1 {
 		// New head page; allocation continues from it.
-		page := rt.acquirePages(1, r.id)
+		page := rt.acquirePages(1, r)
 		if page == 0 {
 			return 0
 		}
@@ -378,7 +378,7 @@ func (rt *Runtime) bump(r *Region, firstOff, availOff Ptr, total int) Ptr {
 	// Multi-page entry, a lifting of the paper prototype's one-page limit:
 	// link it behind the current head so small allocations keep filling the
 	// head page's remaining space.
-	span := rt.acquirePages(npages, r.id)
+	span := rt.acquirePages(npages, r)
 	if span == 0 {
 		return 0
 	}
@@ -396,13 +396,18 @@ func (rt *Runtime) bump(r *Region, firstOff, availOff Ptr, total int) Ptr {
 	return span + mem.WordSize
 }
 
-func (rt *Runtime) checkLive(r *Region) {
+// checkLive guards the allocators. A nil region is API misuse and panics
+// even on the Try* paths; a deleted region is a runtime condition (use
+// after free) reported as a *Fault, which Try* callers receive as an error
+// and the paper-shaped wrappers convert to a panic.
+func (rt *Runtime) checkLive(r *Region) error {
 	if r == nil {
 		panic("core: nil region")
 	}
 	if r.deleted {
-		panic(rt.fault(FaultDeletedRegion, r.hdr, r.id, errDeleted, nil))
+		return rt.fault(FaultDeletedRegion, r.hdr, r.id, errDeleted, nil)
 	}
+	return nil
 }
 
 // Ralloc allocates size bytes of cleared memory with the given cleanup in
@@ -420,7 +425,9 @@ func (rt *Runtime) Ralloc(r *Region, size int, cln CleanupID) Ptr {
 // panicking when the simulated OS refuses pages. On failure the region is
 // unchanged.
 func (rt *Runtime) TryRalloc(r *Region, size int, cln CleanupID) (Ptr, error) {
-	rt.checkLive(r)
+	if err := rt.checkLive(r); err != nil {
+		return 0, err
+	}
 	hdr := rt.encodeCleanup(cln, false)
 	old := rt.space.SetMode(stats.ModeAlloc)
 	defer rt.space.SetMode(old)
@@ -462,7 +469,9 @@ func (rt *Runtime) RarrayAlloc(r *Region, n, elemSize int, cln CleanupID) Ptr {
 // of panicking when the simulated OS refuses pages. On failure the region is
 // unchanged.
 func (rt *Runtime) TryRarrayAlloc(r *Region, n, elemSize int, cln CleanupID) (Ptr, error) {
-	rt.checkLive(r)
+	if err := rt.checkLive(r); err != nil {
+		return 0, err
+	}
 	if n < 0 || elemSize < 0 {
 		panic("core: negative array allocation")
 	}
@@ -509,7 +518,9 @@ func (rt *Runtime) RstrAlloc(r *Region, size int) Ptr {
 // panicking when the simulated OS refuses pages. On failure the region is
 // unchanged.
 func (rt *Runtime) TryRstrAlloc(r *Region, size int) (Ptr, error) {
-	rt.checkLive(r)
+	if err := rt.checkLive(r); err != nil {
+		return 0, err
+	}
 	old := rt.space.SetMode(stats.ModeAlloc)
 	defer rt.space.SetMode(old)
 	rt.charge(stats.ModeAlloc, 4)
@@ -542,9 +553,29 @@ func (rt *Runtime) TryRstrAlloc(r *Region, size int) (Ptr, error) {
 //
 // Deleting an already-deleted region panics with a *Fault of kind
 // FaultDeletedRegion: the paper's API nulls the caller's handle on success,
-// which Go handles cannot express.
+// which Go handles cannot express. TryDeleteRegion is the graceful variant
+// and the primitive this method derives from (see docs/API.md).
 func (rt *Runtime) DeleteRegion(r *Region) bool {
-	rt.checkLive(r)
+	ok, err := rt.TryDeleteRegion(r)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// TryDeleteRegion is the deletion primitive. It reports whether r was
+// deleted; live external references make it a failing no-op returning
+// (false, nil), exactly like DeleteRegion. Misuse — deleting an
+// already-deleted region — returns (false, *Fault) with kind
+// FaultDeletedRegion instead of panicking. A nil region is an API-misuse
+// panic, as everywhere else in the runtime.
+func (rt *Runtime) TryDeleteRegion(r *Region) (bool, error) {
+	if r == nil {
+		panic("core: nil region")
+	}
+	if r.deleted {
+		return false, rt.fault(FaultDeletedRegion, r.hdr, r.id, errDeleted, nil)
+	}
 
 	if rt.safe {
 		// Scan all frames but the active one; the active frame (which plays
@@ -574,7 +605,7 @@ func (rt *Runtime) DeleteRegion(r *Region) bool {
 				rt.tracer.Emit(trace.Event{Kind: trace.KindRegionDeleteFail,
 					Region: r.id, Aux: int32(rc)})
 			}
-			return false
+			return false, nil
 		}
 		rt.runCleanups(r)
 	}
@@ -605,7 +636,7 @@ func (rt *Runtime) DeleteRegion(r *Region) bool {
 		rt.tracer.Emit(trace.Event{Kind: trace.KindRegionDelete, Region: r.id,
 			Size: int32(bytes), Aux: int32(r.allocs)})
 	}
-	return true
+	return true, nil
 }
 
 // FinalizeStats folds regions still live at the end of a run into the

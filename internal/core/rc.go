@@ -145,7 +145,7 @@ func (rt *Runtime) TryAllocGlobals(nwords int) (Ptr, error) {
 		if seg == 0 {
 			return 0, rt.oomFault("allocglobals", -1)
 		}
-		rt.notePages(seg, pages, -1)
+		rt.notePages(seg, pages, nil)
 		if rt.globalSeg != 0 {
 			rt.globalRanges = append(rt.globalRanges, [2]Ptr{rt.globalSeg, rt.globalNext})
 		}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"regions/internal/mem"
+)
+
+// recycleExercise drives a runtime through seeded random region churn —
+// creates, small and multi-page allocations, deletes, and full drains —
+// verifying the heap invariants after every step and spot-checking the
+// poison/zero discipline: memory handed out by an allocator is cleared
+// (scanned paths) and a deleted region's pages are poisoned until reuse.
+func recycleExercise(t *testing.T, rt *Runtime, seed int64, steps int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sp := rt.Space()
+
+	type liveRegion struct {
+		r    *Region
+		ptrs []Ptr
+	}
+	var live []liveRegion
+
+	check := func(op string) {
+		t.Helper()
+		if err := rt.Verify(); err != nil {
+			t.Fatalf("seed %d: invariants violated after %s: %v", seed, op, err)
+		}
+	}
+
+	deleteAt := func(i int) {
+		t.Helper()
+		lr := live[i]
+		if !rt.DeleteRegion(lr.r) {
+			t.Fatalf("seed %d: region with no references not deletable", seed)
+		}
+		// The dense index must forget the pages, and the freed memory must
+		// be poisoned until an allocator reuses it.
+		for _, p := range lr.ptrs {
+			if got := rt.RegionOf(p); got != nil {
+				t.Fatalf("seed %d: RegionOf after delete = %v, want nil", seed, got)
+			}
+			if w := sp.Load(p &^ Ptr(mem.PageSize-1)); w != mem.PoisonWord {
+				t.Fatalf("seed %d: freed page not poisoned: %#x", seed, w)
+			}
+		}
+		live = append(live[:i], live[i+1:]...)
+		check("delete")
+	}
+
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 3 || len(live) == 0: // create
+			r := rt.NewRegion()
+			live = append(live, liveRegion{r: r})
+			check("create")
+		case op < 7: // allocate in a random region
+			i := rng.Intn(len(live))
+			r := live[i].r
+			var p Ptr
+			switch rng.Intn(3) {
+			case 0: // small scanned object on the bump path
+				size := 4 * (1 + rng.Intn(16))
+				p = rt.Ralloc(r, size, rt.SizeCleanup(size))
+				for off := 0; off < size; off += 4 {
+					if w := sp.Load(p + Ptr(off)); w != 0 {
+						t.Fatalf("seed %d: Ralloc memory not cleared: %#x", seed, w)
+					}
+				}
+			case 1: // pointer-free, possibly multi-page span
+				p = rt.RstrAlloc(r, 64+rng.Intn(3*mem.PageSize))
+			case 2: // cleared array
+				p = rt.RarrayAlloc(r, 1+rng.Intn(64), 8, rt.SizeCleanup(8))
+				if w := sp.Load(p); w != 0 {
+					t.Fatalf("seed %d: RarrayAlloc memory not cleared: %#x", seed, w)
+				}
+			}
+			live[i].ptrs = append(live[i].ptrs, p)
+			check("alloc")
+		case op < 9: // delete a random region
+			deleteAt(rng.Intn(len(live)))
+		default: // drain: delete everything, then refill from the free lists
+			for len(live) > 0 {
+				deleteAt(len(live) - 1)
+			}
+			for i := 0; i < 3; i++ {
+				r := rt.NewRegion()
+				live = append(live, liveRegion{r: r})
+				rt.RstrAlloc(r, mem.PageSize+rng.Intn(mem.PageSize))
+			}
+			check("drain-refill")
+		}
+	}
+	for len(live) > 0 {
+		deleteAt(len(live) - 1)
+	}
+}
+
+func TestRandomizedPageRecycling(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rt, _ := newRT(true)
+		recycleExercise(t, rt, seed, 400)
+	}
+}
+
+// TestRandomizedPageRecyclingBatched runs the same churn with the batched
+// free-page cache shards use: pages arrive from the simulated OS in batches
+// and region churn is served from the cache, and every invariant — poisoned
+// free pages included — must hold exactly as in the unbatched configuration.
+func TestRandomizedPageRecyclingBatched(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rt, _ := newRTOpts(Options{Safe: true, PageBatch: 8})
+		recycleExercise(t, rt, seed, 400)
+	}
+}

@@ -104,13 +104,13 @@ func (rt *Runtime) verify() *Fault {
 							"page also on region #%d's lists", prev)
 					}
 					seen[pg] = r.id
-					owner := int32(-1)
-					if pg < len(rt.pageOwner) {
-						owner = rt.pageOwner[pg]
-					}
-					if owner != r.id {
+					if owner := rt.pages.ownerAt(pg); owner != r {
+						ownerID := int32(-1)
+						if owner != nil {
+							ownerID = owner.id
+						}
 						return rt.invariant(a, r.id,
-							"page map attributes page to %d, page list to %d", owner, r.id)
+							"page map attributes page to %d, page list to %d", ownerID, r.id)
 					}
 				}
 				entry = link &^ Ptr(mem.PageSize-1)
@@ -119,19 +119,16 @@ func (rt *Runtime) verify() *Fault {
 	}
 
 	// 2. Page map, reverse direction.
-	for pg, id := range rt.pageOwner {
-		if id < 0 {
+	for pg, owner := range rt.pages.owners {
+		if owner == nil {
 			continue
 		}
 		a := Ptr(pg) << mem.PageShift
-		if int(id) >= len(rt.regions) {
-			return rt.invariant(a, id, "page map names unknown region")
+		if owner.deleted {
+			return rt.invariant(a, owner.id, "page map names deleted region")
 		}
-		if rt.regions[id].deleted {
-			return rt.invariant(a, id, "page map names deleted region")
-		}
-		if got, ok := seen[pg]; !ok || got != id {
-			return rt.invariant(a, id, "page not on its owner's page lists")
+		if got, ok := seen[pg]; !ok || got != owner.id {
+			return rt.invariant(a, owner.id, "page not on its owner's page lists")
 		}
 	}
 
@@ -143,8 +140,8 @@ func (rt *Runtime) verify() *Fault {
 			if !rt.space.Mapped(a) {
 				return rt.invariant(a, -1, "free page unmapped")
 			}
-			if pg < len(rt.pageOwner) && rt.pageOwner[pg] >= 0 {
-				return rt.invariant(a, rt.pageOwner[pg], "free page has an owner")
+			if owner := rt.pages.ownerAt(pg); owner != nil {
+				return rt.invariant(a, owner.id, "free page has an owner")
 			}
 			if rt.opts.NoPoison {
 				continue
@@ -163,12 +160,8 @@ func (rt *Runtime) verify() *Fault {
 			return f
 		}
 	}
-	for n, spans := range rt.freeSpans {
-		for _, p := range spans {
-			if f := checkFree(p, n); f != nil {
-				return f
-			}
-		}
+	if f := rt.spans.forEach(checkFree); f != nil {
+		return f
 	}
 
 	// 4. Object headers.

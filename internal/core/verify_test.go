@@ -110,7 +110,7 @@ func TestVerifyCatchesPageMapCorruption(t *testing.T) {
 	rt, regs := buildHealthyHeap(t)
 	// Point a page of region 0 at region 1 in the page map.
 	pg := int(regs[0].hdr >> mem.PageShift)
-	rt.pageOwner[pg] = regs[1].id
+	rt.pages.owners[pg] = regs[1]
 	wantInvariant(t, rt, "page map")
 }
 

@@ -1,0 +1,201 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regions/internal/apps/appkit"
+	"regions/internal/core"
+)
+
+// DefaultPageBatch is the free-page cache batch used by shard runtimes when
+// the config does not name one: each shard requests pages from its simulated
+// OS 64 at a time and serves region churn from the cache.
+const DefaultPageBatch = 64
+
+// Task is one unit of work for the engine. Run receives the executing
+// shard's environment and returns a checksum; checksums are summed (a
+// commutative fold) into the shard's stats, so any placement of a fixed
+// task set yields the same aggregate checksum — the engine's determinism
+// gate. Summing rather than XOR keeps repeated identical tasks from
+// cancelling out.
+type Task struct {
+	// Name labels the task in failure reports.
+	Name string
+	// Affinity, when non-empty, pins the task to the shard all tasks with
+	// this key hash to; empty-key tasks are placed round-robin.
+	Affinity string
+	// Run executes the task on the shard's environment.
+	Run func(env appkit.RegionEnv) uint32
+}
+
+// Config sizes an Engine.
+type Config struct {
+	// Shards is the number of independent runtimes; values below 1 become 1.
+	Shards int
+	// PageBatch overrides DefaultPageBatch for each shard's free-page
+	// cache; 1 disables batching, 0 means the default.
+	PageBatch int
+	// Queue is the per-shard pending-task buffer (default 32).
+	Queue int
+	// Unsafe runs every shard on the unsafe region library (no reference
+	// counting), for measuring the cost of safety under load.
+	Unsafe bool
+}
+
+// Stats is one shard's tally, owned by the shard goroutine until Close.
+type Stats struct {
+	Shard     int
+	Tasks     uint64
+	Failures  uint64
+	LastError string        // first line of the most recent task failure
+	Checksum  uint32        // sum of completed task checksums
+	SimCycles uint64        // simulated cycles charged on this shard
+	OSBytes   uint64        // memory the shard requested from its OS
+	Busy      time.Duration // wall-clock time spent inside tasks
+}
+
+// Aggregate is the whole engine's tally after Close.
+type Aggregate struct {
+	Shards   int
+	Tasks    uint64
+	Failures uint64
+	Checksum uint32 // summed across shards; placement-independent
+	// MakespanCycles is the modelled completion time of the workload: the
+	// maximum simulated cycle count over shards, since shards run
+	// concurrently in wall time but each is its own simulated machine.
+	MakespanCycles uint64
+	// TotalCycles sums simulated cycles over all shards (the work done).
+	TotalCycles uint64
+	PerShard    []Stats
+}
+
+type worker struct {
+	env   *Env
+	tasks chan Task
+	stats Stats
+}
+
+// Engine distributes tasks over N shard workers. Submit may be called from
+// any goroutine; Close waits for the queues to drain and returns the tally.
+type Engine struct {
+	shards []*worker
+	rr     atomic.Uint32
+	wg     sync.WaitGroup
+}
+
+// New starts an engine with cfg.Shards workers, each owning an independent
+// safe (or unsafe) region runtime with a batched free-page cache.
+func New(cfg Config) *Engine {
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	queue := cfg.Queue
+	if queue <= 0 {
+		queue = 32
+	}
+	batch := cfg.PageBatch
+	if batch == 0 {
+		batch = DefaultPageBatch
+	}
+	e := &Engine{shards: make([]*worker, n)}
+	for i := 0; i < n; i++ {
+		w := &worker{
+			env:   NewEnv(shardName(i), core.Options{Safe: !cfg.Unsafe, PageBatch: batch}),
+			tasks: make(chan Task, queue),
+		}
+		w.stats.Shard = i
+		e.shards[i] = w
+		e.wg.Add(1)
+		go w.loop(&e.wg)
+	}
+	return e
+}
+
+// Shards returns the number of workers.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// ShardFor returns the shard index an affinity key maps to.
+func (e *Engine) ShardFor(key string) int {
+	return int(fnv32a(key) % uint32(len(e.shards)))
+}
+
+// Submit places t on a shard — by affinity key when one is set, round-robin
+// otherwise — and blocks only when that shard's queue is full. Submitting
+// after Close panics (send on closed channel), like writing to a closed
+// pipe.
+func (e *Engine) Submit(t Task) {
+	var i int
+	if t.Affinity != "" {
+		i = e.ShardFor(t.Affinity)
+	} else {
+		i = int((e.rr.Add(1) - 1) % uint32(len(e.shards)))
+	}
+	e.shards[i].tasks <- t
+}
+
+// Close drains every shard's queue, stops the workers, and returns the
+// aggregated stats.
+func (e *Engine) Close() Aggregate {
+	for _, w := range e.shards {
+		close(w.tasks)
+	}
+	e.wg.Wait()
+	agg := Aggregate{Shards: len(e.shards)}
+	for _, w := range e.shards {
+		s := w.stats
+		agg.Tasks += s.Tasks
+		agg.Failures += s.Failures
+		agg.Checksum += s.Checksum
+		agg.TotalCycles += s.SimCycles
+		if s.SimCycles > agg.MakespanCycles {
+			agg.MakespanCycles = s.SimCycles
+		}
+		agg.PerShard = append(agg.PerShard, s)
+	}
+	return agg
+}
+
+func (w *worker) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for t := range w.tasks {
+		start := time.Now()
+		sum, err := w.runTask(t)
+		w.stats.Busy += time.Since(start)
+		w.stats.Tasks++
+		if err != nil {
+			w.stats.Failures++
+			w.stats.LastError = err.Error()
+			w.env.reset()
+		} else {
+			w.stats.Checksum += sum
+		}
+	}
+	w.stats.SimCycles = w.env.Counters().TotalCycles()
+	w.stats.OSBytes = w.env.Space().MappedBytes()
+}
+
+// runTask executes t, converting a panic (an app assertion, a runtime
+// *Fault) into a recorded failure so one bad task cannot take down the
+// shard, the behavior a service owes its other tenants.
+func (w *worker) runTask(t Task) (sum uint32, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("shard: task %q: %v", t.Name, r)
+		}
+	}()
+	return t.Run(w.env), nil
+}
+
+// fnv32a is the 32-bit FNV-1a hash, inlined to keep Submit allocation-free.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -188,8 +188,15 @@ func (s *System) TryNewRegion() (*Region, error) { return s.rt.TryNewRegion() }
 
 // DeleteRegion attempts to delete r (the paper's deleteregion). Under a
 // safe system it fails, returning false, while external references to r's
-// objects remain.
+// objects remain. Deleting an already-deleted region panics with a *Fault;
+// TryDeleteRegion is the graceful variant.
 func (s *System) DeleteRegion(r *Region) bool { return s.rt.DeleteRegion(r) }
+
+// TryDeleteRegion is the deletion primitive DeleteRegion derives from: it
+// reports whether r was deleted, returns (false, nil) while external
+// references remain, and returns (false, *Fault) — instead of panicking —
+// when r was already deleted. See docs/API.md for the full error contract.
+func (s *System) TryDeleteRegion(r *Region) (bool, error) { return s.rt.TryDeleteRegion(r) }
 
 // Ralloc allocates size bytes of cleared memory with the given cleanup in
 // region r and returns its address.
@@ -234,6 +241,69 @@ func (s *System) RegisterCleanup(name string, fn CleanupFunc) CleanupID {
 
 // SizeCleanup returns a cleanup for pointer-free objects of a fixed size.
 func (s *System) SizeCleanup(size int) CleanupID { return s.rt.SizeCleanup(size) }
+
+// --- bound region handles ------------------------------------------------------
+
+// Handle is a region handle bound to its System, so call sites stop
+// threading (sys, region) pairs through every function. It is a small value
+// type — copy it freely, pass it by value. The paper-shaped methods on
+// System (Ralloc, DeleteRegion, ...) remain as the flat spelling of the
+// same operations; a Handle adds nothing a (sys, r) pair does not have.
+//
+//	h := sys.Bind(sys.NewRegion())
+//	p := h.Alloc(16, cln)
+//	h.Delete()
+type Handle struct {
+	s *System
+	r *Region
+}
+
+// Bind returns a handle binding r to this system.
+func (s *System) Bind(r *Region) Handle { return Handle{s: s, r: r} }
+
+// Region returns the underlying region handle.
+func (h Handle) Region() *Region { return h.r }
+
+// System returns the system the handle is bound to.
+func (h Handle) System() *System { return h.s }
+
+// Alloc allocates size bytes of cleared memory with the given cleanup in
+// the bound region (Ralloc).
+func (h Handle) Alloc(size int, cleanup CleanupID) Ptr { return h.s.Ralloc(h.r, size, cleanup) }
+
+// AllocArray allocates a cleared array of n elements of elemSize bytes in
+// the bound region (RarrayAlloc).
+func (h Handle) AllocArray(n, elemSize int, cleanup CleanupID) Ptr {
+	return h.s.RarrayAlloc(h.r, n, elemSize, cleanup)
+}
+
+// AllocStr allocates size bytes of region-pointer-free memory in the bound
+// region (RstrAlloc).
+func (h Handle) AllocStr(size int) Ptr { return h.s.RstrAlloc(h.r, size) }
+
+// TryAlloc, TryAllocArray and TryAllocStr are the graceful variants of the
+// three handle allocators; see System.TryRalloc.
+func (h Handle) TryAlloc(size int, cleanup CleanupID) (Ptr, error) {
+	return h.s.TryRalloc(h.r, size, cleanup)
+}
+
+// TryAllocArray is the graceful variant of AllocArray.
+func (h Handle) TryAllocArray(n, elemSize int, cleanup CleanupID) (Ptr, error) {
+	return h.s.TryRarrayAlloc(h.r, n, elemSize, cleanup)
+}
+
+// TryAllocStr is the graceful variant of AllocStr.
+func (h Handle) TryAllocStr(size int) (Ptr, error) { return h.s.TryRstrAlloc(h.r, size) }
+
+// Delete attempts to delete the bound region (DeleteRegion).
+func (h Handle) Delete() bool { return h.s.DeleteRegion(h.r) }
+
+// TryDelete is the graceful variant of Delete; see System.TryDeleteRegion.
+func (h Handle) TryDelete() (bool, error) { return h.s.TryDeleteRegion(h.r) }
+
+// Referrers reports every tracked location still referencing the bound
+// region — the first place to look when Delete returns false.
+func (h Handle) Referrers() []Ref { return h.s.Referrers(h.r) }
 
 // --- memory access and barriers ----------------------------------------------
 
