@@ -116,14 +116,15 @@ func BenchmarkApps(b *testing.B) {
 }
 
 // BenchmarkAlloc measures the wall-clock cost of the allocation fast path
-// with tracing disabled (the shipping configuration: one nil check per
-// operation) against a run with a tracer attached. The untraced variant is
-// the acceptance gate for the observability layer: it must stay within noise
-// of the pre-tracing runtime.
+// with observability disabled (the shipping configuration: one nil check
+// per operation) against runs with a tracer and with a metrics registry
+// attached. The bare variant is the acceptance gate for the observability
+// layers: it must stay within noise of the pre-observability runtime.
 func BenchmarkAlloc(b *testing.B) {
-	run := func(b *testing.B, t *regions.Tracer) {
+	run := func(b *testing.B, t *regions.Tracer, m *regions.MetricsRegistry) {
 		sys := regions.New()
 		sys.SetTracer(t)
+		sys.SetMetrics(m)
 		cln := sys.SizeCleanup(16)
 		r := sys.NewRegion()
 		b.ResetTimer()
@@ -135,29 +136,105 @@ func BenchmarkAlloc(b *testing.B) {
 			}
 		}
 	}
-	b.Run("untraced", func(b *testing.B) { run(b, nil) })
-	b.Run("traced", func(b *testing.B) { run(b, regions.NewTracer(1<<16)) })
+	b.Run("untraced", func(b *testing.B) { run(b, nil, nil) })
+	b.Run("traced", func(b *testing.B) { run(b, regions.NewTracer(1<<16), nil) })
+	b.Run("metered", func(b *testing.B) { run(b, nil, regions.NewMetricsRegistry()) })
 }
 
 // TestAllocFastPathAllocsPerRun gates the allocation fast path: amortized
 // over region rotation, an Ralloc must cost (well) under a quarter of a Go
 // heap allocation — the bump-pointer path itself allocates nothing; only
-// page and region bookkeeping every few thousand operations does.
+// page and region bookkeeping every few thousand operations does. The same
+// budget must hold with a metrics registry attached: the hot counters are
+// pre-created atomics, so metering adds arithmetic, not Go allocations.
 func TestAllocFastPathAllocsPerRun(t *testing.T) {
-	sys := regions.New()
-	cln := sys.SizeCleanup(16)
-	r := sys.NewRegion()
-	i := 0
-	avg := testing.AllocsPerRun(20000, func() {
-		sys.Ralloc(r, 16, cln)
-		i++
-		if i%4096 == 0 {
-			sys.DeleteRegion(r)
-			r = sys.NewRegion()
+	for _, metered := range []bool{false, true} {
+		name := "bare"
+		if metered {
+			name = "metered"
 		}
-	})
-	if avg >= 0.25 {
-		t.Fatalf("alloc fast path costs %.3f Go allocs/op, want < 0.25", avg)
+		t.Run(name, func(t *testing.T) {
+			sys := regions.New()
+			if metered {
+				sys.SetMetrics(regions.NewMetricsRegistry())
+			}
+			cln := sys.SizeCleanup(16)
+			r := sys.NewRegion()
+			i := 0
+			avg := testing.AllocsPerRun(20000, func() {
+				sys.Ralloc(r, 16, cln)
+				i++
+				if i%4096 == 0 {
+					sys.DeleteRegion(r)
+					r = sys.NewRegion()
+				}
+			})
+			if avg >= 0.25 {
+				t.Fatalf("alloc fast path costs %.3f Go allocs/op, want < 0.25", avg)
+			}
+		})
+	}
+}
+
+// TestMeteredCountersUnchanged is the observability layers' core contract:
+// attaching a tracer and a metrics registry must not change the simulated
+// machine. A workload run bare and run fully instrumented must report
+// identical stats.Counters, cycle for cycle.
+func TestMeteredCountersUnchanged(t *testing.T) {
+	workload := func(sys *regions.System) {
+		cln := sys.SizeCleanup(16)
+		g := sys.AllocGlobals(4)
+		outer := sys.NewRegion()
+		f := sys.PushFrame(2)
+		for i := 0; i < 200; i++ {
+			r := sys.NewRegion()
+			f.Set(0, sys.Ralloc(r, 16, cln))
+			p := sys.Ralloc(r, 48, cln)
+			q := sys.Ralloc(outer, 16, cln)
+			sys.StorePtr(p, q)
+			sys.StorePtr(p+4, f.Get(0)) // sameregion
+			sys.StoreGlobalPtr(g, p)
+			sys.RstrAlloc(r, 33)
+			sys.RarrayAlloc(r, 4, 12, cln)
+			sys.StoreGlobalPtr(g, 0)
+			sys.StorePtr(p, 0)
+			sys.StorePtr(p+4, 0)
+			f.Set(0, 0)
+			if !sys.DeleteRegion(r) {
+				t.Fatal("inner region did not delete")
+			}
+		}
+		sys.PopFrame()
+		if !sys.DeleteRegion(outer) {
+			t.Fatal("outer region did not delete")
+		}
+	}
+
+	bare := regions.New()
+	workload(bare)
+
+	instrumented := regions.New()
+	instrumented.SetTracer(regions.NewTracer(1 << 12))
+	reg := regions.NewMetricsRegistry()
+	reg.SetSiteSampling(8)
+	instrumented.SetMetrics(reg)
+	workload(instrumented)
+
+	if *bare.Counters() != *instrumented.Counters() {
+		t.Errorf("instrumented counters differ from bare run:\nbare:         %+v\ninstrumented: %+v",
+			*bare.Counters(), *instrumented.Counters())
+	}
+	snap := reg.Snapshot()
+	// 5 allocations per loop iteration: three rallocs, one rstralloc, one
+	// rarrayalloc.
+	if v, _ := snap.Counter("regions_core_allocs_total"); v != 200*5 {
+		t.Errorf("regions_core_allocs_total = %d, want %d", v, 200*5)
+	}
+	if v, _ := snap.Counter("regions_core_barrier_sameregion_total"); v == 0 {
+		t.Error("sameregion barrier counter never incremented")
+	}
+	if _, err := instrumented.HeapProfile(); err != nil {
+		t.Errorf("HeapProfile after workload: %v", err)
 	}
 }
 

@@ -8,14 +8,24 @@
 //
 // With -scale-div 1 (the default) the workloads are paper-sized; larger
 // divisors shrink them proportionally for quick runs.
+//
+// The throughput modes (-shards, -bench-out) accept -metrics-addr HOST:PORT
+// to serve live observability over HTTP while the workload runs:
+// GET /metrics is a Prometheus text-format scrape of the shared registry and
+// GET /heap is a JSON array of the latest per-shard heap profiles (see
+// docs/OBSERVABILITY.md).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sync/atomic"
 
 	"regions/internal/bench"
+	"regions/internal/metrics"
+	"regions/internal/shard"
 )
 
 func main() {
@@ -31,6 +41,8 @@ func main() {
 		shards   = flag.Int("shards", 0, "run the whole-app throughput workload on N shards")
 		repeats  = flag.Int("repeats", 4, "copies of each app per throughput run")
 		benchOut = flag.String("bench-out", "", "write the benchmark report (micro + shard sweep) to this file")
+		metAddr  = flag.String("metrics-addr", "", "serve /metrics and /heap on this address during throughput runs")
+		profEach = flag.Int("heap-profile-every", 64, "shard heap-profile cadence in tasks when -metrics-addr is set (0 disables)")
 	)
 	flag.Parse()
 
@@ -58,13 +70,20 @@ func main() {
 	w := os.Stdout
 
 	// The throughput/report modes are self-contained: run them and exit.
+	// Both accept -metrics-addr for live scraping while they run.
+	opts, reg := metricsOpts(*metAddr, *profEach)
 	if *benchOut != "" {
 		f, err := os.Create(*benchOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "regionbench:", err)
 			os.Exit(1)
 		}
-		if err := bench.WriteBenchReport(f, *scaleDiv, *repeats); err != nil {
+		rep, err := bench.BuildBenchReportOpts(*scaleDiv, *repeats, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "regionbench:", err)
+			os.Exit(1)
+		}
+		if err := bench.EncodeBenchReport(f, rep); err != nil {
 			fmt.Fprintln(os.Stderr, "regionbench:", err)
 			os.Exit(1)
 		}
@@ -76,12 +95,16 @@ func main() {
 		return
 	}
 	if *shards > 0 {
-		r, err := bench.RunThroughput(*shards, *scaleDiv, *repeats)
+		r, err := bench.RunThroughputOpts(*shards, *scaleDiv, *repeats, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "regionbench:", err)
 			os.Exit(1)
 		}
 		bench.PrintThroughput(w, r)
+		if reg != nil {
+			fmt.Fprintf(w, "metrics: %d simulated allocs across the run\n",
+				reg.Counter("regions_core_allocs_total").Value())
+		}
 		return
 	}
 
@@ -131,4 +154,36 @@ func main() {
 	case 11:
 		bench.Figure11(w, s)
 	}
+}
+
+// metricsOpts builds the throughput observability hooks. With an empty addr
+// it still attaches a registry (so the report embeds a metrics snapshot)
+// but starts no server; with an address it serves GET /metrics (Prometheus
+// text format) and GET /heap (JSON heap profiles, populated once shards
+// start capturing) for the lifetime of the process.
+func metricsOpts(addr string, profEvery int) (bench.ThroughputOpts, *metrics.Registry) {
+	reg := metrics.NewRegistry()
+	opts := bench.ThroughputOpts{Metrics: reg}
+	if addr == "" {
+		return opts, reg
+	}
+	var eng atomic.Value // *shard.Engine
+	opts.HeapProfileEvery = profEvery
+	opts.OnEngine = func(e *shard.Engine) { eng.Store(e) }
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(reg))
+	mux.Handle("/heap", metrics.HeapHandler(func() ([]*metrics.HeapReport, error) {
+		if e, ok := eng.Load().(*shard.Engine); ok {
+			return e.HeapReports(), nil
+		}
+		return nil, nil
+	}))
+	ln := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		if err := ln.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "regionbench: metrics server:", err)
+		}
+	}()
+	fmt.Printf("serving /metrics and /heap on %s\n", addr)
+	return opts, reg
 }

@@ -20,6 +20,7 @@ import (
 	"regions/internal/core"
 	"regions/internal/gc"
 	"regions/internal/mem"
+	"regions/internal/metrics"
 	"regions/internal/stats"
 	"regions/internal/trace"
 	"regions/internal/xmalloc"
@@ -105,6 +106,12 @@ type Config struct {
 	// internal/trace). Only the real region runtime and the collector
 	// emit events; the emulation and plain malloc environments do not.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, attaches the environment's space (OS-level
+	// series) and, where one exists, its region runtime or collector to the
+	// registry (see internal/metrics). Like tracing, metering is host-side
+	// only: it charges no simulated cycles and leaves stats.Counters
+	// untouched.
+	Metrics *metrics.Registry
 }
 
 const globalPages = 4 // global segment reserved up front in every env
@@ -114,6 +121,9 @@ func newSpace(cfg Config) (*mem.Space, Ptr) {
 	sp := mem.NewSpace(c)
 	if cfg.Cache {
 		sp.AttachCache(cachesim.New(cachesim.UltraSparcI()))
+	}
+	if cfg.Metrics != nil {
+		sp.SetMetrics(cfg.Metrics)
 	}
 	g := sp.MapPages(globalPages) // before any allocator: keeps sbrk contiguous
 	return sp, g
@@ -148,6 +158,9 @@ func NewMallocEnv(kind string, cfg Config) MallocEnv {
 		if cfg.Tracer != nil {
 			col.SetTracer(cfg.Tracer)
 		}
+		if cfg.Metrics != nil {
+			col.SetMetrics(cfg.Metrics)
+		}
 		return &gcEnv{baseEnv{name: kind, sp: sp, globals: g}, col}
 	}
 	panic(fmt.Sprintf("appkit: unknown malloc env %q", kind))
@@ -162,6 +175,9 @@ func NewRegionEnv(kind string, cfg Config) RegionEnv {
 		rt := core.NewRuntime(sp, kind == "safe")
 		if cfg.Tracer != nil {
 			rt.SetTracer(cfg.Tracer)
+		}
+		if cfg.Metrics != nil {
+			rt.SetMetrics(cfg.Metrics)
 		}
 		return &coreEnv{baseEnv{name: kind, sp: sp, globals: g}, rt}
 	}
@@ -191,7 +207,20 @@ func NewCustomRegionEnv(name string, opts core.Options, cfg Config) RegionEnv {
 	if cfg.Tracer != nil {
 		rt.SetTracer(cfg.Tracer)
 	}
+	if cfg.Metrics != nil {
+		rt.SetMetrics(cfg.Metrics)
+	}
 	return &coreEnv{baseEnv{name: name, sp: sp, globals: g}, rt}
+}
+
+// RuntimeOf returns the real region runtime behind a region environment, or
+// nil for emulation environments, which have none. The heap profiler needs
+// the runtime itself (cmd/regionstat calls this to profile after a run).
+func RuntimeOf(e RegionEnv) *core.Runtime {
+	if ce, ok := e.(*coreEnv); ok {
+		return ce.rt
+	}
+	return nil
 }
 
 func mustGlobals(m MallocEnv) Ptr { return m.(interface{ globalBase() Ptr }).globalBase() }

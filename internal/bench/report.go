@@ -5,20 +5,32 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+
+	"regions/internal/metrics"
 )
 
-// Report is the checked-in benchmark artifact (BENCH_PR3.json); see
+// ReportSchemaVersion is the integer version of the benchmark-report JSON.
+// Version 2 added SchemaVersion itself and the embedded final metrics
+// snapshot; version 1 (schema "regions-bench/v1") had neither.
+const ReportSchemaVersion = 2
+
+// Report is the checked-in benchmark artifact (BENCH_PR4.json); see
 // docs/PERFORMANCE.md for the field-by-field schema and how to regenerate
 // it. Wall-clock fields vary with the host; the simulated-cycle fields and
 // checksums are deterministic.
 type Report struct {
-	Schema     string             `json:"schema"`
-	GoMaxProcs int                `json:"goMaxProcs"`
-	NumCPU     int                `json:"numCPU"`
-	ScaleDiv   int                `json:"scaleDiv"`
-	Repeats    int                `json:"repeats"`
-	Micro      []MicroResult      `json:"micro"`
-	Throughput []ThroughputResult `json:"throughput"`
+	Schema        string             `json:"schema"`
+	SchemaVersion int                `json:"schema_version"`
+	GoMaxProcs    int                `json:"goMaxProcs"`
+	NumCPU        int                `json:"numCPU"`
+	ScaleDiv      int                `json:"scaleDiv"`
+	Repeats       int                `json:"repeats"`
+	Micro         []MicroResult      `json:"micro"`
+	Throughput    []ThroughputResult `json:"throughput"`
+	// Metrics is the final snapshot of a registry attached to the whole
+	// shard sweep: the cumulative core/mem/gc/shard series over every run
+	// in Throughput. Simulated-cycle metrics in it are deterministic.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 // BenchShardCounts is the shard sweep the report runs.
@@ -27,27 +39,44 @@ var BenchShardCounts = []int{1, 2, 4, 8}
 // BuildBenchReport runs the micro benchmarks and the shard throughput sweep
 // and assembles the report.
 func BuildBenchReport(scaleDiv, repeats int) (*Report, error) {
-	tp, err := ThroughputSweep(scaleDiv, repeats, BenchShardCounts)
+	return BuildBenchReportOpts(scaleDiv, repeats, ThroughputOpts{Metrics: metrics.NewRegistry()})
+}
+
+// BuildBenchReportOpts is BuildBenchReport with the sweep's observability
+// hooks under caller control; when opts.Metrics is non-nil its final
+// snapshot is embedded in the report.
+func BuildBenchReportOpts(scaleDiv, repeats int, opts ThroughputOpts) (*Report, error) {
+	tp, err := ThroughputSweepOpts(scaleDiv, repeats, BenchShardCounts, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Report{
-		Schema:     "regions-bench/v1",
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		ScaleDiv:   scaleDiv,
-		Repeats:    repeats,
-		Micro:      RunMicro(),
-		Throughput: tp,
-	}, nil
+	r := &Report{
+		Schema:        "regions-bench/v2",
+		SchemaVersion: ReportSchemaVersion,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		ScaleDiv:      scaleDiv,
+		Repeats:       repeats,
+		Micro:         RunMicro(),
+		Throughput:    tp,
+	}
+	if opts.Metrics != nil {
+		r.Metrics = opts.Metrics.Snapshot()
+	}
+	return r, nil
 }
 
-// WriteBenchReport writes the report as indented JSON.
+// WriteBenchReport builds a report and writes it as indented JSON.
 func WriteBenchReport(w io.Writer, scaleDiv, repeats int) error {
 	r, err := BuildBenchReport(scaleDiv, repeats)
 	if err != nil {
 		return err
 	}
+	return EncodeBenchReport(w, r)
+}
+
+// EncodeBenchReport writes an already-built report as indented JSON.
+func EncodeBenchReport(w io.Writer, r *Report) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)

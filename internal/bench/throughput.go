@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"regions/internal/apps/appkit"
+	"regions/internal/metrics"
 	"regions/internal/shard"
 )
 
@@ -26,18 +27,44 @@ type ThroughputResult struct {
 	Checksum   uint32  `json:"checksum"`
 }
 
+// ThroughputOpts are the optional knobs of RunThroughputOpts. The zero
+// value reproduces RunThroughput exactly.
+type ThroughputOpts struct {
+	// Metrics, when non-nil, is attached to every shard (see shard.Config).
+	Metrics *metrics.Registry
+	// HeapProfileEvery is forwarded to shard.Config: capture a heap profile
+	// on each shard every N completed tasks (0 disables).
+	HeapProfileEvery int
+	// OnEngine, when non-nil, receives the engine right after it starts —
+	// before any task is submitted — so a caller can hold it for live
+	// inspection (regionbench's /heap endpoint).
+	OnEngine func(*shard.Engine)
+}
+
 // RunThroughput drives the six benchmark apps through a shard engine:
 // repeats copies of each app, submitted app-major so round-robin placement
 // spreads each app's copies across shards. Returns an error if any task
 // failed.
 func RunThroughput(shards, scaleDiv, repeats int) (ThroughputResult, error) {
+	return RunThroughputOpts(shards, scaleDiv, repeats, ThroughputOpts{})
+}
+
+// RunThroughputOpts is RunThroughput with observability hooks attached.
+func RunThroughputOpts(shards, scaleDiv, repeats int, opts ThroughputOpts) (ThroughputResult, error) {
 	if scaleDiv < 1 {
 		scaleDiv = 1
 	}
 	if repeats < 1 {
 		repeats = 1
 	}
-	eng := shard.New(shard.Config{Shards: shards})
+	eng := shard.New(shard.Config{
+		Shards:           shards,
+		Metrics:          opts.Metrics,
+		HeapProfileEvery: opts.HeapProfileEvery,
+	})
+	if opts.OnEngine != nil {
+		opts.OnEngine(eng)
+	}
 	start := time.Now()
 	for _, app := range Apps() {
 		app := app
@@ -77,9 +104,17 @@ func RunThroughput(shards, scaleDiv, repeats int) (ThroughputResult, error) {
 // aggregate checksum is placement-independent, and fills each result's
 // simulated speedup relative to the 1-shard run.
 func ThroughputSweep(scaleDiv, repeats int, shardCounts []int) ([]ThroughputResult, error) {
+	return ThroughputSweepOpts(scaleDiv, repeats, shardCounts, ThroughputOpts{})
+}
+
+// ThroughputSweepOpts is ThroughputSweep with observability hooks. A shared
+// opts.Metrics registry accumulates across the whole sweep: its final
+// snapshot describes everything the sweep did, which is what the benchmark
+// report embeds.
+func ThroughputSweepOpts(scaleDiv, repeats int, shardCounts []int, opts ThroughputOpts) ([]ThroughputResult, error) {
 	var out []ThroughputResult
 	for _, n := range shardCounts {
-		r, err := RunThroughput(n, scaleDiv, repeats)
+		r, err := RunThroughputOpts(n, scaleDiv, repeats, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,10 @@
 package bench
 
-import "testing"
+import (
+	"testing"
+
+	"regions/internal/metrics"
+)
 
 // TestThroughputSweepScalesAndAgrees runs the whole-app workload at 1, 2,
 // and 4 shards at a small scale: the aggregate checksum must be
@@ -24,5 +28,56 @@ func TestThroughputSweepScalesAndAgrees(t *testing.T) {
 	}
 	if s := results[2].SimSpeedup; s < 2 {
 		t.Fatalf("4-shard simulated speedup %.2f, want >= 2", s)
+	}
+}
+
+// TestThroughputMetricsAttachAndAgree runs the same workload bare and with
+// a metrics registry: the simulated results must be identical (metrics are
+// host-side only) and the registry's counters must describe the run.
+func TestThroughputMetricsAttachAndAgree(t *testing.T) {
+	bare, err := RunThroughput(1, 48, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	metered, err := RunThroughputOpts(1, 48, 2, ThroughputOpts{Metrics: reg, HeapProfileEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metered.Checksum != bare.Checksum || metered.SimMakespanMcycles != bare.SimMakespanMcycles {
+		t.Errorf("metered run diverged: checksum %#x vs %#x, makespan %.3f vs %.3f",
+			metered.Checksum, bare.Checksum, metered.SimMakespanMcycles, bare.SimMakespanMcycles)
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterSum("regions_shard_tasks_total"); got != uint64(metered.Tasks) {
+		t.Errorf("shard task counters sum to %d, want %d", got, metered.Tasks)
+	}
+	if v, _ := snap.Counter("regions_core_allocs_total"); v == 0 {
+		t.Error("core alloc counter empty after a metered throughput run")
+	}
+	if v, ok := snap.Gauge("regions_shard_utilization_pct"); !ok || v <= 0 {
+		t.Errorf("utilization gauge = %d,%v", v, ok)
+	}
+}
+
+// TestBenchReportEmbedsMetrics locks the report schema consumed from the
+// checked-in artifact: version 2, with the sweep's final metrics snapshot.
+func TestBenchReportEmbedsMetrics(t *testing.T) {
+	rep, err := BuildBenchReportOpts(96, 1, ThroughputOpts{Metrics: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "regions-bench/v2" || rep.SchemaVersion != ReportSchemaVersion {
+		t.Errorf("schema = %q version %d, want regions-bench/v2 version %d",
+			rep.Schema, rep.SchemaVersion, ReportSchemaVersion)
+	}
+	if rep.Metrics == nil {
+		t.Fatal("report has no embedded metrics snapshot")
+	}
+	if rep.Metrics.SchemaVersion != metrics.SnapshotSchemaVersion {
+		t.Errorf("embedded snapshot schema_version = %d", rep.Metrics.SchemaVersion)
+	}
+	if v, _ := rep.Metrics.Counter("regions_core_allocs_total"); v == 0 {
+		t.Error("embedded snapshot has no allocation counts")
 	}
 }

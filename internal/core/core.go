@@ -91,6 +91,7 @@ type Region struct {
 
 	bytes   uint64 // program-requested bytes, for Table 2
 	allocs  uint64
+	born    uint64 // simulated cycle of creation, for the lifetime histogram
 	deleted bool
 }
 
@@ -158,6 +159,12 @@ type Runtime struct {
 	// internal/trace and docs/OBSERVABILITY.md). Every emission site is
 	// guarded by a nil check so the untraced runtime pays one predicate.
 	tracer *trace.Tracer
+
+	// met, when non-nil, holds cached handles into a metrics registry (see
+	// metrics.go and internal/metrics). Same contract as tracer: every
+	// update site is nil-guarded, updates are host-side only, and a metered
+	// run's stats.Counters are identical to a bare run's.
+	met *runtimeMetrics
 }
 
 // NewRuntime creates a region runtime on the given space. If safe is false,
@@ -239,6 +246,7 @@ func (rt *Runtime) acquirePages(n int, r *Region) Ptr {
 			rt.freePages = rt.freePages[:len(rt.freePages)-1]
 			rt.space.ZeroPageFree(p)
 			rt.notePages(p, 1, r)
+			rt.meterPagesAcquired(1)
 			return p
 		}
 	}
@@ -248,6 +256,7 @@ func (rt *Runtime) acquirePages(n int, r *Region) Ptr {
 				rt.space.ZeroPageFree(p + Ptr(i)<<mem.PageShift)
 			}
 			rt.notePages(p, n, r)
+			rt.meterPagesAcquired(n)
 			return p
 		}
 	}
@@ -256,7 +265,15 @@ func (rt *Runtime) acquirePages(n int, r *Region) Ptr {
 		return 0
 	}
 	rt.notePages(p, n, r)
+	rt.meterPagesAcquired(n)
 	return p
+}
+
+// meterPagesAcquired records n pages handed to a region, from any source.
+func (rt *Runtime) meterPagesAcquired(n int) {
+	if m := rt.met; m != nil {
+		m.pagesAcquired.Add(uint64(n))
+	}
 }
 
 // releaseEntry returns a page-list entry to the free lists and clears its
@@ -267,6 +284,9 @@ func (rt *Runtime) acquirePages(n int, r *Region) Ptr {
 func (rt *Runtime) releaseEntry(first Ptr, n int) {
 	rt.charge(stats.ModeFree, uint64(1+n))
 	rt.notePages(first, n, nil)
+	if m := rt.met; m != nil {
+		m.pagesReleased.Add(uint64(n))
+	}
 	if !rt.opts.NoPoison {
 		for i := 0; i < n; i++ {
 			rt.space.PoisonPageFree(first + Ptr(i)<<mem.PageShift)
@@ -285,11 +305,17 @@ func (rt *Runtime) releaseEntry(first Ptr, n int) {
 // a shift, one bounds check, and one load. The nil pointer needs no test
 // of its own — it lands on the reserved page 0, which is never owned.
 func (rt *Runtime) RegionOf(p Ptr) *Region {
-	pg := p >> mem.PageShift
-	if pg >= Ptr(len(rt.pages.owners)) {
-		return nil
+	var r *Region
+	if pg := p >> mem.PageShift; pg < Ptr(len(rt.pages.owners)) {
+		r = rt.pages.owners[pg]
 	}
-	return rt.pages.owners[pg]
+	if m := rt.met; m != nil {
+		m.lookups.Inc()
+		if r != nil {
+			m.lookupHits.Inc()
+		}
+	}
+	return r
 }
 
 // ---------------------------------------------------------------------------
@@ -339,9 +365,14 @@ func (rt *Runtime) TryNewRegion() (*Region, error) {
 	rt.space.Store(hdr+offStringFirst, 0)
 	rt.space.Store(hdr+offStringAvail, mem.PageSize)
 
+	r.born = rt.c.TotalCycles()
 	rt.c.RegionCreated()
 	if rt.tracer != nil {
 		rt.tracer.Emit(trace.Event{Kind: trace.KindRegionCreate, Region: r.id, Addr: hdr, Aux: -1})
+	}
+	if m := rt.met; m != nil {
+		m.regionsCreated.Inc()
+		m.liveRegions.Inc()
 	}
 	return r, nil
 }
@@ -449,6 +480,12 @@ func (rt *Runtime) TryRalloc(r *Region, size int, cln CleanupID) (Ptr, error) {
 			Addr: p + mem.WordSize, Size: int32(data), Aux: -1,
 			Site: rt.cleanups[cln-1].name})
 	}
+	if m := rt.met; m != nil {
+		m.allocs.Inc()
+		m.allocBytes.Add(uint64(data))
+		m.allocSize.Observe(uint64(data))
+		m.reg.SampleAlloc(rt.cleanups[cln-1].name, uint64(data))
+	}
 	return p + mem.WordSize, nil
 }
 
@@ -499,6 +536,12 @@ func (rt *Runtime) TryRarrayAlloc(r *Region, n, elemSize int, cln CleanupID) (Pt
 			Addr: p + 3*mem.WordSize, Size: int32(data), Aux: int32(n),
 			Site: rt.cleanups[cln-1].name})
 	}
+	if m := rt.met; m != nil {
+		m.allocs.Inc()
+		m.allocBytes.Add(uint64(data))
+		m.allocSize.Observe(uint64(data))
+		m.reg.SampleAlloc(rt.cleanups[cln-1].name, uint64(data))
+	}
 	return p + 3*mem.WordSize, nil
 }
 
@@ -537,6 +580,12 @@ func (rt *Runtime) TryRstrAlloc(r *Region, size int) (Ptr, error) {
 	if rt.tracer != nil {
 		rt.tracer.Emit(trace.Event{Kind: trace.KindRstrAlloc, Region: r.id,
 			Addr: p, Size: int32(data), Aux: -1})
+	}
+	if m := rt.met; m != nil {
+		m.allocs.Inc()
+		m.allocBytes.Add(uint64(data))
+		m.allocSize.Observe(uint64(data))
+		m.reg.SampleAlloc("rstralloc", uint64(data))
 	}
 	return p, nil
 }
@@ -605,6 +654,9 @@ func (rt *Runtime) TryDeleteRegion(r *Region) (bool, error) {
 				rt.tracer.Emit(trace.Event{Kind: trace.KindRegionDeleteFail,
 					Region: r.id, Aux: int32(rc)})
 			}
+			if m := rt.met; m != nil {
+				m.deleteFails.Inc()
+			}
 			return false, nil
 		}
 		rt.runCleanups(r)
@@ -635,6 +687,11 @@ func (rt *Runtime) TryDeleteRegion(r *Region) (bool, error) {
 		}
 		rt.tracer.Emit(trace.Event{Kind: trace.KindRegionDelete, Region: r.id,
 			Size: int32(bytes), Aux: int32(r.allocs)})
+	}
+	if m := rt.met; m != nil {
+		m.regionsDeleted.Inc()
+		m.liveRegions.Dec()
+		m.regionLifetime.Observe(rt.c.TotalCycles() - r.born)
 	}
 	return true, nil
 }

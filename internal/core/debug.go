@@ -64,24 +64,12 @@ func (rt *Runtime) Referrers(target *Region) []Ref {
 			if reg.deleted || reg == target {
 				continue
 			}
-			homePage := reg.hdr &^ Ptr(mem.PageSize-1)
-			entry := rt.space.Load(reg.hdr + offNormalFirst)
-			for entry != 0 {
-				link := rt.space.Load(entry + pageLink)
-				next := link &^ Ptr(mem.PageSize-1)
-				count := int(link&(mem.PageSize-1)) + 1
-				start := entry + mem.WordSize
-				if entry == homePage {
-					start = reg.hdr + hdrBytes
+			from := reg
+			rt.forEachNormalWord(from, func(a Ptr, v Word) {
+				if pointsIn(v) {
+					refs = append(refs, Ref{Kind: RefHeap, Addr: a, From: from, Value: v})
 				}
-				end := entry + Ptr(count*mem.PageSize)
-				for a := start; a < end; a += mem.WordSize {
-					if v := rt.space.Load(a); pointsIn(v) {
-						refs = append(refs, Ref{Kind: RefHeap, Addr: a, From: reg, Value: v})
-					}
-				}
-				entry = next
-			}
+			})
 		}
 		ranges := append(append([][2]Ptr(nil), rt.globalRanges...),
 			[2]Ptr{rt.globalSeg, rt.globalNext})

@@ -1,0 +1,104 @@
+package core
+
+import "regions/internal/metrics"
+
+// This file wires the runtime into the live metrics registry
+// (internal/metrics), the counterpart of tracing for aggregate telemetry.
+// The pattern is identical to SetTracer: an unmetered runtime holds a nil
+// *runtimeMetrics and every emission site pays one predicate; a metered
+// runtime resolves each series once, here, so hot paths update cached
+// atomic counters and never touch the registry's name maps. Metric updates
+// are host-side bookkeeping outside the machine model — they charge no
+// simulated cycles and leave stats.Counters identical to a bare run.
+
+// Histogram bucket bounds. Alloc sizes follow the power-of-two spread of
+// the paper's benchmark object sizes; region lifetimes span the decades
+// between a scratch region and a whole-run region; barrier latencies
+// bracket the Figure 5 instruction counts (12-30 extra cycles plus memory
+// accesses).
+var (
+	allocSizeBounds      = []uint64{16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536}
+	regionLifetimeBounds = []uint64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+	barrierCycleBounds   = []uint64{4, 8, 16, 24, 32, 48, 64, 128}
+)
+
+// runtimeMetrics caches direct pointers to every series the runtime emits.
+type runtimeMetrics struct {
+	reg *metrics.Registry
+
+	allocs     *metrics.Counter
+	allocBytes *metrics.Counter
+	allocSize  *metrics.Histogram
+
+	regionsCreated *metrics.Counter
+	regionsDeleted *metrics.Counter
+	deleteFails    *metrics.Counter
+	liveRegions    *metrics.Gauge
+	regionLifetime *metrics.Histogram
+
+	barrierGlobal *metrics.Counter
+	barrierRegion *metrics.Counter
+	barrierSame   *metrics.Counter
+	barrierCycles *metrics.Histogram
+
+	stackScans   *metrics.Counter
+	stackUnscans *metrics.Counter
+	rcIncs       *metrics.Counter
+	rcDecs       *metrics.Counter
+
+	lookups    *metrics.Counter
+	lookupHits *metrics.Counter
+
+	pagesAcquired *metrics.Counter
+	pagesReleased *metrics.Counter
+}
+
+func newRuntimeMetrics(reg *metrics.Registry) *runtimeMetrics {
+	return &runtimeMetrics{
+		reg: reg,
+
+		allocs:     reg.Counter("regions_core_allocs_total"),
+		allocBytes: reg.Counter("regions_core_alloc_bytes_total"),
+		allocSize:  reg.Histogram("regions_core_alloc_size_bytes", allocSizeBounds),
+
+		regionsCreated: reg.Counter("regions_core_regions_created_total"),
+		regionsDeleted: reg.Counter("regions_core_regions_deleted_total"),
+		deleteFails:    reg.Counter("regions_core_region_delete_fails_total"),
+		liveRegions:    reg.Gauge("regions_core_live_regions"),
+		regionLifetime: reg.Histogram("regions_core_region_lifetime_cycles", regionLifetimeBounds),
+
+		barrierGlobal: reg.Counter("regions_core_barrier_global_total"),
+		barrierRegion: reg.Counter("regions_core_barrier_region_total"),
+		barrierSame:   reg.Counter("regions_core_barrier_sameregion_total"),
+		barrierCycles: reg.Histogram("regions_core_barrier_cycles", barrierCycleBounds),
+
+		stackScans:   reg.Counter("regions_core_stack_scans_total"),
+		stackUnscans: reg.Counter("regions_core_stack_unscans_total"),
+		rcIncs:       reg.Counter("regions_core_rc_incs_total"),
+		rcDecs:       reg.Counter("regions_core_rc_decs_total"),
+
+		lookups:    reg.Counter("regions_core_pageindex_lookups_total"),
+		lookupHits: reg.Counter("regions_core_pageindex_hits_total"),
+
+		pagesAcquired: reg.Counter("regions_core_pages_acquired_total"),
+		pagesReleased: reg.Counter("regions_core_pages_released_total"),
+	}
+}
+
+// SetMetrics attaches the runtime to a metrics registry (nil detaches).
+// Series are resolved once here; see docs/OBSERVABILITY.md for the list.
+func (rt *Runtime) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		rt.met = nil
+		return
+	}
+	rt.met = newRuntimeMetrics(reg)
+}
+
+// Metrics returns the attached registry, or nil.
+func (rt *Runtime) Metrics() *metrics.Registry {
+	if rt.met == nil {
+		return nil
+	}
+	return rt.met.reg
+}

@@ -12,6 +12,9 @@ import (
 func (rt *Runtime) rcInc(r *Region) {
 	v := rt.space.Load(r.hdr + offRC)
 	rt.space.Store(r.hdr+offRC, v+1)
+	if m := rt.met; m != nil {
+		m.rcIncs.Inc()
+	}
 }
 
 // rcDec decrements r's reference count, panicking with a *Fault of kind
@@ -24,6 +27,9 @@ func (rt *Runtime) rcDec(r *Region) {
 			"reference count underflow", nil))
 	}
 	rt.space.Store(r.hdr+offRC, v-1)
+	if m := rt.met; m != nil {
+		m.rcDecs.Inc()
+	}
 }
 
 // StorePtr implements *slot = val where slot is a word inside a region
@@ -37,6 +43,11 @@ func (rt *Runtime) StorePtr(slot, val Ptr) {
 	if !rt.safe {
 		rt.space.Store(slot, val)
 		return
+	}
+	m := rt.met
+	var start uint64
+	if m != nil {
+		start = rt.c.TotalCycles()
 	}
 	old := rt.space.SetMode(stats.ModeRC)
 	rt.charge(stats.ModeRC, regionWriteExtra)
@@ -67,6 +78,13 @@ func (rt *Runtime) StorePtr(slot, val Ptr) {
 		rt.tracer.Emit(trace.Event{Kind: kind, Addr: slot,
 			Region: regionID(rnew), Aux: regionID(rold)})
 	}
+	if m != nil {
+		m.barrierRegion.Inc()
+		if rnew != nil && rnew == ra {
+			m.barrierSame.Inc()
+		}
+		m.barrierCycles.Observe(rt.c.TotalCycles() - start)
+	}
 }
 
 // StoreGlobalPtr implements *slot = val where slot is in global storage:
@@ -76,6 +94,11 @@ func (rt *Runtime) StoreGlobalPtr(slot, val Ptr) {
 	if !rt.safe {
 		rt.space.Store(slot, val)
 		return
+	}
+	m := rt.met
+	var start uint64
+	if m != nil {
+		start = rt.c.TotalCycles()
 	}
 	old := rt.space.SetMode(stats.ModeRC)
 	rt.charge(stats.ModeRC, globalWriteExtra)
@@ -97,6 +120,10 @@ func (rt *Runtime) StoreGlobalPtr(slot, val Ptr) {
 	if rt.tracer != nil {
 		rt.tracer.Emit(trace.Event{Kind: trace.KindBarrierGlobal, Addr: slot,
 			Region: regionID(rnew), Aux: regionID(rold)})
+	}
+	if m != nil {
+		m.barrierGlobal.Inc()
+		m.barrierCycles.Observe(rt.c.TotalCycles() - start)
 	}
 }
 

@@ -153,6 +153,9 @@ func (s *stack) scanForDelete() {
 			rt.tracer.Emit(trace.Event{Kind: trace.KindStackScan,
 				Region: -1, Size: int32(i), Aux: int32(len(f.slots))})
 		}
+		if m := rt.met; m != nil {
+			m.stackScans.Inc()
+		}
 	}
 	if s.hwm < len(s.frames)-1 {
 		s.hwm = len(s.frames) - 1
@@ -172,5 +175,8 @@ func (s *stack) unscan(f *Frame) {
 	if rt.tracer != nil {
 		rt.tracer.Emit(trace.Event{Kind: trace.KindStackUnscan,
 			Region: -1, Aux: int32(len(f.slots))})
+	}
+	if m := rt.met; m != nil {
+		m.stackUnscans.Inc()
 	}
 }

@@ -16,6 +16,10 @@ import (
 // stack's high-water-mark invariant. The crash-consistency property tests
 // call it after every operation while a FaultPlan injects MapPages failures,
 // proving the failure paths leave the heap exactly as it was.
+//
+// The structural walk itself (steps 1-4) lives in heap.go as heapWalk,
+// shared with the heap profiler: Runtime.HeapReport runs the same walk with
+// collection enabled, so profiles are certified by the same checks.
 
 // Verify audits the runtime's heap invariants and returns nil if they all
 // hold, or a *Fault of kind FaultInvariant describing the first violation.
@@ -64,108 +68,8 @@ func (rt *Runtime) invariant(addr Ptr, region int32, format string, args ...inte
 }
 
 func (rt *Runtime) verify() *Fault {
-	seen := make(map[int]int32) // page number -> region whose list claims it
-
-	// 1. Page census.
-	for _, r := range rt.regions {
-		if r.deleted {
-			continue
-		}
-		if !rt.space.Mapped(r.hdr) {
-			return rt.invariant(r.hdr, r.id, "region header unmapped")
-		}
-		for _, offs := range [2][2]Ptr{{offNormalFirst, offNormalAvail}, {offStringFirst, offStringAvail}} {
-			if avail := rt.space.Load(r.hdr + offs[1]); avail > mem.PageSize {
-				return rt.invariant(r.hdr+offs[1], r.id,
-					"allocation offset %d exceeds page size", avail)
-			}
-			entry := rt.space.Load(r.hdr + offs[0])
-			steps := 0
-			for entry != 0 {
-				if steps++; steps > rt.space.NumPages() {
-					return rt.invariant(entry, r.id, "page list cycle")
-				}
-				if entry&(mem.PageSize-1) != 0 {
-					return rt.invariant(entry, r.id, "page-list entry not page-aligned")
-				}
-				if !rt.space.Mapped(entry) {
-					return rt.invariant(entry, r.id, "page-list entry unmapped")
-				}
-				link := rt.space.Load(entry + pageLink)
-				count := int(link&(mem.PageSize-1)) + 1
-				for i := 0; i < count; i++ {
-					pg := int(entry>>mem.PageShift) + i
-					a := Ptr(pg) << mem.PageShift
-					if !rt.space.Mapped(a) {
-						return rt.invariant(a, r.id, "page-list page unmapped")
-					}
-					if prev, dup := seen[pg]; dup {
-						return rt.invariant(a, r.id,
-							"page also on region #%d's lists", prev)
-					}
-					seen[pg] = r.id
-					if owner := rt.pages.ownerAt(pg); owner != r {
-						ownerID := int32(-1)
-						if owner != nil {
-							ownerID = owner.id
-						}
-						return rt.invariant(a, r.id,
-							"page map attributes page to %d, page list to %d", ownerID, r.id)
-					}
-				}
-				entry = link &^ Ptr(mem.PageSize-1)
-			}
-		}
-	}
-
-	// 2. Page map, reverse direction.
-	for pg, owner := range rt.pages.owners {
-		if owner == nil {
-			continue
-		}
-		a := Ptr(pg) << mem.PageShift
-		if owner.deleted {
-			return rt.invariant(a, owner.id, "page map names deleted region")
-		}
-		if got, ok := seen[pg]; !ok || got != owner.id {
-			return rt.invariant(a, owner.id, "page not on its owner's page lists")
-		}
-	}
-
-	// 3. Free lists.
-	checkFree := func(p Ptr, n int) *Fault {
-		for i := 0; i < n; i++ {
-			pg := int(p>>mem.PageShift) + i
-			a := Ptr(pg) << mem.PageShift
-			if !rt.space.Mapped(a) {
-				return rt.invariant(a, -1, "free page unmapped")
-			}
-			if owner := rt.pages.ownerAt(pg); owner != nil {
-				return rt.invariant(a, owner.id, "free page has an owner")
-			}
-			if rt.opts.NoPoison {
-				continue
-			}
-			for off := Ptr(0); off < mem.PageSize; off += mem.WordSize {
-				if w := rt.space.Load(a + off); w != mem.PoisonWord {
-					return rt.invariant(a+off, -1,
-						"free page word is %#x, not poison (stray write after free?)", w)
-				}
-			}
-		}
-		return nil
-	}
-	for _, p := range rt.freePages {
-		if f := checkFree(p, 1); f != nil {
-			return f
-		}
-	}
-	if f := rt.spans.forEach(checkFree); f != nil {
-		return f
-	}
-
-	// 4. Object headers.
-	if f := rt.verifyHeaders(); f != nil {
+	// 1-4. Heap structure: page census, page map, free lists, object headers.
+	if _, f := rt.heapWalk(false); f != nil {
 		return f
 	}
 
@@ -194,61 +98,6 @@ func (rt *Runtime) verify() *Fault {
 	return nil
 }
 
-// verifyHeaders re-walks every live region's normal-allocator entries the
-// way runCleanups would, dry-running cleanup functions (Destroy disabled via
-// rt.verifying) to measure object extents without mutating counts.
-func (rt *Runtime) verifyHeaders() *Fault {
-	rt.verifying = true
-	defer func() { rt.verifying = false }()
-
-	for _, r := range rt.regions {
-		if r.deleted {
-			continue
-		}
-		homePage := r.hdr &^ Ptr(mem.PageSize-1)
-		entry := rt.space.Load(r.hdr + offNormalFirst)
-		for entry != 0 {
-			link := rt.space.Load(entry + pageLink)
-			count := int(link&(mem.PageSize-1)) + 1
-			end := entry + Ptr(count*mem.PageSize)
-			p := entry + mem.WordSize
-			if entry == homePage {
-				p = r.hdr + hdrBytes
-			}
-			for p < end {
-				hdr := rt.space.Load(p)
-				if hdr == 0 {
-					break // end of the entry's filled prefix
-				}
-				id := CleanupID(hdr &^ arrayFlag)
-				if id <= 0 || int(id) > len(rt.cleanups) {
-					return rt.invariant(p, r.id, "corrupt object header %#x", hdr)
-				}
-				var extent uint64
-				if hdr&arrayFlag != 0 {
-					n := uint64(rt.space.Load(p + 4))
-					esz := uint64(rt.space.Load(p + 8))
-					extent = 3*mem.WordSize + n*esz
-				} else {
-					size := rt.cleanups[id-1].fn(rt, p+mem.WordSize)
-					if size < 0 {
-						return rt.invariant(p, r.id,
-							"cleanup %q reported negative size %d", rt.cleanups[id-1].name, size)
-					}
-					extent = uint64(mem.WordSize + align4(size))
-				}
-				if uint64(p)+extent > uint64(end) {
-					return rt.invariant(p, r.id,
-						"object extent %d runs past its page entry", extent)
-				}
-				p += Ptr(extent)
-			}
-			entry = link &^ Ptr(mem.PageSize-1)
-		}
-	}
-	return nil
-}
-
 // verifyRC recomputes every live region's exact reference count from heap
 // contents and compares it to the stored count.
 func (rt *Runtime) verifyRC() *Fault {
@@ -261,25 +110,12 @@ func (rt *Runtime) verifyRC() *Fault {
 		if reg.deleted {
 			continue
 		}
-		homePage := reg.hdr &^ Ptr(mem.PageSize-1)
-		entry := rt.space.Load(reg.hdr + offNormalFirst)
-		for entry != 0 {
-			link := rt.space.Load(entry + pageLink)
-			count := int(link&(mem.PageSize-1)) + 1
-			end := entry + Ptr(count*mem.PageSize)
-			a := entry + mem.WordSize
-			if entry == homePage {
-				a = reg.hdr + hdrBytes
+		r := reg
+		rt.forEachNormalWord(r, func(_ Ptr, v Word) {
+			if t := rt.RegionOf(v); t != nil && t != r {
+				want[t.id]++
 			}
-			for ; a < end; a += mem.WordSize {
-				if v := rt.space.Load(a); v != 0 {
-					if t := rt.RegionOf(v); t != nil && t != reg {
-						want[t.id]++
-					}
-				}
-			}
-			entry = link &^ Ptr(mem.PageSize-1)
-		}
+		})
 	}
 
 	// Global storage, all segments ever allocated.

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"regions/internal/mem"
+	"regions/internal/metrics"
 	"regions/internal/stats"
 	"regions/internal/trace"
 )
@@ -69,6 +70,18 @@ type Collector struct {
 	work []Ptr // mark worklist (collector-private, like BW's mark stack)
 
 	tracer *trace.Tracer // nil unless event tracing is attached
+
+	met *gcMetrics // nil unless a metrics registry is attached
+}
+
+// gcMetrics caches the series the collector emits (nil-guarded, like the
+// tracer; updates charge no simulated cycles).
+type gcMetrics struct {
+	reg *metrics.Registry
+
+	collections         *metrics.Counter
+	pressureCollections *metrics.Counter
+	liveBytes           *metrics.Gauge
 }
 
 // New creates a collector on sp.
@@ -106,6 +119,28 @@ func (g *Collector) SetTracer(t *trace.Tracer) {
 		c := g.c
 		t.InitClock(func() uint64 { return c.TotalCycles() })
 	}
+}
+
+// SetMetrics attaches the collector to a metrics registry (nil detaches).
+func (g *Collector) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		g.met = nil
+		return
+	}
+	g.met = &gcMetrics{
+		reg:                 reg,
+		collections:         reg.Counter("regions_gc_collections_total"),
+		pressureCollections: reg.Counter("regions_gc_pressure_collections_total"),
+		liveBytes:           reg.Gauge("regions_gc_live_bytes"),
+	}
+}
+
+// Metrics returns the attached registry, or nil.
+func (g *Collector) Metrics() *metrics.Registry {
+	if g.met == nil {
+		return nil
+	}
+	return g.met.reg
 }
 
 func (g *Collector) notePages(first Ptr, n int, class int16) {
@@ -175,6 +210,9 @@ func (g *Collector) TryAlloc(size int) (Ptr, error) {
 // regardless of the growth policy's pending flag.
 func (g *Collector) emergencyCollect() {
 	g.pending = false
+	if g.met != nil {
+		g.met.pressureCollections.Inc()
+	}
 	g.Collect()
 }
 
@@ -325,6 +363,10 @@ func (g *Collector) Collect() {
 
 	g.sweep()
 	g.bytesSinceGC = 0
+	if g.met != nil {
+		g.met.collections.Inc()
+		g.met.liveBytes.Set(int64(g.liveAfterGC))
+	}
 	if g.tracer != nil {
 		live := g.liveAfterGC
 		if live > 1<<31-1 {

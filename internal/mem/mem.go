@@ -76,6 +76,10 @@ type Space struct {
 	mapCalls  uint64
 	mapFails  uint64
 	lastFail  *MapFailure
+
+	// met, when non-nil, mirrors OS-level events into a metrics registry
+	// (see metrics.go); every update site is nil-guarded.
+	met *spaceMetrics
 }
 
 // NewSpace returns an empty address space whose accesses are charged to c.
@@ -125,9 +129,16 @@ func (s *Space) MapPages(n int) Addr {
 		panic("mem: MapPages of non-positive count")
 	}
 	s.mapCalls++
+	if s.met != nil {
+		s.met.mapCalls.Inc()
+	}
 	if cause := s.refuse(n); cause != "" {
 		s.mapFails++
 		s.lastFail = &MapFailure{Call: s.mapCalls, Pages: n, Mapped: s.mappedBytes, Cause: cause}
+		if s.met != nil {
+			s.met.mapFailures.Inc()
+			s.met.failureCounter(cause).Inc()
+		}
 		return 0
 	}
 	first := len(s.pages)
@@ -135,6 +146,10 @@ func (s *Space) MapPages(n int) Addr {
 		s.pages = append(s.pages, &page{})
 	}
 	s.mappedBytes += uint64(n) * PageSize
+	if s.met != nil {
+		s.met.pagesMapped.Add(uint64(n))
+		s.met.mappedBytes.Set(int64(s.mappedBytes))
+	}
 	return Addr(first) << PageShift
 }
 

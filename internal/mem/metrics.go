@@ -1,0 +1,72 @@
+package mem
+
+import "regions/internal/metrics"
+
+// Metrics hooks for the simulated OS layer, following the runtime's
+// nil-guarded pattern: an unmetered space pays one predicate per MapPages
+// call (the only operation worth metering at this layer — Load/Store
+// traffic is already counted, in simulated cycles, by stats.Counters).
+// Refusals are broken out by cause so an operator can tell an injected
+// fault plan from genuine address-space or budget exhaustion.
+
+// spaceMetrics caches the series a Space emits.
+type spaceMetrics struct {
+	reg *metrics.Registry
+
+	mapCalls    *metrics.Counter
+	mapFailures *metrics.Counter
+	pagesMapped *metrics.Counter
+	mappedBytes *metrics.Gauge
+
+	// byCause caches the per-cause refusal counters, keyed by the Cause*
+	// constant observed.
+	byCause map[string]*metrics.Counter
+}
+
+// causeSlug maps the Cause* strings to Prometheus label values.
+var causeSlug = map[string]string{
+	CauseAddressSpace: "address-space",
+	CausePageLimit:    "page-limit",
+	CauseByteBudget:   "byte-budget",
+	CauseFailNth:      "fail-nth",
+	CauseFailProb:     "fail-prob",
+}
+
+// failureCounter returns the refusal counter for cause, resolving and
+// caching it on first use.
+func (sm *spaceMetrics) failureCounter(cause string) *metrics.Counter {
+	if c, ok := sm.byCause[cause]; ok {
+		return c
+	}
+	slug, ok := causeSlug[cause]
+	if !ok {
+		slug = "other"
+	}
+	c := sm.reg.Counter(`regions_mem_map_failures_by_cause_total{cause="` + slug + `"}`)
+	sm.byCause[cause] = c
+	return c
+}
+
+// SetMetrics attaches the space to a metrics registry (nil detaches).
+func (s *Space) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		s.met = nil
+		return
+	}
+	s.met = &spaceMetrics{
+		reg:         reg,
+		mapCalls:    reg.Counter("regions_mem_map_calls_total"),
+		mapFailures: reg.Counter("regions_mem_map_failures_total"),
+		pagesMapped: reg.Counter("regions_mem_pages_mapped_total"),
+		mappedBytes: reg.Gauge("regions_mem_mapped_bytes"),
+		byCause:     map[string]*metrics.Counter{},
+	}
+}
+
+// Metrics returns the attached registry, or nil.
+func (s *Space) Metrics() *metrics.Registry {
+	if s.met == nil {
+		return nil
+	}
+	return s.met.reg
+}

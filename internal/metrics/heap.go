@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file defines the heap profiler's report types. The data is produced
+// by the region runtime's verifier walk (internal/core builds a HeapReport
+// while auditing page lists and object headers — see core.Runtime.HeapReport)
+// and consumed here: top-N ranking, a human-readable text report, and JSON.
+// The types live in this package so that core can depend on metrics without
+// a cycle, and so every exposition surface (regionstat, regionbench's /heap
+// endpoint) shares one schema.
+
+// HeapSchemaVersion is the schema_version stamped on every HeapReport.
+const HeapSchemaVersion = 1
+
+// RegionHeap is one region's footprint, decomposed exactly:
+//
+//	CapacityBytes = LiveBytes + BookkeepingBytes + FreeBytes + FragBytes
+//
+// LiveBytes is program-requested data (NormalBytes in the scanned allocator
+// plus StringBytes in the string allocator). BookkeepingBytes is runtime
+// overhead: page-link words, the region structure and its coloring offset,
+// and object headers. FreeBytes is still allocatable by the bump pointers
+// (the head pages' remaining space); FragBytes is internal fragmentation —
+// slack no future allocation in this region can use (abandoned page tails,
+// multi-page-span padding).
+type RegionHeap struct {
+	ID          int32 `json:"id"`
+	Pages       int   `json:"pages"`
+	NormalPages int   `json:"normalPages"`
+	StringPages int   `json:"stringPages"`
+
+	CapacityBytes    uint64 `json:"capacityBytes"`
+	LiveBytes        uint64 `json:"liveBytes"`
+	NormalBytes      uint64 `json:"normalBytes"`
+	StringBytes      uint64 `json:"stringBytes"`
+	BookkeepingBytes uint64 `json:"bookkeepingBytes"`
+	FreeBytes        uint64 `json:"freeBytes"`
+	FragBytes        uint64 `json:"fragBytes"`
+
+	Objects uint64 `json:"objects"` // live objects with headers (normal allocator)
+	Allocs  uint64 `json:"allocs"`  // lifetime allocation count, all allocators
+
+	// OccupancyPct is live data as a percentage of capacity.
+	OccupancyPct float64 `json:"occupancyPct"`
+}
+
+// HeapSite is one allocation site in the live-object census: every live
+// object in the normal allocator, attributed to its cleanup's registered
+// name. (String-allocator data carries no headers and is not attributable;
+// the registry's sampled site profile covers it at allocation time.)
+type HeapSite struct {
+	Site    string `json:"site"`
+	Objects uint64 `json:"objects"`
+	Bytes   uint64 `json:"bytes"`
+}
+
+// HeapReport is one full heap profile: the page census of every live
+// region, runtime-level free-memory accounting, and the live allocation-site
+// census. Produced by core.Runtime.HeapReport / HeapProfile.
+type HeapReport struct {
+	SchemaVersion int    `json:"schema_version"`
+	Origin        string `json:"origin,omitempty"` // e.g. a shard name
+	CapturedCycle uint64 `json:"capturedCycle"`    // simulated clock at capture
+
+	MappedBytes   uint64 `json:"mappedBytes"` // total requested from the simulated OS
+	FreePages     int    `json:"freePages"`   // single pages on the runtime free list
+	FreeSpanPages int    `json:"freeSpanPages"`
+	LiveRegions   int    `json:"liveRegions"`
+
+	Totals  RegionHeap   `json:"totals"` // summed over live regions (ID = -1)
+	Regions []RegionHeap `json:"regions"`
+	Sites   []HeapSite   `json:"sites,omitempty"`
+}
+
+// HeapReporter is anything that can produce a heap profile — concretely
+// *core.Runtime, but expressed as an interface so this package stays a leaf.
+type HeapReporter interface {
+	HeapReport() (*HeapReport, error)
+}
+
+// HeapProfile captures a heap profile from rt. It is a convenience wrapper
+// so callers holding a runtime can write metrics.HeapProfile(rt); the error
+// is non-nil only when the heap fails its structural invariants (the same
+// conditions Verify reports).
+func HeapProfile(rt HeapReporter) (*HeapReport, error) { return rt.HeapReport() }
+
+// Top returns the n regions with the largest capacity (footprint), ties
+// broken by id. The receiver is not modified.
+func (r *HeapReport) Top(n int) []RegionHeap {
+	out := append([]RegionHeap(nil), r.Regions...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CapacityBytes != out[j].CapacityBytes {
+			return out[i].CapacityBytes > out[j].CapacityBytes
+		}
+		return out[i].ID < out[j].ID
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *HeapReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders a human-readable heap profile: totals, the top-N
+// regions by footprint, and the live allocation-site census.
+func (r *HeapReport) WriteText(w io.Writer, topN int) {
+	fmt.Fprintf(w, "heap profile at cycle %d", r.CapturedCycle)
+	if r.Origin != "" {
+		fmt.Fprintf(w, " (%s)", r.Origin)
+	}
+	fmt.Fprintln(w)
+	t := r.Totals
+	fmt.Fprintf(w, "  %d live regions on %d pages (%s capacity, %s mapped from OS)\n",
+		r.LiveRegions, t.Pages, fmtBytes(t.CapacityBytes), fmtBytes(r.MappedBytes))
+	fmt.Fprintf(w, "  live %s (%.1f%% occupancy): %s scanned + %s string; overhead %s bookkeeping, %s free, %s fragmentation\n",
+		fmtBytes(t.LiveBytes), t.OccupancyPct, fmtBytes(t.NormalBytes), fmtBytes(t.StringBytes),
+		fmtBytes(t.BookkeepingBytes), fmtBytes(t.FreeBytes), fmtBytes(t.FragBytes))
+	fmt.Fprintf(w, "  free pages: %d single + %d in spans\n", r.FreePages, r.FreeSpanPages)
+
+	top := r.Top(topN)
+	if len(top) > 0 {
+		fmt.Fprintf(w, "\n  %-8s %6s %10s %10s %7s %10s %10s %8s\n",
+			"region", "pages", "capacity", "live", "occ%", "string", "frag", "objects")
+		for _, reg := range top {
+			fmt.Fprintf(w, "  #%-7d %6d %10s %10s %6.1f%% %10s %10s %8d\n",
+				reg.ID, reg.Pages, fmtBytes(reg.CapacityBytes), fmtBytes(reg.LiveBytes),
+				reg.OccupancyPct, fmtBytes(reg.StringBytes), fmtBytes(reg.FragBytes), reg.Objects)
+		}
+		if len(r.Regions) > len(top) {
+			fmt.Fprintf(w, "  (%d more regions)\n", len(r.Regions)-len(top))
+		}
+	}
+	if len(r.Sites) > 0 {
+		fmt.Fprintf(w, "\n  live objects by site:\n")
+		n := len(r.Sites)
+		if topN > 0 && n > topN {
+			n = topN
+		}
+		for _, s := range r.Sites[:n] {
+			fmt.Fprintf(w, "    %-24s %8d objects %10s\n", s.Site, s.Objects, fmtBytes(s.Bytes))
+		}
+		if len(r.Sites) > n {
+			fmt.Fprintf(w, "    (%d more sites)\n", len(r.Sites)-n)
+		}
+	}
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

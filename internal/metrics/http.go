@@ -1,0 +1,42 @@
+package metrics
+
+import "net/http"
+
+// HTTP exposition, used by regionbench -metrics-addr: Handler serves a
+// fresh registry snapshot in the Prometheus text format, HeapHandler serves
+// heap profiles as JSON. Both take their data source as a callback so the
+// caller controls capture timing and locking; a profile provider that
+// cannot produce reports yet (run not started) returns an empty slice.
+
+// Handler returns an http.Handler serving r in the Prometheus text
+// exposition format — mount it at /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r.Snapshot())
+	})
+}
+
+// HeapHandler returns an http.Handler serving heap profiles as a JSON array
+// — mount it at /heap. provider is called once per request.
+func HeapHandler(provider func() ([]*HeapReport, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		reports, err := provider()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if reports == nil {
+			reports = []*HeapReport{}
+		}
+		_, _ = w.Write([]byte("[\n"))
+		for i, r := range reports {
+			if i > 0 {
+				_, _ = w.Write([]byte(",\n"))
+			}
+			_ = r.WriteJSON(w)
+		}
+		_, _ = w.Write([]byte("]\n"))
+	})
+}

@@ -1,0 +1,222 @@
+// Package metrics is the always-on telemetry layer of the region runtime: a
+// low-overhead registry of atomic counters, gauges, and fixed-bucket
+// histograms, populated by every layer of the stack (internal/core,
+// internal/mem, internal/gc, internal/shard) behind the same nil-guarded
+// hook pattern as internal/trace — a runtime without a registry pays one
+// predicate per operation and nothing else, and a metered run reports the
+// same stats.Counters as a bare one, because metric updates are host-side
+// bookkeeping outside the simulated machine model.
+//
+// The aggregate counters of internal/stats answer the paper's questions
+// after a run ends; this package answers "what is the runtime doing right
+// now": Snapshot() is cheap, consistent, and diffable into per-interval
+// rates, WritePrometheus emits the text exposition format, WriteJSON a
+// schema-versioned JSON document (embedded in regionbench reports), and
+// HeapProfile turns the verifier's page walk into a per-region heap report.
+// docs/OBSERVABILITY.md documents the semantics; cmd/regionstat drives
+// everything against the benchmark applications.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. All methods are safe for
+// concurrent use and lock-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value. All methods are safe for concurrent
+// use and lock-free.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram of uint64 observations (byte sizes,
+// simulated cycles). Bounds are inclusive upper bounds in ascending order;
+// one implicit overflow bucket catches everything larger. Observe is
+// lock-free: a linear scan over the (small) bound slice plus three atomic
+// adds.
+type Histogram struct {
+	bounds  []uint64
+	buckets []atomic.Uint64 // len(bounds)+1; last = overflow
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Bounds returns the histogram's upper bounds (not a copy; do not mutate).
+func (h *Histogram) Bounds() []uint64 { return h.bounds }
+
+// siteEntry accumulates the sampled allocation-site profile. Values are
+// scaled up by the sampling interval at record time, so they estimate the
+// full population.
+type siteEntry struct {
+	objects uint64
+	bytes   uint64
+}
+
+// Registry is a named collection of metrics. Counter, Gauge, and Histogram
+// are get-or-create and take the registry lock; the returned pointers are
+// what hot paths hold on to, so steady-state updates never touch the lock
+// or the name maps. Names follow Prometheus conventions and may carry a
+// label suffix (`regions_shard_tasks_total{shard="0"}`); series sharing a
+// base name are grouped under one # TYPE line by WritePrometheus.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	siteEvery atomic.Int64
+	siteTick  atomic.Uint64
+	siteMu    sync.Mutex
+	sites     map[string]*siteEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		sites:    map[string]*siteEntry{},
+	}
+}
+
+// Counter returns the counter named name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge named name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram named name, creating it with the given
+// upper bounds if needed. Bounds must be ascending; they are copied. A
+// histogram that already exists keeps its original bounds.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic("metrics: histogram bounds must be ascending")
+			}
+		}
+		h = &Histogram{
+			bounds:  append([]uint64(nil), bounds...),
+			buckets: make([]atomic.Uint64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetSiteSampling enables the sampled allocation-site profile: every Nth
+// SampleAlloc call is recorded (scaled by N, so the profile estimates the
+// full allocation stream). 0 disables sampling, the default — a disabled
+// sampler costs one atomic load per allocation on a metered runtime and
+// nothing on a bare one.
+func (r *Registry) SetSiteSampling(every int) {
+	if every < 0 {
+		every = 0
+	}
+	r.siteEvery.Store(int64(every))
+}
+
+// SampleAlloc offers one allocation (site label, data bytes) to the site
+// sampler. Called by the runtime's allocation hooks; cheap when sampling is
+// disabled, and off the fast path (one short critical section) once per
+// sampling interval otherwise.
+func (r *Registry) SampleAlloc(site string, size uint64) {
+	every := uint64(r.siteEvery.Load())
+	if every == 0 {
+		return
+	}
+	if r.siteTick.Add(1)%every != 0 {
+		return
+	}
+	r.siteMu.Lock()
+	e, ok := r.sites[site]
+	if !ok {
+		e = &siteEntry{}
+		r.sites[site] = e
+	}
+	e.objects += every
+	e.bytes += size * every
+	r.siteMu.Unlock()
+}
+
+// snapshotSites copies the sampled site profile, sorted by estimated bytes
+// descending (ties by name).
+func (r *Registry) snapshotSites() []SiteSample {
+	r.siteMu.Lock()
+	out := make([]SiteSample, 0, len(r.sites))
+	for name, e := range r.sites {
+		out = append(out, SiteSample{Site: name, Objects: e.objects, Bytes: e.bytes})
+	}
+	r.siteMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
+}

@@ -1,0 +1,246 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Error("Counter is not get-or-create")
+	}
+
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+
+	h := r.Histogram("h", []uint64{10, 100})
+	for _, v := range []uint64{1, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1+10+11+100+101+5000 {
+		t.Errorf("histogram count/sum = %d/%d", h.Count(), h.Sum())
+	}
+	// Bounds are inclusive: 10 lands in the first bucket, 101 overflows.
+	want := []uint64{2, 2, 2}
+	for i := range h.buckets {
+		if got := h.buckets[i].Load(); got != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, got, want[i])
+		}
+	}
+	if r.Histogram("h", nil) != h {
+		t.Error("Histogram is not get-or-create")
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-ascending bounds")
+		}
+	}()
+	NewRegistry().Histogram("bad", []uint64{10, 10})
+}
+
+func TestSnapshotLookupAndDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(10)
+	r.Counter("b_total{x=\"1\"}").Add(3)
+	r.Counter("b_total{x=\"2\"}").Add(4)
+	r.Gauge("live").Set(2)
+	r.Histogram("sizes", []uint64{16, 64}).Observe(20)
+
+	s1 := r.Snapshot()
+	if s1.SchemaVersion != SnapshotSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", s1.SchemaVersion, SnapshotSchemaVersion)
+	}
+	if v, ok := s1.Counter("a_total"); !ok || v != 10 {
+		t.Errorf("Counter(a_total) = %d,%v", v, ok)
+	}
+	if v, ok := s1.Gauge("live"); !ok || v != 2 {
+		t.Errorf("Gauge(live) = %d,%v", v, ok)
+	}
+	if got := s1.CounterSum("b_total"); got != 7 {
+		t.Errorf("CounterSum(b_total) = %d, want 7", got)
+	}
+	if _, ok := s1.Counter("missing"); ok {
+		t.Error("Counter(missing) found")
+	}
+
+	r.Counter("a_total").Add(5)
+	r.Gauge("live").Set(9)
+	r.Histogram("sizes", nil).Observe(100)
+	d := r.Snapshot().Sub(s1)
+	if v, _ := d.Counter("a_total"); v != 5 {
+		t.Errorf("diffed a_total = %d, want 5", v)
+	}
+	if v, _ := d.Gauge("live"); v != 9 {
+		t.Errorf("diffed gauge = %d, want instantaneous 9", v)
+	}
+	if h := d.Histograms[0]; h.Count != 1 || h.Sum != 100 {
+		t.Errorf("diffed histogram count/sum = %d/%d, want 1/100", h.Count, h.Sum)
+	}
+}
+
+func TestSiteSampling(t *testing.T) {
+	r := NewRegistry()
+	// Disabled sampler records nothing.
+	r.SampleAlloc("quiet", 8)
+	if got := len(r.Snapshot().Sites); got != 0 {
+		t.Fatalf("disabled sampler recorded %d sites", got)
+	}
+	r.SetSiteSampling(4)
+	for i := 0; i < 64; i++ {
+		r.SampleAlloc("hot", 32)
+	}
+	sites := r.Snapshot().Sites
+	if len(sites) != 1 || sites[0].Site != "hot" {
+		t.Fatalf("sites = %+v", sites)
+	}
+	// Every 4th of 64 calls recorded, scaled by 4: the estimate matches the
+	// full stream exactly for a uniform one.
+	if sites[0].Objects != 64 || sites[0].Bytes != 64*32 {
+		t.Errorf("sampled estimate = %d objects / %d bytes, want 64 / %d",
+			sites[0].Objects, sites[0].Bytes, 64*32)
+	}
+}
+
+// TestWritePrometheusGolden locks the exposition output byte for byte;
+// regenerate with `go test ./internal/metrics -run Golden -update`.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("regions_demo_allocs_total").Add(1234)
+	r.Counter(`regions_demo_tasks_total{shard="0"}`).Add(7)
+	r.Counter(`regions_demo_tasks_total{shard="1"}`).Add(8)
+	r.Gauge("regions_demo_live_regions").Set(3)
+	h := r.Histogram("regions_demo_alloc_size_bytes", []uint64{16, 256})
+	for _, v := range []uint64{8, 16, 200, 5000} {
+		h.Observe(v)
+	}
+	r.SetSiteSampling(1)
+	r.SampleAlloc(`site "with" quotes\`, 48)
+	r.SampleAlloc("plain", 16)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Prometheus output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(2)
+	r.Histogram("h", []uint64{10}).Observe(3)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("WriteJSON output does not parse: %v", err)
+	}
+	if back.SchemaVersion != SnapshotSchemaVersion {
+		t.Errorf("round-tripped schema_version = %d", back.SchemaVersion)
+	}
+	if v, ok := back.Counter("a_total"); !ok || v != 2 {
+		t.Errorf("round-tripped counter = %d,%v", v, ok)
+	}
+}
+
+func TestHandlerServesScrape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total").Inc()
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct == "" {
+		t.Error("no Content-Type header")
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("up_total 1")) {
+		t.Errorf("scrape body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+// TestConcurrentUpdates exercises the lock-free update paths under the race
+// detector: many goroutines hammering shared series while another snapshots
+// and renders.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	r.SetSiteSampling(2)
+	var writers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			c := r.Counter("shared_total")
+			g := r.Gauge("shared")
+			h := r.Histogram("shared_hist", []uint64{8, 64})
+			for j := 0; j < 5000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(uint64(j % 100))
+				r.SampleAlloc("site", 16)
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				readerDone <- nil
+				return
+			default:
+				if err := WritePrometheus(bytes.NewBuffer(nil), r.Snapshot()); err != nil {
+					readerDone <- err
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	if err := <-readerDone; err != nil {
+		t.Fatal(err)
+	}
+
+	if got := r.Counter("shared_total").Value(); got != 4*5000 {
+		t.Errorf("shared_total = %d, want %d", got, 4*5000)
+	}
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import "sort"
+
+// SnapshotSchemaVersion is the schema_version stamped on every Snapshot
+// (and therefore on WriteJSON output and embedded regionbench reports).
+// Bump it whenever a field changes meaning or shape.
+const SnapshotSchemaVersion = 1
+
+// CounterValue is one counter at snapshot time.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge at snapshot time.
+type GaugeValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketValue is one histogram bucket: the count of observations at or
+// under UpperBound that exceeded the previous bound. UpperBound 0 on the
+// last bucket marks the overflow (+Inf) bucket.
+type BucketValue struct {
+	UpperBound uint64 `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// HistogramValue is one histogram at snapshot time. Buckets hold per-bucket
+// (not cumulative) counts; the Prometheus writer accumulates them into the
+// exposition format's cumulative `le` series.
+type HistogramValue struct {
+	Name    string        `json:"name"`
+	Count   uint64        `json:"count"`
+	Sum     uint64        `json:"sum"`
+	Buckets []BucketValue `json:"buckets"`
+}
+
+// SiteSample is one allocation site in the sampled site profile; Objects
+// and Bytes are scaled by the sampling interval, estimating the full
+// allocation stream.
+type SiteSample struct {
+	Site    string `json:"site"`
+	Objects uint64 `json:"objects"`
+	Bytes   uint64 `json:"bytes"`
+}
+
+// Snapshot is one consistent-enough view of a registry: every series is
+// read with a single atomic load, series are name-sorted so two snapshots
+// diff line by line, and the whole operation takes the registry lock only
+// long enough to copy the name maps. Cross-series skew is bounded by the
+// operations in flight during the copy; each individual value is exact.
+type Snapshot struct {
+	SchemaVersion int              `json:"schema_version"`
+	Counters      []CounterValue   `json:"counters"`
+	Gauges        []GaugeValue     `json:"gauges"`
+	Histograms    []HistogramValue `json:"histograms"`
+	Sites         []SiteSample     `json:"sites,omitempty"`
+}
+
+// Snapshot captures the registry's current values.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	counters := make([]CounterValue, 0, len(r.counters))
+	for name, c := range r.counters {
+		counters = append(counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	gauges := make([]GaugeValue, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges = append(gauges, GaugeValue{Name: name, Value: g.Value()})
+	}
+	hists := make([]HistogramValue, 0, len(r.hists))
+	for name, h := range r.hists {
+		hv := HistogramValue{Name: name, Count: h.Count(), Sum: h.Sum()}
+		for i := range h.buckets {
+			b := BucketValue{Count: h.buckets[i].Load()}
+			if i < len(h.bounds) {
+				b.UpperBound = h.bounds[i]
+			}
+			hv.Buckets = append(hv.Buckets, b)
+		}
+		hists = append(hists, hv)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].Name < counters[j].Name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].Name < gauges[j].Name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].Name < hists[j].Name })
+	return &Snapshot{
+		SchemaVersion: SnapshotSchemaVersion,
+		Counters:      counters,
+		Gauges:        gauges,
+		Histograms:    hists,
+		Sites:         r.snapshotSites(),
+	}
+}
+
+// Counter returns the named counter's value and whether it exists.
+func (s *Snapshot) Counter(name string) (uint64, bool) {
+	i := sort.Search(len(s.Counters), func(i int) bool { return s.Counters[i].Name >= name })
+	if i < len(s.Counters) && s.Counters[i].Name == name {
+		return s.Counters[i].Value, true
+	}
+	return 0, false
+}
+
+// Gauge returns the named gauge's value and whether it exists.
+func (s *Snapshot) Gauge(name string) (int64, bool) {
+	i := sort.Search(len(s.Gauges), func(i int) bool { return s.Gauges[i].Name >= name })
+	if i < len(s.Gauges) && s.Gauges[i].Name == name {
+		return s.Gauges[i].Value, true
+	}
+	return 0, false
+}
+
+// CounterSum sums every counter whose name starts with prefix — the way to
+// aggregate labeled series (`regions_shard_tasks_total{...}`) without
+// parsing labels.
+func (s *Snapshot) CounterSum(prefix string) uint64 {
+	var sum uint64
+	for _, c := range s.Counters {
+		if len(c.Name) >= len(prefix) && c.Name[:len(prefix)] == prefix {
+			sum += c.Value
+		}
+	}
+	return sum
+}
+
+// Sub returns the per-interval delta s minus prev: counters and histogram
+// buckets subtract (a series missing from prev contributes its full value),
+// gauges and sites keep their current values, since they are instantaneous.
+// Sub never mutates its receivers.
+func (s *Snapshot) Sub(prev *Snapshot) *Snapshot {
+	out := &Snapshot{
+		SchemaVersion: s.SchemaVersion,
+		Gauges:        append([]GaugeValue(nil), s.Gauges...),
+		Sites:         append([]SiteSample(nil), s.Sites...),
+	}
+	for _, c := range s.Counters {
+		if old, ok := prev.Counter(c.Name); ok {
+			c.Value -= old
+		}
+		out.Counters = append(out.Counters, c)
+	}
+	prevHists := make(map[string]*HistogramValue, len(prev.Histograms))
+	for i := range prev.Histograms {
+		prevHists[prev.Histograms[i].Name] = &prev.Histograms[i]
+	}
+	for _, h := range s.Histograms {
+		hv := HistogramValue{Name: h.Name, Count: h.Count, Sum: h.Sum,
+			Buckets: append([]BucketValue(nil), h.Buckets...)}
+		if old := prevHists[h.Name]; old != nil && len(old.Buckets) == len(hv.Buckets) {
+			hv.Count -= old.Count
+			hv.Sum -= old.Sum
+			for i := range hv.Buckets {
+				hv.Buckets[i].Count -= old.Buckets[i].Count
+			}
+		}
+		out.Histograms = append(out.Histograms, hv)
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 
 	"regions/internal/apps/appkit"
 	"regions/internal/core"
+	"regions/internal/metrics"
 )
 
 // DefaultPageBatch is the free-page cache batch used by shard runtimes when
@@ -43,6 +44,19 @@ type Config struct {
 	// Unsafe runs every shard on the unsafe region library (no reference
 	// counting), for measuring the cost of safety under load.
 	Unsafe bool
+	// Metrics, when non-nil, attaches every shard's runtime and space to
+	// the registry (core/mem series are shared across shards; the registry
+	// is atomic) and adds per-shard labeled series: tasks, failures, busy
+	// simulated cycles, and live queue depth. Close records the engine's
+	// makespan and utilization gauges.
+	Metrics *metrics.Registry
+	// HeapProfileEvery, when above 0, makes each shard capture a heap
+	// profile of its runtime every N completed tasks (plus after its
+	// first task and once at drain, so short runs still expose one),
+	// exposed via HeapReports — the data behind regionbench's /heap
+	// endpoint. Capture runs on the shard's own goroutine, so it is safe
+	// without locking the runtime.
+	HeapProfileEvery int
 }
 
 // Stats is one shard's tally, owned by the shard goroutine until Close.
@@ -72,10 +86,32 @@ type Aggregate struct {
 	PerShard    []Stats
 }
 
+// workerMetrics caches one shard's labeled series.
+type workerMetrics struct {
+	tasks      *metrics.Counter
+	failures   *metrics.Counter
+	busyCycles *metrics.Counter
+	queueDepth *metrics.Gauge
+}
+
+func newWorkerMetrics(reg *metrics.Registry, shard int) *workerMetrics {
+	label := fmt.Sprintf(`{shard="%d"}`, shard)
+	return &workerMetrics{
+		tasks:      reg.Counter("regions_shard_tasks_total" + label),
+		failures:   reg.Counter("regions_shard_failures_total" + label),
+		busyCycles: reg.Counter("regions_shard_busy_cycles_total" + label),
+		queueDepth: reg.Gauge("regions_shard_queue_depth" + label),
+	}
+}
+
 type worker struct {
 	env   *Env
 	tasks chan Task
 	stats Stats
+
+	met       *workerMetrics
+	profEvery int
+	lastProf  atomic.Value // *metrics.HeapReport
 }
 
 // Engine distributes tasks over N shard workers. Submit may be called from
@@ -84,6 +120,7 @@ type Engine struct {
 	shards []*worker
 	rr     atomic.Uint32
 	wg     sync.WaitGroup
+	reg    *metrics.Registry
 }
 
 // New starts an engine with cfg.Shards workers, each owning an independent
@@ -101,11 +138,17 @@ func New(cfg Config) *Engine {
 	if batch == 0 {
 		batch = DefaultPageBatch
 	}
-	e := &Engine{shards: make([]*worker, n)}
+	e := &Engine{shards: make([]*worker, n), reg: cfg.Metrics}
 	for i := 0; i < n; i++ {
 		w := &worker{
-			env:   NewEnv(shardName(i), core.Options{Safe: !cfg.Unsafe, PageBatch: batch}),
-			tasks: make(chan Task, queue),
+			env:       NewEnv(shardName(i), core.Options{Safe: !cfg.Unsafe, PageBatch: batch}),
+			tasks:     make(chan Task, queue),
+			profEvery: cfg.HeapProfileEvery,
+		}
+		if cfg.Metrics != nil {
+			w.env.Runtime().SetMetrics(cfg.Metrics)
+			w.env.Space().SetMetrics(cfg.Metrics)
+			w.met = newWorkerMetrics(cfg.Metrics, i)
 		}
 		w.stats.Shard = i
 		e.shards[i] = w
@@ -134,7 +177,36 @@ func (e *Engine) Submit(t Task) {
 	} else {
 		i = int((e.rr.Add(1) - 1) % uint32(len(e.shards)))
 	}
-	e.shards[i].tasks <- t
+	w := e.shards[i]
+	if w.met != nil {
+		w.met.queueDepth.Inc()
+	}
+	w.tasks <- t
+}
+
+// HeapReports returns the most recent heap profile captured by each shard,
+// in shard order, omitting shards that have not captured one yet. Profiles
+// are taken by the shard goroutines (see Config.HeapProfileEvery); reading
+// them is safe at any time.
+func (e *Engine) HeapReports() []*metrics.HeapReport {
+	var out []*metrics.HeapReport
+	for _, w := range e.shards {
+		if rep, ok := w.lastProf.Load().(*metrics.HeapReport); ok && rep != nil {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// captureHeapProfile snapshots the shard runtime's heap into lastProf; a
+// heap that fails its structural checks simply yields no new profile.
+func (w *worker) captureHeapProfile() {
+	rep, err := w.env.Runtime().HeapReport()
+	if err != nil || rep == nil {
+		return
+	}
+	rep.Origin = w.env.Name()
+	w.lastProf.Store(rep)
 }
 
 // Close drains every shard's queue, stops the workers, and returns the
@@ -156,12 +228,23 @@ func (e *Engine) Close() Aggregate {
 		}
 		agg.PerShard = append(agg.PerShard, s)
 	}
+	if e.reg != nil {
+		e.reg.Gauge("regions_shard_makespan_cycles").Set(int64(agg.MakespanCycles))
+		if agg.MakespanCycles > 0 && agg.Shards > 0 {
+			util := agg.TotalCycles * 100 / (agg.MakespanCycles * uint64(agg.Shards))
+			e.reg.Gauge("regions_shard_utilization_pct").Set(int64(util))
+		}
+	}
 	return agg
 }
 
 func (w *worker) loop(wg *sync.WaitGroup) {
 	defer wg.Done()
+	var prevCycles uint64
 	for t := range w.tasks {
+		if w.met != nil {
+			w.met.queueDepth.Dec()
+		}
 		start := time.Now()
 		sum, err := w.runTask(t)
 		w.stats.Busy += time.Since(start)
@@ -170,12 +253,27 @@ func (w *worker) loop(wg *sync.WaitGroup) {
 			w.stats.Failures++
 			w.stats.LastError = err.Error()
 			w.env.reset()
+			if w.met != nil {
+				w.met.failures.Inc()
+			}
 		} else {
 			w.stats.Checksum += sum
+		}
+		if w.met != nil {
+			w.met.tasks.Inc()
+			now := w.env.Counters().TotalCycles()
+			w.met.busyCycles.Add(now - prevCycles)
+			prevCycles = now
+		}
+		if w.profEvery > 0 && (w.stats.Tasks == 1 || w.stats.Tasks%uint64(w.profEvery) == 0) {
+			w.captureHeapProfile()
 		}
 	}
 	w.stats.SimCycles = w.env.Counters().TotalCycles()
 	w.stats.OSBytes = w.env.Space().MappedBytes()
+	if w.profEvery > 0 {
+		w.captureHeapProfile()
+	}
 }
 
 // runTask executes t, converting a panic (an app assertion, a runtime

@@ -250,6 +250,24 @@ func (t *Tracer) Dropped() uint64 {
 	return t.dropped
 }
 
+// Stats is one consistent reading of the tracer's own health: how many
+// events it has emitted, how many the ring currently holds, and how many
+// were lost to wraparound. Metrics exporters publish these as gauges so a
+// scrape of a traced run shows whether the ring is keeping up.
+type Stats struct {
+	Emitted  uint64
+	Buffered int
+	Dropped  uint64
+}
+
+// Stats returns the tracer's counters in one locked read, unlike calling
+// Emitted, Len, and Dropped separately while emitters are running.
+func (t *Tracer) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{Emitted: t.seq, Buffered: len(t.buf), Dropped: t.dropped}
+}
+
 // Reset discards all buffered events and the drop count; Seq keeps
 // increasing so event identities stay unique across resets.
 func (t *Tracer) Reset() {

@@ -31,6 +31,7 @@ import (
 	"regions/internal/cachesim"
 	"regions/internal/core"
 	"regions/internal/mem"
+	"regions/internal/metrics"
 	"regions/internal/stats"
 	"regions/internal/trace"
 )
@@ -401,3 +402,42 @@ func (s *System) SetTracer(t *Tracer) { s.rt.SetTracer(t) }
 
 // Trace returns the attached tracer, or nil.
 func (s *System) Trace() *Tracer { return s.rt.Tracer() }
+
+// --- metrics and heap profiling -------------------------------------------------
+
+// MetricsRegistry is a registry of live counters, gauges, and fixed-bucket
+// histograms updated by the runtime as it works, the always-on companion to
+// the event-level Tracer. Snapshot gives a consistent, diffable reading;
+// WritePrometheus and WriteJSON render it. See docs/OBSERVABILITY.md.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is one consistent, sorted reading of a registry.
+type MetricsSnapshot = metrics.Snapshot
+
+// HeapReport is a structural census of the simulated heap: per-region live,
+// bookkeeping, free, and fragmented bytes, page counts, occupancy, and an
+// allocation-site census — produced by System.HeapProfile.
+type HeapReport = metrics.HeapReport
+
+// NewMetricsRegistry returns an empty metrics registry ready to attach.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// SetMetrics attaches reg to the system: the runtime and its simulated OS
+// then update live counters, gauges, and histograms as they work. Pass nil
+// to detach. Like tracing, metrics are host-side observability: a system
+// without a registry pays one nil check per operation, and a metered run
+// charges exactly the same simulated cycles as a bare one.
+func (s *System) SetMetrics(reg *MetricsRegistry) {
+	s.rt.SetMetrics(reg)
+	s.sp.SetMetrics(reg)
+}
+
+// Metrics returns the attached metrics registry, or nil.
+func (s *System) Metrics() *MetricsRegistry { return s.rt.Metrics() }
+
+// HeapProfile walks the heap — reusing the same audited page walk as Verify
+// — and returns a per-region census of where every byte went: live data,
+// allocator bookkeeping, free space in open pages, and fragmentation. It
+// charges no simulated cycles and fails only if the heap's structural
+// invariants do not hold.
+func (s *System) HeapProfile() (*HeapReport, error) { return s.rt.HeapReport() }
