@@ -9,7 +9,14 @@
 // With -scale-div 1 (the default) the workloads are paper-sized; larger
 // divisors shrink them proportionally for quick runs.
 //
-// The throughput modes (-shards, -bench-out) accept -metrics-addr HOST:PORT
+// The benchmark-report modes regenerate and gate the checked-in artifacts:
+// -bench-out FILE writes a fresh regions-bench/v2 report, and
+// -compare FILE re-measures and diffs against a checked-in report
+// (Snapshot.Sub over the embedded metrics, simulated cycles per op over the
+// micro benchmarks), exiting nonzero when a micro benchmark regresses
+// beyond -compare-threshold.
+//
+// The throughput modes (-shards, -bench-out, -compare) accept -metrics-addr HOST:PORT
 // to serve live observability over HTTP while the workload runs:
 // GET /metrics is a Prometheus text-format scrape of the shared registry and
 // GET /heap is a JSON array of the latest per-shard heap profiles (see
@@ -41,6 +48,9 @@ func main() {
 		shards   = flag.Int("shards", 0, "run the whole-app throughput workload on N shards")
 		repeats  = flag.Int("repeats", 4, "copies of each app per throughput run")
 		benchOut = flag.String("bench-out", "", "write the benchmark report (micro + shard sweep) to this file")
+		compare  = flag.String("compare", "", "compare a fresh benchmark run against this checked-in report; nonzero exit on regression")
+		compThr  = flag.Float64("compare-threshold", bench.DefaultCompareThreshold,
+			"allowed fractional sim-cycle increase per micro benchmark before -compare fails")
 		metAddr  = flag.String("metrics-addr", "", "serve /metrics and /heap on this address during throughput runs")
 		profEach = flag.Int("heap-profile-every", 64, "shard heap-profile cadence in tasks when -metrics-addr is set (0 disables)")
 	)
@@ -60,10 +70,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "regionbench: figures are 8-11, got %d\n", *figure)
 		os.Exit(2)
 	}
-
-	if *shards < 0 {
-		fmt.Fprintf(os.Stderr, "regionbench: -shards must be positive, got %d\n", *shards)
+	// -shards 0 is the "disabled" default; spelling it out explicitly is a
+	// mistake worth naming, as is any negative count.
+	explicitShards := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			explicitShards = true
+		}
+	})
+	if *shards < 0 || (explicitShards && *shards == 0) {
+		fmt.Fprintf(os.Stderr, "regionbench: -shards must be at least 1, got %d\n", *shards)
 		os.Exit(2)
+	}
+	if *repeats < 1 {
+		fmt.Fprintf(os.Stderr, "regionbench: -repeats must be at least 1, got %d\n", *repeats)
+		os.Exit(2)
+	}
+	if *profEach < 0 {
+		fmt.Fprintf(os.Stderr, "regionbench: -heap-profile-every must be at least 0, got %d\n", *profEach)
+		os.Exit(2)
+	}
+	if *compare != "" && *benchOut != "" {
+		fmt.Fprintln(os.Stderr, "regionbench: -compare and -bench-out are mutually exclusive")
+		os.Exit(2)
+	}
+	if *compThr < 0 {
+		fmt.Fprintf(os.Stderr, "regionbench: -compare-threshold must be at least 0, got %g\n", *compThr)
+		os.Exit(2)
+	}
+	// Load (and validate) the old report before measuring anything, so a
+	// missing file or wrong schema_version fails in milliseconds.
+	var oldReport *bench.Report
+	if *compare != "" {
+		var err error
+		if oldReport, err = bench.LoadReport(*compare); err != nil {
+			fmt.Fprintln(os.Stderr, "regionbench:", err)
+			os.Exit(2)
+		}
 	}
 
 	s := bench.NewSuite(*scaleDiv)
@@ -72,6 +115,24 @@ func main() {
 	// The throughput/report modes are self-contained: run them and exit.
 	// Both accept -metrics-addr for live scraping while they run.
 	opts, reg := metricsOpts(*metAddr, *profEach)
+	if oldReport != nil {
+		rep, err := bench.BuildBenchReportOpts(*scaleDiv, *repeats, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "regionbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "comparing against %s\n", *compare)
+		regressions := bench.CompareReports(w, oldReport, rep, *compThr)
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "regionbench: %d regression(s):\n", len(regressions))
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(w, "\nno regressions")
+		return
+	}
 	if *benchOut != "" {
 		f, err := os.Create(*benchOut)
 		if err != nil {

@@ -47,6 +47,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "regionstat: unknown env %q (want safe or unsafe)\n", *env)
 		os.Exit(2)
 	}
+	if *top < 1 {
+		fmt.Fprintf(os.Stderr, "regionstat: -top must be at least 1, got %d\n", *top)
+		os.Exit(2)
+	}
+	if *sample < 0 {
+		fmt.Fprintf(os.Stderr, "regionstat: -sample must be at least 0, got %d\n", *sample)
+		os.Exit(2)
+	}
+	if *every < 0 {
+		fmt.Fprintf(os.Stderr, "regionstat: -every must not be negative, got %v\n", *every)
+		os.Exit(2)
+	}
 	var chosen *appkit.App
 	for _, a := range bench.Apps() {
 		if a.Name == *app {

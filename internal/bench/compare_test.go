@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTempReport(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestLoadReportErrors pins the fail-fast contract: every malformed artifact
+// produces a descriptive error naming the problem, never a panic and never a
+// silent zero report.
+func TestLoadReportErrors(t *testing.T) {
+	if _, err := LoadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil ||
+		!strings.Contains(err.Error(), "read report") {
+		t.Errorf("missing file: err = %v, want read error", err)
+	}
+	cases := []struct{ name, content, want string }{
+		{"bad-json", "{not json", "parse report"},
+		{"wrong-schema", `{"schema":"other/v1","schema_version":2}`, "not a regions-bench report"},
+		{"old-version", `{"schema":"regions-bench/v1","schema_version":1}`, "schema_version 1"},
+	}
+	for _, c := range cases {
+		_, err := LoadReport(writeTempReport(t, c.name+".json", c.content))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	r := &Report{Schema: "regions-bench/v2", SchemaVersion: ReportSchemaVersion,
+		ScaleDiv: 4, Repeats: 2,
+		Micro: []MicroResult{{Name: "ralloc/16B", Ops: 10, SimCyclesPerOp: 16}}}
+	var buf bytes.Buffer
+	if err := EncodeBenchReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(writeTempReport(t, "ok.json", buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ScaleDiv != 4 || got.Repeats != 2 || len(got.Micro) != 1 || got.Micro[0].Name != "ralloc/16B" {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+}
+
+// TestCompareReportsMicroGate exercises the regression decision: an
+// improvement and a new benchmark never fail, growth inside the threshold
+// passes, growth beyond it is reported with the offending name.
+func TestCompareReportsMicroGate(t *testing.T) {
+	old := &Report{ScaleDiv: 4, Repeats: 2, Micro: []MicroResult{
+		{Name: "a", SimCyclesPerOp: 10},
+		{Name: "b", SimCyclesPerOp: 20},
+	}}
+	cur := &Report{ScaleDiv: 4, Repeats: 2, Micro: []MicroResult{
+		{Name: "a", SimCyclesPerOp: 6},    // improvement
+		{Name: "b", SimCyclesPerOp: 20.5}, // +2.5%, inside the 5% threshold
+		{Name: "c", SimCyclesPerOp: 99},   // new benchmark: no baseline, no regression
+	}}
+	var buf bytes.Buffer
+	if regs := CompareReports(&buf, old, cur, DefaultCompareThreshold); len(regs) != 0 {
+		t.Fatalf("regressions on an improving run: %v", regs)
+	}
+	for _, want := range []string{"a", "b", "c", "new"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("delta table missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	cur.Micro[1].SimCyclesPerOp = 22 // +10%
+	regs := CompareReports(io.Discard, old, cur, DefaultCompareThreshold)
+	if len(regs) != 1 || !strings.Contains(regs[0], "b:") {
+		t.Fatalf("regressions = %v, want exactly one naming b", regs)
+	}
+}
+
+// TestCompareReportsChecksumGate: checksum drift fails only when the configs
+// match — at a different scale the workloads legitimately differ, so the
+// comparison is context, not a gate.
+func TestCompareReportsChecksumGate(t *testing.T) {
+	old := &Report{ScaleDiv: 4, Repeats: 2,
+		Throughput: []ThroughputResult{{Shards: 4, Checksum: 0x1234}}}
+	cur := &Report{ScaleDiv: 4, Repeats: 2,
+		Throughput: []ThroughputResult{{Shards: 4, Checksum: 0x9999}}}
+	regs := CompareReports(io.Discard, old, cur, DefaultCompareThreshold)
+	if len(regs) != 1 || !strings.Contains(regs[0], "checksum") {
+		t.Fatalf("regressions = %v, want one checksum mismatch", regs)
+	}
+
+	cur.ScaleDiv = 8 // different workload size: context only
+	if regs := CompareReports(io.Discard, old, cur, DefaultCompareThreshold); len(regs) != 0 {
+		t.Fatalf("checksum flagged across differing configs: %v", regs)
+	}
+}

@@ -57,9 +57,20 @@ func RunMicro() []MicroResult {
 	}
 
 	// barrier/storeptr: overwriting a region-pointer slot, the steady-state
-	// write barrier (decrement the old target, increment the new).
-	{
-		rt, c := newRuntime()
+	// write barrier (decrement the old target, increment the new). Measured
+	// twice: with the last-region translation cache (the default — steady
+	// state takes the cached sameregion fast path) and with
+	// Options.NoRegionCache, the flat Figure 5 model every barrier paid
+	// before the cache existed.
+	for _, v := range []struct {
+		name    string
+		noCache bool
+	}{
+		{"barrier/storeptr", false},
+		{"barrier/storeptr-nocache", true},
+	} {
+		c := &stats.Counters{}
+		rt := core.NewRuntimeOpts(mem.NewSpace(c), core.Options{Safe: true, NoRegionCache: v.noCache})
 		cln := rt.SizeCleanup(16)
 		r := rt.NewRegion()
 		p := rt.Ralloc(r, 16, cln)
@@ -73,7 +84,7 @@ func RunMicro() []MicroResult {
 		el := time.Since(start)
 		rt.StorePtr(p, 0)
 		out = append(out, MicroResult{
-			Name:           "barrier/storeptr",
+			Name:           v.name,
 			Ops:            ops,
 			NsPerOp:        float64(el.Nanoseconds()) / ops,
 			SimCyclesPerOp: float64(c.TotalCycles()-before) / ops,

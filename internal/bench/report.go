@@ -27,6 +27,10 @@ type Report struct {
 	Repeats       int                `json:"repeats"`
 	Micro         []MicroResult      `json:"micro"`
 	Throughput    []ThroughputResult `json:"throughput"`
+	// Imbalance is the work-stealing A/B on the skewed workload (see
+	// RunImbalance): same tasks, static placement versus stealing, with
+	// the max/min busy-cycle ratio per side.
+	Imbalance *ImbalanceResult `json:"imbalance,omitempty"`
 	// Metrics is the final snapshot of a registry attached to the whole
 	// shard sweep: the cumulative core/mem/gc/shard series over every run
 	// in Throughput. Simulated-cycle metrics in it are deterministic.
@@ -50,6 +54,10 @@ func BuildBenchReportOpts(scaleDiv, repeats int, opts ThroughputOpts) (*Report, 
 	if err != nil {
 		return nil, err
 	}
+	imb, err := RunImbalance(4, scaleDiv, opts.Metrics)
+	if err != nil {
+		return nil, err
+	}
 	r := &Report{
 		Schema:        "regions-bench/v2",
 		SchemaVersion: ReportSchemaVersion,
@@ -59,6 +67,7 @@ func BuildBenchReportOpts(scaleDiv, repeats int, opts ThroughputOpts) (*Report, 
 		Repeats:       repeats,
 		Micro:         RunMicro(),
 		Throughput:    tp,
+		Imbalance:     imb,
 	}
 	if opts.Metrics != nil {
 		r.Metrics = opts.Metrics.Snapshot()

@@ -25,6 +25,15 @@ type ThroughputResult struct {
 	// filled by ThroughputSweep, 0 on standalone runs.
 	SimSpeedup float64 `json:"simSpeedup,omitempty"`
 	Checksum   uint32  `json:"checksum"`
+	// PerShardMcycles is each shard's simulated busy cycles in shard
+	// order — the per-run view of regions_shard_busy_cycles_total. With
+	// stealing enabled the split depends on host timing; the checksum and
+	// the per-task work do not.
+	PerShardMcycles []float64 `json:"perShardMcycles,omitempty"`
+	// BusyRatio is max/min over PerShardMcycles: 1.0 is perfect balance.
+	BusyRatio float64 `json:"busyRatio,omitempty"`
+	// Steals counts tasks that ran away from their home shard.
+	Steals uint64 `json:"steals,omitempty"`
 }
 
 // ThroughputOpts are the optional knobs of RunThroughputOpts. The zero
@@ -39,6 +48,9 @@ type ThroughputOpts struct {
 	// before any task is submitted — so a caller can hold it for live
 	// inspection (regionbench's /heap endpoint).
 	OnEngine func(*shard.Engine)
+	// NoSteal pins every task to its home shard (see shard.Config.NoSteal);
+	// the imbalance benchmark uses it as the A side of its A/B.
+	NoSteal bool
 }
 
 // RunThroughput drives the six benchmark apps through a shard engine:
@@ -59,13 +71,14 @@ func RunThroughputOpts(shards, scaleDiv, repeats int, opts ThroughputOpts) (Thro
 	}
 	eng := shard.New(shard.Config{
 		Shards:           shards,
+		NoSteal:          opts.NoSteal,
 		Metrics:          opts.Metrics,
 		HeapProfileEvery: opts.HeapProfileEvery,
 	})
 	if opts.OnEngine != nil {
 		opts.OnEngine(eng)
 	}
-	start := time.Now()
+	var tasks []shard.Task
 	for _, app := range Apps() {
 		app := app
 		scale := app.DefaultScale / scaleDiv
@@ -73,12 +86,14 @@ func RunThroughputOpts(shards, scaleDiv, repeats int, opts ThroughputOpts) (Thro
 			scale = 1
 		}
 		for rep := 0; rep < repeats; rep++ {
-			eng.Submit(shard.Task{
+			tasks = append(tasks, shard.Task{
 				Name: app.Name,
 				Run:  func(e appkit.RegionEnv) uint32 { return app.Region(e, scale) },
 			})
 		}
 	}
+	start := time.Now()
+	eng.SubmitBatch(tasks)
 	agg := eng.Close()
 	wall := time.Since(start).Seconds()
 	if agg.Failures > 0 {
@@ -89,7 +104,7 @@ func RunThroughputOpts(shards, scaleDiv, repeats int, opts ThroughputOpts) (Thro
 		}
 		return ThroughputResult{}, fmt.Errorf("bench: %d task failures", agg.Failures)
 	}
-	return ThroughputResult{
+	res := ThroughputResult{
 		Shards:             shards,
 		Tasks:              int(agg.Tasks),
 		WallSeconds:        wall,
@@ -97,7 +112,35 @@ func RunThroughputOpts(shards, scaleDiv, repeats int, opts ThroughputOpts) (Thro
 		SimMakespanMcycles: float64(agg.MakespanCycles) / 1e6,
 		SimTotalMcycles:    float64(agg.TotalCycles) / 1e6,
 		Checksum:           agg.Checksum,
-	}, nil
+		Steals:             agg.Steals,
+	}
+	res.PerShardMcycles, res.BusyRatio = perShardBalance(agg)
+	return res, nil
+}
+
+// perShardBalance extracts each shard's simulated busy cycles and the
+// max/min balance ratio (1.0 = perfect balance; min is floored at one cycle
+// so a shard the scheduler left idle yields a huge ratio, not a division by
+// zero).
+func perShardBalance(agg shard.Aggregate) ([]float64, float64) {
+	if len(agg.PerShard) == 0 {
+		return nil, 0
+	}
+	per := make([]float64, len(agg.PerShard))
+	min, max := agg.PerShard[0].SimCycles, agg.PerShard[0].SimCycles
+	for i, s := range agg.PerShard {
+		per[i] = float64(s.SimCycles) / 1e6
+		if s.SimCycles < min {
+			min = s.SimCycles
+		}
+		if s.SimCycles > max {
+			max = s.SimCycles
+		}
+	}
+	if min == 0 {
+		min = 1
+	}
+	return per, float64(max) / float64(min)
 }
 
 // ThroughputSweep runs the same workload at every shard count, checks the

@@ -67,7 +67,36 @@ const (
 	// dynamicWriteExtra is the "more expensive runtime routine" used when a
 	// write cannot be statically classified (Section 4.2.2).
 	dynamicWriteExtra = 30 - 6
+
+	// Decomposition of regionWriteExtra for the last-region translation
+	// cache: each of the barrier's three regionof probes costs lrProbeMiss
+	// instructions against the dense page index, or lrProbeHit when the
+	// cache answers. All three missing sums to exactly regionWriteExtra,
+	// so a workload the cache never helps charges what it always did (and
+	// Options.NoRegionCache restores the flat pre-cache model verbatim).
+	lrProbeHit      = 1
+	lrProbeMiss     = 3
+	regionWriteBase = regionWriteExtra - 3*lrProbeMiss
+
+	// barrierFastExtra is the short region-write path taken when all three
+	// translations hit the cache and no count update is needed (val in
+	// slot's region, old value nil or also in slot's region): a handful of
+	// compares instead of the full Figure 5 sequence.
+	barrierFastExtra = 4
+
+	// lrSize is the entry count of the per-runtime last-region translation
+	// cache: direct-mapped on the low page-number bits, small enough that
+	// the invalidation sweep in notePages is a few compares.
+	lrSize = 4
 )
+
+// lrEntry caches one page-number -> region translation. The zero entry maps
+// page 0 to nil, which is correct forever: page 0 is reserved and never
+// owned, so a zeroed cache is a valid cache.
+type lrEntry struct {
+	page Ptr
+	r    *Region
+}
 
 // Region header field offsets (bytes from the header address).
 const (
@@ -120,6 +149,12 @@ type Options struct {
 	// uncharged (freed memory is outside the paper's machine model) but
 	// makes use-after-delete detectable by Verify and by dangling reads.
 	NoPoison bool
+	// NoRegionCache disables the last-region translation cache and the
+	// write barrier's cached fast path: every regionof probe goes to the
+	// dense page index and every region write charges the flat Figure 5
+	// cost (regionWriteExtra), the pre-cache model. Exists for ablation
+	// and A/B measurement.
+	NoRegionCache bool
 }
 
 // Runtime is one region-based memory management instance over one simulated
@@ -131,8 +166,9 @@ type Runtime struct {
 	opts  Options
 
 	regions   []*Region
-	pages     pageIndex // dense page number -> region map (see pageindex.go)
-	freePages []Ptr     // single free pages available for reuse
+	pages     pageIndex       // dense page number -> region map (see pageindex.go)
+	lr        [lrSize]lrEntry // last-region translation cache over pages
+	freePages []Ptr           // single free pages available for reuse
 	spans     freeSpanTable
 	colorSeq  int
 
@@ -228,6 +264,18 @@ func (rt *Runtime) charge(mode stats.Mode, n uint64) {
 
 func (rt *Runtime) notePages(first Ptr, n int, r *Region) {
 	rt.pages.set(first, n, r)
+	// Every page-ownership change flows through here — acquire, release,
+	// global segments — so dropping the covered translation-cache entries
+	// makes a stale cache hit structurally impossible. Uncharged: the
+	// sweep stands in for the handful of compares a real library folds
+	// into its page bookkeeping, and the release path already charges per
+	// page.
+	pg := first >> mem.PageShift
+	for i := range rt.lr {
+		if e := &rt.lr[i]; e.page >= pg && e.page < pg+Ptr(n) {
+			*e = lrEntry{}
+		}
+	}
 }
 
 // acquirePages returns n contiguous zeroed pages owned by region r, or 0
@@ -299,22 +347,48 @@ func (rt *Runtime) releaseEntry(first Ptr, n int) {
 	rt.freePages = append(rt.freePages, first)
 }
 
-// RegionOf returns the region containing p, or nil if p is not a region
-// address (nil, global storage, or allocator-free space). This is the
-// paper's regionof, backed by the dense page-index array (Section 4.1):
-// a shift, one bounds check, and one load. The nil pointer needs no test
-// of its own — it lands on the reserved page 0, which is never owned.
-func (rt *Runtime) RegionOf(p Ptr) *Region {
+// regionOf translates p to its owning region, consulting the last-region
+// translation cache before the dense page index, and reports whether the
+// cache answered — the region-write barrier charges hits and misses
+// differently. A miss fills the entry (nil translations are cacheable too:
+// "not a region address" is as stable as ownership, and notePages drops the
+// entry on any change). Metrics here are host-side; simulated cycles are
+// charged at the call sites.
+func (rt *Runtime) regionOf(p Ptr) (*Region, bool) {
+	pg := p >> mem.PageShift
+	if !rt.opts.NoRegionCache {
+		if e := &rt.lr[pg&(lrSize-1)]; e.page == pg {
+			if m := rt.met; m != nil {
+				m.lrHits.Inc()
+			}
+			return e.r, true
+		}
+	}
 	var r *Region
-	if pg := p >> mem.PageShift; pg < Ptr(len(rt.pages.owners)) {
+	if pg < Ptr(len(rt.pages.owners)) {
 		r = rt.pages.owners[pg]
 	}
+	if !rt.opts.NoRegionCache {
+		rt.lr[pg&(lrSize-1)] = lrEntry{page: pg, r: r}
+	}
 	if m := rt.met; m != nil {
+		m.lrMisses.Inc()
 		m.lookups.Inc()
 		if r != nil {
 			m.lookupHits.Inc()
 		}
 	}
+	return r, false
+}
+
+// RegionOf returns the region containing p, or nil if p is not a region
+// address (nil, global storage, or allocator-free space). This is the
+// paper's regionof, backed by the last-region translation cache over the
+// dense page-index array (Section 4.1): on a cache miss, a shift, one
+// bounds check, and one load. The nil pointer needs no test of its own —
+// it lands on the reserved page 0, which is never owned.
+func (rt *Runtime) RegionOf(p Ptr) *Region {
+	r, _ := rt.regionOf(p)
 	return r
 }
 

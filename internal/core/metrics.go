@@ -39,6 +39,7 @@ type runtimeMetrics struct {
 	barrierGlobal *metrics.Counter
 	barrierRegion *metrics.Counter
 	barrierSame   *metrics.Counter
+	barrierFast   *metrics.Counter
 	barrierCycles *metrics.Histogram
 
 	stackScans   *metrics.Counter
@@ -48,6 +49,8 @@ type runtimeMetrics struct {
 
 	lookups    *metrics.Counter
 	lookupHits *metrics.Counter
+	lrHits     *metrics.Counter
+	lrMisses   *metrics.Counter
 
 	pagesAcquired *metrics.Counter
 	pagesReleased *metrics.Counter
@@ -70,6 +73,7 @@ func newRuntimeMetrics(reg *metrics.Registry) *runtimeMetrics {
 		barrierGlobal: reg.Counter("regions_core_barrier_global_total"),
 		barrierRegion: reg.Counter("regions_core_barrier_region_total"),
 		barrierSame:   reg.Counter("regions_core_barrier_sameregion_total"),
+		barrierFast:   reg.Counter("regions_core_barrier_fast_total"),
 		barrierCycles: reg.Histogram("regions_core_barrier_cycles", barrierCycleBounds),
 
 		stackScans:   reg.Counter("regions_core_stack_scans_total"),
@@ -79,6 +83,8 @@ func newRuntimeMetrics(reg *metrics.Registry) *runtimeMetrics {
 
 		lookups:    reg.Counter("regions_core_pageindex_lookups_total"),
 		lookupHits: reg.Counter("regions_core_pageindex_hits_total"),
+		lrHits:     reg.Counter("regions_core_lrcache_hits_total"),
+		lrMisses:   reg.Counter("regions_core_lrcache_misses_total"),
 
 		pagesAcquired: reg.Counter("regions_core_pages_acquired_total"),
 		pagesReleased: reg.Counter("regions_core_pages_released_total"),

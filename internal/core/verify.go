@@ -68,6 +68,19 @@ func (rt *Runtime) invariant(addr Ptr, region int32, format string, args ...inte
 }
 
 func (rt *Runtime) verify() *Fault {
+	// 0. Translation cache: every last-region cache entry must agree with
+	// the dense page index. Checked first — the RC recomputation below
+	// translates through RegionOf, so a stale entry could otherwise fool
+	// the very check meant to catch it.
+	for i := range rt.lr {
+		e := rt.lr[i]
+		if owner := rt.pages.ownerAt(int(e.page)); owner != e.r {
+			return rt.invariant(e.page<<mem.PageShift, regionID(e.r),
+				"stale translation cache entry: page %d cached as region %d, owned by %d",
+				e.page, regionID(e.r), regionID(owner))
+		}
+	}
+
 	// 1-4. Heap structure: page census, page map, free lists, object headers.
 	if _, f := rt.heapWalk(false); f != nil {
 		return f

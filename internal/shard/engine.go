@@ -19,15 +19,23 @@ const DefaultPageBatch = 64
 // Task is one unit of work for the engine. Run receives the executing
 // shard's environment and returns a checksum; checksums are summed (a
 // commutative fold) into the shard's stats, so any placement of a fixed
-// task set yields the same aggregate checksum — the engine's determinism
-// gate. Summing rather than XOR keeps repeated identical tasks from
-// cancelling out.
+// task set — including placements rearranged by work stealing — yields the
+// same aggregate checksum, the engine's determinism gate. Summing rather
+// than XOR keeps repeated identical tasks from cancelling out.
 type Task struct {
 	// Name labels the task in failure reports.
 	Name string
-	// Affinity, when non-empty, pins the task to the shard all tasks with
-	// this key hash to; empty-key tasks are placed round-robin.
+	// Affinity, when non-empty, names the task's home shard: all tasks
+	// with this key hash to the same shard. It is a soft preference —
+	// an idle shard may still steal the task — unless Pin is also set.
+	// Empty-key tasks are placed round-robin.
 	Affinity string
+	// Pin makes the task unstealable: it executes on its home shard, and
+	// pinned tasks on one shard run in submission order (FIFO). Tasks
+	// that touch regions owned by a specific shard's runtime must pin;
+	// everything else should leave Pin false so the scheduler can balance
+	// load.
+	Pin bool
 	// Run executes the task on the shard's environment.
 	Run func(env appkit.RegionEnv) uint32
 }
@@ -39,16 +47,20 @@ type Config struct {
 	// PageBatch overrides DefaultPageBatch for each shard's free-page
 	// cache; 1 disables batching, 0 means the default.
 	PageBatch int
-	// Queue is the per-shard pending-task buffer (default 32).
+	// Queue is the per-shard pending-task deque capacity (default 32).
 	Queue int
+	// NoSteal disables work stealing: every task runs on its home shard,
+	// the engine's pre-stealing static placement. Exists for A/B
+	// measurement (the imbalance benchmark) and as an escape hatch.
+	NoSteal bool
 	// Unsafe runs every shard on the unsafe region library (no reference
 	// counting), for measuring the cost of safety under load.
 	Unsafe bool
 	// Metrics, when non-nil, attaches every shard's runtime and space to
 	// the registry (core/mem series are shared across shards; the registry
 	// is atomic) and adds per-shard labeled series: tasks, failures, busy
-	// simulated cycles, and live queue depth. Close records the engine's
-	// makespan and utilization gauges.
+	// simulated cycles, steals, and live queue depth. Close records the
+	// engine's makespan and utilization gauges.
 	Metrics *metrics.Registry
 	// HeapProfileEvery, when above 0, makes each shard capture a heap
 	// profile of its runtime every N completed tasks (plus after its
@@ -66,6 +78,7 @@ type Stats struct {
 	Failures  uint64
 	LastError string        // first line of the most recent task failure
 	Checksum  uint32        // sum of completed task checksums
+	Steals    uint64        // tasks this shard stole from siblings' deques
 	SimCycles uint64        // simulated cycles charged on this shard
 	OSBytes   uint64        // memory the shard requested from its OS
 	Busy      time.Duration // wall-clock time spent inside tasks
@@ -77,6 +90,7 @@ type Aggregate struct {
 	Tasks    uint64
 	Failures uint64
 	Checksum uint32 // summed across shards; placement-independent
+	Steals   uint64 // tasks that ran away from their home shard
 	// MakespanCycles is the modelled completion time of the workload: the
 	// maximum simulated cycle count over shards, since shards run
 	// concurrently in wall time but each is its own simulated machine.
@@ -91,6 +105,7 @@ type workerMetrics struct {
 	tasks      *metrics.Counter
 	failures   *metrics.Counter
 	busyCycles *metrics.Counter
+	steals     *metrics.Counter
 	queueDepth *metrics.Gauge
 }
 
@@ -100,27 +115,49 @@ func newWorkerMetrics(reg *metrics.Registry, shard int) *workerMetrics {
 		tasks:      reg.Counter("regions_shard_tasks_total" + label),
 		failures:   reg.Counter("regions_shard_failures_total" + label),
 		busyCycles: reg.Counter("regions_shard_busy_cycles_total" + label),
+		steals:     reg.Counter("regions_shard_steals_total" + label),
 		queueDepth: reg.Gauge("regions_shard_queue_depth" + label),
 	}
 }
 
 type worker struct {
-	env   *Env
-	tasks chan Task
-	stats Stats
+	id      int
+	env     *Env
+	dq      deque // stealable tasks: owner pops back, thieves take front
+	pinned  deque // pinned tasks: FIFO, never stolen
+	npinned atomic.Int64
+	stats   Stats
 
 	met       *workerMetrics
 	profEvery int
 	lastProf  atomic.Value // *metrics.HeapReport
 }
 
-// Engine distributes tasks over N shard workers. Submit may be called from
-// any goroutine; Close waits for the queues to drain and returns the tally.
+// Engine distributes tasks over N shard workers with work stealing: Submit
+// places a task on its home shard's deque (affinity hash, or round-robin),
+// the owner pops its own deque newest-first, and a worker that runs dry
+// takes the oldest task from the first non-empty sibling deque. Pinned
+// tasks never move. Submit and SubmitBatch may be called from any
+// goroutine; Close waits for the queues to drain and returns the tally.
+//
+// Sleep/wake protocol: e.stealable counts tasks sitting in stealable
+// deques engine-wide and each worker counts its own pinned backlog, both
+// maintained by submitters at push time and by workers at pop time. A
+// worker that finds nothing re-checks those counters under the engine
+// mutex before blocking on the condvar, so a push between "sweep found
+// nothing" and "sleep" can never be lost; every push and pop broadcasts,
+// which also unblocks submitters waiting on a full deque.
 type Engine struct {
-	shards []*worker
-	rr     atomic.Uint32
-	wg     sync.WaitGroup
-	reg    *metrics.Registry
+	shards    []*worker
+	rr        atomic.Uint32
+	wg        sync.WaitGroup
+	reg       *metrics.Registry
+	noSteal   bool
+	stealable atomic.Int64 // tasks currently in stealable deques, engine-wide
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed atomic.Bool
 }
 
 // New starts an engine with cfg.Shards workers, each owning an independent
@@ -138,11 +175,14 @@ func New(cfg Config) *Engine {
 	if batch == 0 {
 		batch = DefaultPageBatch
 	}
-	e := &Engine{shards: make([]*worker, n), reg: cfg.Metrics}
+	e := &Engine{shards: make([]*worker, n), reg: cfg.Metrics, noSteal: cfg.NoSteal}
+	e.cond = sync.NewCond(&e.mu)
 	for i := 0; i < n; i++ {
 		w := &worker{
+			id:        i,
 			env:       NewEnv(shardName(i), core.Options{Safe: !cfg.Unsafe, PageBatch: batch}),
-			tasks:     make(chan Task, queue),
+			dq:        newDeque(queue),
+			pinned:    newDeque(queue),
 			profEvery: cfg.HeapProfileEvery,
 		}
 		if cfg.Metrics != nil {
@@ -152,8 +192,12 @@ func New(cfg Config) *Engine {
 		}
 		w.stats.Shard = i
 		e.shards[i] = w
+	}
+	// Start workers only after every slot is filled: a worker's steal sweep
+	// reads all of e.shards.
+	for _, w := range e.shards {
 		e.wg.Add(1)
-		go w.loop(&e.wg)
+		go w.loop(e)
 	}
 	return e
 }
@@ -161,27 +205,165 @@ func New(cfg Config) *Engine {
 // Shards returns the number of workers.
 func (e *Engine) Shards() int { return len(e.shards) }
 
-// ShardFor returns the shard index an affinity key maps to.
+// ShardFor returns the home shard index an affinity key maps to.
 func (e *Engine) ShardFor(key string) int {
 	return int(fnv32a(key) % uint32(len(e.shards)))
 }
 
-// Submit places t on a shard — by affinity key when one is set, round-robin
-// otherwise — and blocks only when that shard's queue is full. Submitting
-// after Close panics (send on closed channel), like writing to a closed
-// pipe.
-func (e *Engine) Submit(t Task) {
-	var i int
+// homeShard picks t's home shard: the affinity hash when a key is set,
+// round-robin otherwise.
+func (e *Engine) homeShard(t Task) int {
 	if t.Affinity != "" {
-		i = e.ShardFor(t.Affinity)
+		return e.ShardFor(t.Affinity)
+	}
+	return int((e.rr.Add(1) - 1) % uint32(len(e.shards)))
+}
+
+// Submit places t on its home shard's deque (the pinned queue when t.Pin
+// is set) and blocks only while that queue is full. Submitting after Close
+// panics, like writing to a closed pipe.
+func (e *Engine) Submit(t Task) {
+	if e.closed.Load() {
+		panic("shard: Submit after Close")
+	}
+	w := e.shards[e.homeShard(t)]
+	q := &w.dq
+	if t.Pin {
+		q = &w.pinned
+	}
+	if !q.push(t) {
+		e.mu.Lock()
+		for !q.push(t) {
+			if e.closed.Load() {
+				e.mu.Unlock()
+				panic("shard: Submit after Close")
+			}
+			e.cond.Wait()
+		}
+		e.mu.Unlock()
+	}
+	e.noteQueued(w, t.Pin, 1)
+}
+
+// SubmitBatch submits tasks in order, grouped per destination queue so a
+// large injection pays one deque lock round and one wakeup per shard
+// instead of one per task. Order is preserved within each (shard, pinned)
+// queue — the only order the engine promises, since stealable tasks may be
+// rearranged by stealing anyway while pinned queues are FIFO.
+func (e *Engine) SubmitBatch(ts []Task) {
+	steal := make([][]Task, len(e.shards))
+	pin := make([][]Task, len(e.shards))
+	for _, t := range ts {
+		i := e.homeShard(t)
+		if t.Pin {
+			pin[i] = append(pin[i], t)
+		} else {
+			steal[i] = append(steal[i], t)
+		}
+	}
+	for i, w := range e.shards {
+		e.enqueue(w, &w.dq, false, steal[i])
+		e.enqueue(w, &w.pinned, true, pin[i])
+	}
+}
+
+// enqueue pushes ts onto q in order, blocking while the queue is full.
+func (e *Engine) enqueue(w *worker, q *deque, pinned bool, ts []Task) {
+	for len(ts) > 0 {
+		if e.closed.Load() {
+			panic("shard: Submit after Close")
+		}
+		n := q.pushN(ts)
+		if n == 0 {
+			e.mu.Lock()
+			for q.full() {
+				if e.closed.Load() {
+					e.mu.Unlock()
+					panic("shard: Submit after Close")
+				}
+				e.cond.Wait()
+			}
+			e.mu.Unlock()
+			continue
+		}
+		e.noteQueued(w, pinned, n)
+		ts = ts[n:]
+	}
+}
+
+// noteQueued publishes n newly queued tasks on w: counters first, then a
+// broadcast so sleeping workers re-check and find them.
+func (e *Engine) noteQueued(w *worker, pinned bool, n int) {
+	if pinned {
+		w.npinned.Add(int64(n))
 	} else {
-		i = int((e.rr.Add(1) - 1) % uint32(len(e.shards)))
+		e.stealable.Add(int64(n))
 	}
-	w := e.shards[i]
 	if w.met != nil {
-		w.met.queueDepth.Inc()
+		w.met.queueDepth.Add(int64(n))
 	}
-	w.tasks <- t
+	e.wake()
+}
+
+// wake broadcasts the engine condvar under its mutex, so a waiter is either
+// already re-checking the counters or blocked and about to be released —
+// never in between.
+func (e *Engine) wake() {
+	e.mu.Lock()
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// next returns the next task for w and whether it was stolen. Pop order:
+// w's pinned queue first (FIFO, nobody else can run those), then the newest
+// task on w's own deque (LIFO keeps the shard working what it was just
+// given), then — unless Config.NoSteal — the oldest task of the first
+// non-empty sibling deque, sweeping from w's right neighbor. Blocks while
+// nothing is runnable; ok=false means the engine is closed and drained.
+func (e *Engine) next(w *worker) (t Task, stolen, ok bool) {
+	for {
+		if t, ok := w.pinned.popFront(); ok {
+			w.npinned.Add(-1)
+			w.notePopped(w)
+			return t, false, true
+		}
+		if t, ok := w.dq.popBack(); ok {
+			e.stealable.Add(-1)
+			w.notePopped(w)
+			return t, false, true
+		}
+		if !e.noSteal {
+			for i := 1; i < len(e.shards); i++ {
+				v := e.shards[(w.id+i)%len(e.shards)]
+				if t, ok := v.dq.popFront(); ok {
+					e.stealable.Add(-1)
+					w.notePopped(v)
+					return t, true, true
+				}
+			}
+		}
+		e.mu.Lock()
+		for {
+			if w.npinned.Load() > 0 || w.dq.len() > 0 ||
+				(!e.noSteal && e.stealable.Load() > 0) {
+				break
+			}
+			if e.closed.Load() {
+				e.mu.Unlock()
+				return Task{}, false, false
+			}
+			e.cond.Wait()
+		}
+		e.mu.Unlock()
+	}
+}
+
+// notePopped records a task leaving owner's queue; the caller's loop then
+// broadcasts so submitters blocked on the freed slot retry.
+func (w *worker) notePopped(owner *worker) {
+	if owner.met != nil {
+		owner.met.queueDepth.Dec()
+	}
 }
 
 // HeapReports returns the most recent heap profile captured by each shard,
@@ -209,12 +391,13 @@ func (w *worker) captureHeapProfile() {
 	w.lastProf.Store(rep)
 }
 
-// Close drains every shard's queue, stops the workers, and returns the
-// aggregated stats.
+// Close drains every queue, stops the workers, and returns the aggregated
+// stats.
 func (e *Engine) Close() Aggregate {
-	for _, w := range e.shards {
-		close(w.tasks)
-	}
+	e.mu.Lock()
+	e.closed.Store(true)
+	e.cond.Broadcast()
+	e.mu.Unlock()
 	e.wg.Wait()
 	agg := Aggregate{Shards: len(e.shards)}
 	for _, w := range e.shards {
@@ -222,6 +405,7 @@ func (e *Engine) Close() Aggregate {
 		agg.Tasks += s.Tasks
 		agg.Failures += s.Failures
 		agg.Checksum += s.Checksum
+		agg.Steals += s.Steals
 		agg.TotalCycles += s.SimCycles
 		if s.SimCycles > agg.MakespanCycles {
 			agg.MakespanCycles = s.SimCycles
@@ -238,17 +422,23 @@ func (e *Engine) Close() Aggregate {
 	return agg
 }
 
-func (w *worker) loop(wg *sync.WaitGroup) {
-	defer wg.Done()
+func (w *worker) loop(e *Engine) {
+	defer e.wg.Done()
 	var prevCycles uint64
-	for t := range w.tasks {
-		if w.met != nil {
-			w.met.queueDepth.Dec()
+	for {
+		t, stolen, ok := e.next(w)
+		if !ok {
+			break
 		}
+		// A pop freed a deque slot; unblock any submitter waiting on it.
+		e.wake()
 		start := time.Now()
 		sum, err := w.runTask(t)
 		w.stats.Busy += time.Since(start)
 		w.stats.Tasks++
+		if stolen {
+			w.stats.Steals++
+		}
 		if err != nil {
 			w.stats.Failures++
 			w.stats.LastError = err.Error()
@@ -261,6 +451,9 @@ func (w *worker) loop(wg *sync.WaitGroup) {
 		}
 		if w.met != nil {
 			w.met.tasks.Inc()
+			if stolen {
+				w.met.steals.Inc()
+			}
 			now := w.env.Counters().TotalCycles()
 			w.met.busyCycles.Add(now - prevCycles)
 			prevCycles = now

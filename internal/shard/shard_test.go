@@ -32,7 +32,11 @@ func simpleTask(seed uint32) Task {
 }
 
 func TestEngineRunsTasksAcrossShards(t *testing.T) {
-	eng := New(Config{Shards: 4})
+	// NoSteal pins the engine to its static placement: the point here is
+	// that round-robin homes spread work over every shard. (With stealing
+	// enabled a fast worker may legitimately drain its siblings' deques
+	// before they start; TestStealingKeepsChecksumAndDrains covers that.)
+	eng := New(Config{Shards: 4, NoSteal: true})
 	const tasks = 64
 	for i := 0; i < tasks; i++ {
 		eng.Submit(simpleTask(uint32(i)))
@@ -83,12 +87,14 @@ func TestChecksumIsPlacementIndependent(t *testing.T) {
 func TestAffinityTasksShareAShard(t *testing.T) {
 	eng := New(Config{Shards: 4})
 	// The first task of the pipeline creates a region and leaves it live;
-	// the second, pinned to the same shard by the affinity key, allocates
-	// in it and deletes it. This only works if both run on one runtime.
+	// the second, sharing its affinity key and pinned (affinity alone is a
+	// soft preference under work stealing), allocates in it and deletes
+	// it. This only works if both run, in order, on one runtime.
 	var shared appkit.Region
 	eng.Submit(Task{
 		Name:     "produce",
 		Affinity: "pipeline-1",
+		Pin:      true,
 		Run: func(e appkit.RegionEnv) uint32 {
 			shared = e.NewRegion()
 			e.RstrAlloc(shared, 64)
@@ -98,6 +104,7 @@ func TestAffinityTasksShareAShard(t *testing.T) {
 	eng.Submit(Task{
 		Name:     "consume",
 		Affinity: "pipeline-1",
+		Pin:      true,
 		Run: func(e appkit.RegionEnv) uint32 {
 			e.RstrAlloc(shared, 64)
 			if !e.DeleteRegion(shared) {
