@@ -1,0 +1,158 @@
+// Regionserve runs the multi-tenant serving simulator: a seeded open-loop
+// Poisson arrival process (with optional burst phases) feeding N concurrent
+// sessions onto the sharded region engine. Each session binds one or more
+// regions for a request lifetime, runs a parse/work/delete lifecycle drawn
+// from the six benchmark apps' allocation profiles, and reports its latency
+// in simulated cycles. The run ends with p50/p99/p999, shed/queued tallies,
+// and an SLO pass/fail line.
+//
+// Usage:
+//
+//	regionserve -sessions 2000 -seed 1
+//	regionserve -sessions 5000 -rate 64 -burst-every 2000000 -burst-len 400000
+//	regionserve -sessions 2000 -page-limit 96        # overload: shed via ErrOverload
+//	regionserve -sessions 2000 -metrics-addr :8080   # live /metrics while serving
+//
+// All latency figures are simulated cycles, so output is bit-identical for
+// a given flag set and seed — `regionserve -sessions 2000 -seed 1` twice
+// yields byte-for-byte the same report. The exit code is 0 whenever the run
+// itself completes, even when load was shed (overload is an outcome, not an
+// error); infrastructure failures (a panicking session, a corrupt heap at
+// drain) exit 1. See docs/SERVING.md for the workload model.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"regions/internal/mem"
+	"regions/internal/metrics"
+	"regions/internal/serve"
+)
+
+func main() {
+	var (
+		sessions = flag.Int("sessions", 2000, "number of sessions to offer")
+		seed     = flag.Int64("seed", 1, "seed for arrivals, profiles, and session weights")
+		shards   = flag.Int("shards", 4, "number of shard runtimes serving")
+		rate     = flag.Float64("rate", 700, "offered load in arrivals per simulated Mcycle")
+
+		burstEvery = flag.Uint64("burst-every", 0, "burst period in simulated cycles (0 disables bursts)")
+		burstLen   = flag.Uint64("burst-len", 0, "burst window length in simulated cycles")
+		burstX     = flag.Float64("burst-x", 4, "arrival-rate multiplier inside burst windows")
+
+		queue  = flag.Int("queue", 64, "per-shard admission queue cap; arrivals beyond it are shed")
+		sloP99 = flag.Uint64("slo-p99", 1_000_000, "p99 latency target in simulated cycles for the SLO line")
+
+		pageLimit = flag.Int("page-limit", 0, "cap each shard's simulated OS at N 4 KiB pages (0 = unlimited)")
+		faultNth  = flag.Uint64("fault-nth", 0, "fail every Nth page-mapping call on each shard (0 disables)")
+		faultProb = flag.Float64("fault-prob", 0, "fail each page-mapping call with this probability")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for -fault-prob draws")
+		faultBud  = flag.Uint64("fault-budget", 0, "per-shard mapped-byte budget before mappings fail (0 = unlimited)")
+
+		metAddr = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text format) on this address during the run")
+		jsonOut = flag.Bool("json", false, "emit the full result as JSON instead of the text report")
+	)
+	flag.Parse()
+
+	if *sessions < 1 {
+		fail(2, "-sessions must be at least 1, got %d", *sessions)
+	}
+	if *shards < 1 {
+		fail(2, "-shards must be at least 1, got %d", *shards)
+	}
+	if *rate <= 0 {
+		fail(2, "-rate must be positive, got %g", *rate)
+	}
+	if *queue < 1 {
+		fail(2, "-queue must be at least 1, got %d", *queue)
+	}
+	if *burstEvery > 0 && (*burstLen == 0 || *burstLen >= *burstEvery) {
+		fail(2, "-burst-len must be in (0, -burst-every), got %d of %d", *burstLen, *burstEvery)
+	}
+	if *faultProb < 0 || *faultProb > 1 {
+		fail(2, "-fault-prob must be in [0, 1], got %g", *faultProb)
+	}
+
+	cfg := serve.Config{
+		Sessions:    *sessions,
+		Seed:        *seed,
+		Shards:      *shards,
+		Rate:        *rate,
+		BurstEvery:  *burstEvery,
+		BurstLen:    *burstLen,
+		BurstFactor: *burstX,
+		MaxQueue:    *queue,
+		SLOP99:      *sloP99,
+		PageLimit:   *pageLimit,
+	}
+	if *faultNth > 0 || *faultProb > 0 || *faultBud > 0 {
+		cfg.FaultPlan = &mem.FaultPlan{
+			FailNth:    *faultNth,
+			FailProb:   *faultProb,
+			Seed:       *faultSeed,
+			ByteBudget: *faultBud,
+		}
+	}
+	if *metAddr != "" {
+		reg := metrics.NewRegistry()
+		cfg.Metrics = reg
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler(reg))
+		srv := &http.Server{Addr: *metAddr, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "regionserve: metrics server:", err)
+			}
+		}()
+		fmt.Printf("serving /metrics on %s\n", *metAddr)
+	}
+
+	res, err := serve.Run(cfg)
+	if err != nil {
+		fail(1, "%v", err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fail(1, "%v", err)
+		}
+		return
+	}
+	printReport(res)
+}
+
+// printReport renders the deterministic text report. Every number is a
+// session count or a simulated-cycle figure — nothing wall-clock — so two
+// runs with the same flags produce byte-identical output.
+func printReport(res *serve.Result) {
+	fmt.Printf("regionserve: %d sessions, %d shards, seed %d, %g arrivals/Mcycle\n",
+		res.Sessions, res.Shards, res.Seed, res.Rate)
+	fmt.Printf("admitted %d (queued %d)  completed %d  shed %d (queue %d, oom %d)\n",
+		res.Admitted, res.Queued, res.Completed, res.ShedQueue+res.ShedOOM,
+		res.ShedQueue, res.ShedOOM)
+	if res.Leaked > 0 {
+		fmt.Printf("leaked regions: %d (deletion refused at abort; reclaimed at shard teardown)\n", res.Leaked)
+	}
+	fmt.Printf("latency (sim cycles): p50 %d  p99 %d  p999 %d  mean %d\n",
+		res.P50, res.P99, res.P999, res.Mean)
+	fmt.Printf("max queue depth %d  makespan %d sim cycles  checksum %08x\n",
+		res.MaxQueueDepth, res.MakespanCycles, res.Checksum)
+	if res.FirstOverload != nil {
+		fmt.Printf("first overload: %v\n", res.FirstOverload)
+	}
+	verdict := "PASS"
+	if !res.SLOPass {
+		verdict = "FAIL"
+	}
+	fmt.Printf("SLO: p99 %d <= %d sim cycles: %s\n", res.P99, res.SLOTarget, verdict)
+}
+
+func fail(code int, format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "regionserve: "+format+"\n", args...)
+	os.Exit(code)
+}

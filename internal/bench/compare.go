@@ -72,9 +72,12 @@ func CompareReports(w io.Writer, old, cur *Report, threshold float64) []string {
 		delta := m.SimCyclesPerOp - o.SimCyclesPerOp
 		fmt.Fprintf(w, "  %-28s %12.2f %12.2f %+10.2f\n", m.Name, o.SimCyclesPerOp, m.SimCyclesPerOp, delta)
 		if o.SimCyclesPerOp > 0 && m.SimCyclesPerOp > o.SimCyclesPerOp*(1+threshold) {
+			// The message carries the benchmark's own unit from the micro
+			// table, so a gate failure reads correctly for host-side
+			// benchmarks too, not just the sim-cycle ones.
 			regressions = append(regressions,
-				fmt.Sprintf("%s: %.2f -> %.2f sim cycles/op (+%.1f%%, threshold %.1f%%)",
-					m.Name, o.SimCyclesPerOp, m.SimCyclesPerOp,
+				fmt.Sprintf("%s: %.2f -> %.2f %s (+%.1f%%, threshold %.1f%%)",
+					m.Name, o.SimCyclesPerOp, m.SimCyclesPerOp, m.unit(),
 					100*delta/o.SimCyclesPerOp, 100*threshold))
 		}
 	}
@@ -102,6 +105,8 @@ func CompareReports(w io.Writer, old, cur *Report, threshold float64) []string {
 	if !sameConfig {
 		fmt.Fprintf(w, "  (configs differ: checksums and raw counters compared as context only)\n")
 	}
+
+	regressions = append(regressions, compareServe(w, old, cur, sameConfig)...)
 
 	if old.Metrics != nil && cur.Metrics != nil {
 		fmt.Fprintf(w, "\nmetrics delta (new minus old, Snapshot.Sub; nonzero series):\n")

@@ -8,14 +8,35 @@ import (
 	"regions/internal/stats"
 )
 
+// MicroUnit* are the units a micro benchmark's regression gate is judged
+// in: simulated cycles per op for paths the simulator charges, wall-clock
+// nanoseconds per op for host-side-only paths (the regionof lookups).
+const (
+	MicroUnitSimCycles = "sim cycles/op"
+	MicroUnitNs        = "ns/op"
+)
+
 // MicroResult is one measured micro-operation: wall-clock nanoseconds per
 // operation, plus the modelled simulated cycles per operation for paths the
-// simulator charges (lookups run host-side only, so those report 0).
+// simulator charges (lookups run host-side only, so those report 0). Unit
+// names the unit the benchmark's gated figure is measured in; it is
+// optional in the JSON so older checked-in reports still load, and an empty
+// value means MicroUnitSimCycles.
 type MicroResult struct {
 	Name           string  `json:"name"`
 	Ops            int     `json:"ops"`
 	NsPerOp        float64 `json:"nsPerOp"`
 	SimCyclesPerOp float64 `json:"simCyclesPerOp,omitempty"`
+	Unit           string  `json:"unit,omitempty"`
+}
+
+// unit returns the benchmark's unit, defaulting missing (pre-Unit report)
+// values to the sim-cycle gate unit.
+func (m MicroResult) unit() string {
+	if m.Unit == "" {
+		return MicroUnitSimCycles
+	}
+	return m.Unit
 }
 
 // RunMicro measures the runtime's primitive operations — allocation, the
@@ -53,6 +74,7 @@ func RunMicro() []MicroResult {
 			Ops:            ops,
 			NsPerOp:        float64(el.Nanoseconds()) / ops,
 			SimCyclesPerOp: float64(c.TotalCycles()-before) / ops,
+			Unit:           MicroUnitSimCycles,
 		})
 	}
 
@@ -88,6 +110,7 @@ func RunMicro() []MicroResult {
 			Ops:            ops,
 			NsPerOp:        float64(el.Nanoseconds()) / ops,
 			SimCyclesPerOp: float64(c.TotalCycles()-before) / ops,
+			Unit:           MicroUnitSimCycles,
 		})
 	}
 
@@ -110,6 +133,7 @@ func RunMicro() []MicroResult {
 			Ops:            ops,
 			NsPerOp:        float64(el.Nanoseconds()) / ops,
 			SimCyclesPerOp: float64(c.TotalCycles()-before) / ops,
+			Unit:           MicroUnitSimCycles,
 		})
 	}
 
@@ -147,8 +171,8 @@ func RunMicro() []MicroResult {
 		viaMap := time.Since(start)
 		_ = sink
 		out = append(out,
-			MicroResult{Name: "regionof/dense", Ops: ops, NsPerOp: float64(dense.Nanoseconds()) / ops},
-			MicroResult{Name: "regionof/map", Ops: ops, NsPerOp: float64(viaMap.Nanoseconds()) / ops},
+			MicroResult{Name: "regionof/dense", Ops: ops, NsPerOp: float64(dense.Nanoseconds()) / ops, Unit: MicroUnitNs},
+			MicroResult{Name: "regionof/map", Ops: ops, NsPerOp: float64(viaMap.Nanoseconds()) / ops, Unit: MicroUnitNs},
 		)
 	}
 

@@ -7,6 +7,7 @@ import (
 	"runtime"
 
 	"regions/internal/metrics"
+	"regions/internal/serve"
 )
 
 // ReportSchemaVersion is the integer version of the benchmark-report JSON.
@@ -31,6 +32,11 @@ type Report struct {
 	// RunImbalance): same tasks, static placement versus stealing, with
 	// the max/min busy-cycle ratio per side.
 	Imbalance *ImbalanceResult `json:"imbalance,omitempty"`
+	// Serve is the fixed multi-tenant serving scenario (see
+	// RunServeScenario): seeded arrivals over the serve defaults, with
+	// deterministic latency percentiles and checksum. Optional so version-2
+	// reports written before the scenario existed still load.
+	Serve *serve.Result `json:"serve,omitempty"`
 	// Metrics is the final snapshot of a registry attached to the whole
 	// shard sweep: the cumulative core/mem/gc/shard series over every run
 	// in Throughput. Simulated-cycle metrics in it are deterministic.
@@ -58,6 +64,10 @@ func BuildBenchReportOpts(scaleDiv, repeats int, opts ThroughputOpts) (*Report, 
 	if err != nil {
 		return nil, err
 	}
+	srv, err := RunServeScenario(scaleDiv, opts.Metrics)
+	if err != nil {
+		return nil, err
+	}
 	r := &Report{
 		Schema:        "regions-bench/v2",
 		SchemaVersion: ReportSchemaVersion,
@@ -68,6 +78,7 @@ func BuildBenchReportOpts(scaleDiv, repeats int, opts ThroughputOpts) (*Report, 
 		Micro:         RunMicro(),
 		Throughput:    tp,
 		Imbalance:     imb,
+		Serve:         srv,
 	}
 	if opts.Metrics != nil {
 		r.Metrics = opts.Metrics.Snapshot()

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"regions/internal/metrics"
+	"regions/internal/serve"
+)
+
+// The serving scenario embedded in the benchmark report: one fixed
+// multi-tenant run of the internal/serve simulator, so the checked-in
+// artifact gates tail latency under concurrency, not just batch throughput.
+// Everything in the result is simulated cycles, so — like the micro
+// sim-cycle columns — it diffs exactly across hosts.
+
+// ServeScenarioSeed pins the embedded scenario's arrival schedule.
+const ServeScenarioSeed = 1
+
+// RunServeScenario runs the report's fixed serving scenario: sessions scale
+// down with scaleDiv exactly like the app workloads, the rest of the
+// configuration is the serve package's defaults (4 shards, 700
+// arrivals/Mcycle, queue cap 64). reg may be nil.
+func RunServeScenario(scaleDiv int, reg *metrics.Registry) (*serve.Result, error) {
+	sessions := 8000 / scaleDiv
+	if sessions < 100 {
+		sessions = 100
+	}
+	return serve.Run(serve.Config{
+		Sessions: sessions,
+		Seed:     ServeScenarioSeed,
+		Metrics:  reg,
+	})
+}
+
+// compareServe prints the serve-scenario delta as context and returns a
+// regression when both reports ran the identical scenario but disagree on
+// its deterministic checksum.
+func compareServe(w io.Writer, old, cur *Report, sameConfig bool) []string {
+	if old.Serve == nil || cur.Serve == nil {
+		return nil
+	}
+	o, c := old.Serve, cur.Serve
+	fmt.Fprintf(w, "\nserve (%d sessions, seed %d): p50 %d -> %d, p99 %d -> %d, p999 %d -> %d sim cycles\n",
+		c.Sessions, c.Seed, o.P50, c.P50, o.P99, c.P99, o.P999, c.P999)
+	fmt.Fprintf(w, "  completed %d -> %d, shed %d -> %d (queue %d/%d, oom %d/%d)\n",
+		o.Completed, c.Completed,
+		o.ShedQueue+o.ShedOOM, c.ShedQueue+c.ShedOOM,
+		o.ShedQueue, c.ShedQueue, o.ShedOOM, c.ShedOOM)
+	if sameConfig && o.Sessions == c.Sessions && o.Checksum != c.Checksum {
+		return []string{fmt.Sprintf("serve: checksum %08x, artifact has %08x — serving results changed",
+			c.Checksum, o.Checksum)}
+	}
+	return nil
+}

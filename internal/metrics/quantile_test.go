@@ -1,0 +1,63 @@
+package metrics
+
+import "testing"
+
+// TestHistogramQuantile checks the fixed-bucket quantile estimate the
+// serving report's p50/p99/p999 come from: linear interpolation inside the
+// target bucket, overflow clamped to the last finite bound, zero on empty.
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_test", []uint64{10, 20, 40})
+	// 10 observations in (0,10], 10 in (10,20], none higher.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	hv, ok := reg.Snapshot().Histogram("q_test")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if got := hv.Quantile(0.5); got != 10 {
+		t.Errorf("p50 = %d, want 10 (rank 10 is the first bucket's last observation)", got)
+	}
+	// Rank 15 sits 5/10 of the way through the (10,20] bucket.
+	if got := hv.Quantile(0.75); got != 15 {
+		t.Errorf("p75 = %d, want 15", got)
+	}
+	if got := hv.Quantile(1); got != 20 {
+		t.Errorf("p100 = %d, want 20", got)
+	}
+	if got := hv.Quantile(0); got != 0 {
+		t.Errorf("q<=0 = %d, want 0", got)
+	}
+}
+
+// TestHistogramQuantileOverflow checks the overflow bucket clamps to the
+// last finite bound rather than inventing a value.
+func TestHistogramQuantileOverflow(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_overflow", []uint64{10})
+	h.Observe(5)
+	h.Observe(1000) // overflow bucket
+	hv, _ := reg.Snapshot().Histogram("q_overflow")
+	if got := hv.Quantile(0.99); got != 10 {
+		t.Errorf("overflow quantile = %d, want clamp to last bound 10", got)
+	}
+}
+
+// TestHistogramQuantileEmpty checks the empty-histogram and missing-name
+// edges.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("q_empty", []uint64{10})
+	hv, ok := reg.Snapshot().Histogram("q_empty")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if got := hv.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+	if _, ok := reg.Snapshot().Histogram("no_such"); ok {
+		t.Error("lookup of unknown histogram succeeded")
+	}
+}

@@ -1,0 +1,125 @@
+package serve
+
+// Session profiles: what one request allocates, distilled from the six
+// benchmark apps' per-site allocation censuses (run `regionstat -app X
+// -sample 64` to regenerate the underlying data). Each profile keeps the
+// app's shape — object sizes, the ralloc/rstralloc/rarrayalloc split, and
+// roughly the app's pointer-store density — scaled down to one request's
+// worth of work, so a serving run exercises the same allocator paths as the
+// batch harness: parse-heavy small-object churn for the compilers,
+// string-dominated streams for the text tools, array-heavy numeric kernels
+// for cfrac and grobner.
+
+// allocKind distinguishes the three allocation entry points a site uses.
+type allocKind uint8
+
+const (
+	allocPtr allocKind = iota // ralloc: cleared, scanned, may hold sameregion pointers
+	allocStr                  // rstralloc: pointer-free, unscanned
+	allocArr                  // rarrayalloc: cleared array, cleanup per element
+)
+
+// site is one allocation site of a profile: count objects of size bytes
+// (count elements of size bytes for allocArr) per unit of session weight,
+// allocated under a cleanup registered with the site's name — so a metered
+// run's sampled site census attributes serving load to the same labels the
+// batch apps use.
+type site struct {
+	name  string
+	kind  allocKind
+	size  int
+	count int
+}
+
+// Profile is one session archetype: the allocation mix of the parse phase
+// (into the request's parse region), of the work phase (into a second
+// region that outlives the parse region — the non-lexical lifetime shape),
+// and the number of sameregion pointer stores the work phase performs.
+type Profile struct {
+	Name   string
+	Weight int // relative draw weight in the session mix
+	parse  []site
+	work   []site
+	stores int
+}
+
+// Profiles returns the six session archetypes in the paper's app order.
+// The mix is weighted toward the compilers (mudlle, lcc): a server-shaped
+// workload is dominated by parse-allocate-discard requests, which is
+// exactly the pattern the paper's region argument is strongest on.
+func Profiles() []*Profile {
+	return []*Profile{
+		{
+			Name: "cfrac", Weight: 2,
+			parse: []site{
+				{"cfrac/itom", allocPtr, 16, 18},
+				{"cfrac/limb", allocArr, 4, 40},
+			},
+			work: []site{
+				{"cfrac/mult", allocPtr, 24, 22},
+				{"cfrac/rem", allocArr, 4, 24},
+			},
+			stores: 40,
+		},
+		{
+			Name: "grobner", Weight: 1,
+			parse: []site{
+				{"grobner/term", allocPtr, 24, 26},
+				{"grobner/coef", allocArr, 8, 16},
+			},
+			work: []site{
+				{"grobner/pair", allocPtr, 32, 14},
+				{"grobner/reduce", allocStr, 20, 10},
+			},
+			stores: 30,
+		},
+		{
+			Name: "mudlle", Weight: 3,
+			parse: []site{
+				{"mudlle/node", allocPtr, 20, 55},
+				{"mudlle/string", allocStr, 28, 22},
+			},
+			work: []site{
+				{"mudlle/code", allocArr, 4, 90},
+				{"mudlle/value", allocPtr, 12, 26},
+			},
+			stores: 100,
+		},
+		{
+			Name: "lcc", Weight: 3,
+			parse: []site{
+				{"lcc/node", allocPtr, 28, 45},
+				{"lcc/ident", allocStr, 16, 30},
+			},
+			work: []site{
+				{"lcc/quad", allocArr, 16, 26},
+				{"lcc/sym", allocPtr, 24, 18},
+			},
+			stores: 80,
+		},
+		{
+			Name: "tile", Weight: 2,
+			parse: []site{
+				{"tile/token", allocStr, 12, 65},
+				{"tile/count", allocPtr, 16, 16},
+			},
+			work: []site{
+				{"tile/block", allocArr, 8, 32},
+				{"tile/score", allocPtr, 16, 10},
+			},
+			stores: 20,
+		},
+		{
+			Name: "moss", Weight: 1,
+			parse: []site{
+				{"moss/line", allocStr, 36, 35},
+				{"moss/passage", allocPtr, 20, 12},
+			},
+			work: []site{
+				{"moss/fp", allocArr, 8, 50},
+				{"moss/match", allocPtr, 16, 24},
+			},
+			stores: 35,
+		},
+	}
+}

@@ -1,0 +1,604 @@
+// Package serve is the multi-tenant serving simulator: the server-shaped
+// workload the ROADMAP's "millions of users" north star asks for, built on
+// the shard engine. A seeded open-loop Poisson arrival process (with
+// optional burst phases) feeds thousands of sessions onto N shards; each
+// session owns one or more regions for a request lifetime — parse into a
+// request region, work in a second region that outlives it (the non-lexical
+// lifetime shape), delete both — with its allocation mix drawn from the six
+// benchmark apps' per-site censuses (see profiles.go).
+//
+// Latency is modelled, not wall-clock: a shard is one simulated machine
+// serving its sessions in FIFO order, so a session's latency is its queue
+// wait plus its measured service time, both in simulated cycles. The model
+// is a per-shard single-server queue driven by real service times: start =
+// max(arrival, previous completion), completion = start + the simulated
+// cycles the session actually consumed on the shard's runtime. That makes
+// every percentile deterministic for a (config, seed) pair — the serving
+// analogue of the batch harness's checksum gate.
+//
+// Overload is a first-class outcome, not a crash: when the modelled queue
+// is full a new session is shed with a typed ErrOverload before it touches
+// the runtime, and when the simulated OS refuses pages mid-request
+// (SetPageLimit, FaultPlan — PR 2's failure model recast as a backpressure
+// story) the session aborts gracefully, releases its regions, and counts as
+// an OOM shed. Admitted/shed/queued counters, a queue-depth gauge per
+// shard, and the latency histogram are exported through the standard
+// metrics registry, so `regionserve -metrics-addr` serves them at /metrics
+// live. docs/SERVING.md is the full story; cmd/regionserve the CLI.
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"regions/internal/apps/appkit"
+	"regions/internal/core"
+	"regions/internal/mem"
+	"regions/internal/metrics"
+	"regions/internal/shard"
+)
+
+// ErrOverload is the sentinel every shed session's error wraps: the server
+// refused or aborted the request to protect the tenants it already
+// admitted. Test with errors.Is; OOM-caused sheds also match
+// mem.ErrOutOfMemory.
+var ErrOverload = errors.New("serve: overloaded")
+
+// OverloadError describes one shed session. It wraps ErrOverload, and — for
+// sessions aborted by a refused page mapping — the runtime's *Fault chain,
+// so errors.Is(err, mem.ErrOutOfMemory) distinguishes OOM sheds from
+// queue-full sheds.
+type OverloadError struct {
+	Session int    // session id (arrival order)
+	Shard   int    // home shard
+	Reason  string // "queue full" or "out of memory"
+	Err     error  // underlying cause for OOM sheds, nil for queue sheds
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("serve: session %d shed on shard %d: %s: %v",
+			e.Session, e.Shard, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("serve: session %d shed on shard %d: %s",
+		e.Session, e.Shard, e.Reason)
+}
+
+// Unwrap makes errors.Is see both ErrOverload and the underlying cause.
+func (e *OverloadError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrOverload, e.Err}
+	}
+	return []error{ErrOverload}
+}
+
+// Config sizes a serving run. The zero value of every optional field picks
+// the documented default.
+type Config struct {
+	// Sessions is the number of requests to offer (required, > 0).
+	Sessions int
+	// Seed seeds the arrival process, profile draws, and session weights.
+	Seed int64
+	// Shards is the number of independent runtimes serving (default 4).
+	Shards int
+	// Rate is the offered load: mean arrivals per simulated Mcycle across
+	// the whole system (default 700, roughly 0.7 utilization on 4 shards
+	// with the default profile mix — enough contention that queueing is
+	// visible in the percentiles while the SLO still passes).
+	Rate float64
+	// BurstEvery/BurstLen/BurstFactor overlay burst phases on the arrival
+	// process: during the first BurstLen cycles of every BurstEvery-cycle
+	// period the rate is multiplied by BurstFactor (default 4; bursts are
+	// off while BurstEvery is 0).
+	BurstEvery  uint64
+	BurstLen    uint64
+	BurstFactor float64
+	// MaxQueue is the modelled per-shard queue cap: a session arriving
+	// while MaxQueue sessions are queued or in service on its shard is
+	// shed (default 64).
+	MaxQueue int
+	// SLOP99 is the p99 latency target in simulated cycles that the run's
+	// pass/fail line is judged against (default 1,000,000; the SLO is
+	// reported, never enforced).
+	SLOP99 uint64
+	// PageLimit, when > 0, caps each shard's simulated OS at that many 4 KB
+	// pages — the overload lever. FaultPlan, when non-nil, installs a copy
+	// of the injected-failure schedule on every shard.
+	PageLimit int
+	FaultPlan *mem.FaultPlan
+	// Metrics, when non-nil, receives the serve series (and attaches every
+	// shard runtime, as in shard.Config). A private registry is used when
+	// nil, so percentiles work either way.
+	Metrics *metrics.Registry
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 700
+	}
+	if cfg.BurstFactor <= 0 {
+		cfg.BurstFactor = 4
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.SLOP99 == 0 {
+		cfg.SLOP99 = 1_000_000
+	}
+	return cfg
+}
+
+// ShardStats is one shard's serving tally.
+type ShardStats struct {
+	Shard     int    `json:"shard"`
+	Admitted  uint64 `json:"admitted"`
+	Completed uint64 `json:"completed"`
+	Queued    uint64 `json:"queued"`
+	ShedQueue uint64 `json:"shedQueue"`
+	ShedOOM   uint64 `json:"shedOOM"`
+	MaxDepth  int    `json:"maxQueueDepth"`
+	// BusyUntilCycles is the shard's modelled clock at drain — the
+	// completion time of its last admitted session.
+	BusyUntilCycles uint64 `json:"busyUntilCycles"`
+}
+
+// Result is one serving run's outcome. Every field is deterministic for a
+// (Config, Seed) pair — there is deliberately no wall-clock field.
+type Result struct {
+	Sessions int     `json:"sessions"`
+	Shards   int     `json:"shards"`
+	Seed     int64   `json:"seed"`
+	Rate     float64 `json:"ratePerMcycle"`
+
+	// Admitted counts sessions that entered service; Completed the subset
+	// that finished (Admitted - ShedOOM). Queued counts admitted sessions
+	// whose modelled queue wait was nonzero. ShedQueue were rejected at
+	// admission, ShedOOM aborted mid-request by a refused page mapping.
+	Admitted  uint64 `json:"admitted"`
+	Completed uint64 `json:"completed"`
+	Queued    uint64 `json:"queued"`
+	ShedQueue uint64 `json:"shedQueue"`
+	ShedOOM   uint64 `json:"shedOOM"`
+	// Leaked counts regions a session failed to delete at abort (safe —
+	// the safety machinery refused — but a reclamation debt worth seeing).
+	Leaked uint64 `json:"leaked,omitempty"`
+
+	// Latency percentiles over completed sessions, in simulated cycles,
+	// estimated from the fixed-bucket regions_serve_latency_cycles
+	// histogram.
+	P50   uint64 `json:"p50Cycles"`
+	P99   uint64 `json:"p99Cycles"`
+	P999  uint64 `json:"p999Cycles"`
+	Mean  uint64 `json:"meanCycles"`
+	// MaxQueueDepth is the deepest modelled queue any shard saw.
+	MaxQueueDepth int `json:"maxQueueDepth"`
+	// MakespanCycles is the modelled drain time: the maximum shard clock.
+	MakespanCycles uint64 `json:"makespanCycles"`
+	// Checksum sums every completed session's checksum — the determinism
+	// gate, exactly as in the batch engine.
+	Checksum uint32 `json:"checksum"`
+
+	SLOTarget uint64 `json:"sloTargetP99"`
+	SLOPass   bool   `json:"sloPass"`
+
+	PerShard []ShardStats `json:"perShard"`
+
+	// FirstOverload is the earliest shed session's error (by session id),
+	// nil when nothing was shed. Excluded from JSON so reports stay
+	// diffable.
+	FirstOverload error `json:"-"`
+}
+
+// latencyBounds are the fixed histogram buckets for request latency:
+// power-of-two simulated-cycle bounds from 2 Kcycles to 2 Gcycles.
+var latencyBounds = func() []uint64 {
+	var b []uint64
+	for s := uint(11); s <= 31; s++ {
+		b = append(b, 1<<s)
+	}
+	return b
+}()
+
+// server holds one run's cached metric handles.
+type server struct {
+	cfg       Config
+	admitted  *metrics.Counter
+	completed *metrics.Counter
+	queued    *metrics.Counter
+	shedQueue *metrics.Counter
+	shedOOM   *metrics.Counter
+	latency   *metrics.Histogram
+}
+
+// shardState is one shard's modelled queue and tally. It is touched only by
+// that shard's pinned tasks (which run serially, in submission order) and
+// read by Run after the engine has drained, so it needs no lock.
+type shardState struct {
+	id  int
+	env *shard.Env
+	cln map[string]core.CleanupID
+
+	// pending holds the modelled completion times of sessions admitted but
+	// not yet complete at the head session's arrival instant; busyUntil is
+	// the shard's modelled clock (completion time of the last admitted
+	// session).
+	pending   []uint64
+	busyUntil uint64
+
+	stats         ShardStats
+	leaked        uint64
+	firstOverload error
+	firstSID      int
+
+	depthGauge *metrics.Gauge
+}
+
+// Run executes one serving run: draw the schedule, pin every session to its
+// home shard, serve, drain, verify every shard's heap, and report. The only
+// error returns are infrastructure failures (a task panic, a corrupt heap at
+// drain); overload is never an error — it is the Shed* counters and
+// FirstOverload in the Result.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Sessions <= 0 {
+		return nil, fmt.Errorf("serve: Sessions must be positive, got %d", cfg.Sessions)
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	sv := &server{
+		cfg:       cfg,
+		admitted:  reg.Counter("regions_serve_admitted_total"),
+		completed: reg.Counter("regions_serve_completed_total"),
+		queued:    reg.Counter("regions_serve_queued_total"),
+		shedQueue: reg.Counter(`regions_serve_shed_total{reason="queue"}`),
+		shedOOM:   reg.Counter(`regions_serve_shed_total{reason="oom"}`),
+		latency:   reg.Histogram("regions_serve_latency_cycles", latencyBounds),
+	}
+	// Snapshot first so percentiles subtract anything a reused registry
+	// already held in the latency histogram.
+	before := reg.Snapshot()
+
+	eng := shard.New(shard.Config{Shards: cfg.Shards, Metrics: cfg.Metrics})
+	states := make([]*shardState, cfg.Shards)
+	for i := range states {
+		env := eng.Env(i)
+		if cfg.PageLimit > 0 {
+			env.Space().SetPageLimit(cfg.PageLimit)
+		}
+		if cfg.FaultPlan != nil {
+			env.Space().SetFaultPlan(cfg.FaultPlan)
+		}
+		states[i] = &shardState{
+			id:         i,
+			env:        env,
+			cln:        registerCleanups(env.Runtime()),
+			depthGauge: reg.Gauge(fmt.Sprintf(`regions_serve_queue_depth{shard="%d"}`, i)),
+		}
+		states[i].stats.Shard = i
+		states[i].firstSID = -1
+	}
+
+	keys := homeKeys(eng)
+	sessions := genSessions(cfg)
+	tasks := make([]shard.Task, len(sessions))
+	for i, s := range sessions {
+		s := s
+		st := states[s.shard]
+		tasks[i] = shard.Task{
+			Name:     fmt.Sprintf("sess-%d", s.id),
+			Affinity: keys[s.shard],
+			Pin:      true, // the session's regions live on this runtime
+			Run:      func(appkit.RegionEnv) uint32 { return sv.serveOne(st, s) },
+			Done:     func(res shard.TaskResult) { sv.complete(st, s, res) },
+		}
+	}
+	eng.SubmitBatch(tasks)
+	agg := eng.Close()
+	if agg.Failures > 0 {
+		for _, s := range agg.PerShard {
+			if s.LastError != "" {
+				return nil, fmt.Errorf("serve: %d session task failures, e.g. %s", agg.Failures, s.LastError)
+			}
+		}
+		return nil, fmt.Errorf("serve: %d session task failures", agg.Failures)
+	}
+	for i := range states {
+		if err := eng.Env(i).Runtime().Verify(); err != nil {
+			return nil, fmt.Errorf("serve: shard %d heap verify at drain: %w", i, err)
+		}
+	}
+
+	res := &Result{
+		Sessions:  cfg.Sessions,
+		Shards:    cfg.Shards,
+		Seed:      cfg.Seed,
+		Rate:      cfg.Rate,
+		Checksum:  agg.Checksum,
+		SLOTarget: cfg.SLOP99,
+	}
+	firstSID := -1
+	for _, st := range states {
+		res.Admitted += st.stats.Admitted
+		res.Completed += st.stats.Completed
+		res.Queued += st.stats.Queued
+		res.ShedQueue += st.stats.ShedQueue
+		res.ShedOOM += st.stats.ShedOOM
+		res.Leaked += st.leaked
+		if st.stats.MaxDepth > res.MaxQueueDepth {
+			res.MaxQueueDepth = st.stats.MaxDepth
+		}
+		if st.busyUntil > res.MakespanCycles {
+			res.MakespanCycles = st.busyUntil
+		}
+		if st.firstOverload != nil && (firstSID < 0 || st.firstSID < firstSID) {
+			firstSID = st.firstSID
+			res.FirstOverload = st.firstOverload
+		}
+		res.PerShard = append(res.PerShard, st.stats)
+	}
+	if h, ok := reg.Snapshot().Sub(before).Histogram("regions_serve_latency_cycles"); ok && h.Count > 0 {
+		res.P50 = h.Quantile(0.50)
+		res.P99 = h.Quantile(0.99)
+		res.P999 = h.Quantile(0.999)
+		res.Mean = h.Sum / h.Count
+	}
+	res.SLOPass = res.P99 <= cfg.SLOP99
+	return res, nil
+}
+
+// serveOne is the pinned task body: admission control against the shard's
+// modelled queue, then the session lifecycle on the shard's runtime. It
+// never panics under resource pressure — every allocation goes through a
+// Try* primitive — and a shed session returns checksum 0 without touching
+// the runtime at all (queue shed) or after releasing its regions (OOM
+// shed).
+func (sv *server) serveOne(st *shardState, s *session) uint32 {
+	// Admission: drain the modelled queue up to this session's arrival
+	// instant, then shed if MaxQueue sessions are still ahead of it.
+	for len(st.pending) > 0 && st.pending[0] <= s.arrival {
+		st.pending = st.pending[1:]
+	}
+	if len(st.pending) >= sv.cfg.MaxQueue {
+		s.outcome = outcomeShedQueue
+		s.err = &OverloadError{Session: s.id, Shard: st.id, Reason: "queue full"}
+		return 0
+	}
+	s.waited = len(st.pending) > 0
+	sum, err := sv.lifecycle(st, s)
+	if err != nil {
+		s.outcome = outcomeShedOOM
+		s.err = &OverloadError{Session: s.id, Shard: st.id, Reason: "out of memory", Err: err}
+		return 0
+	}
+	s.outcome = outcomeOK
+	return sum
+}
+
+// complete is the engine completion callback: it advances the shard's
+// modelled clock by the simulated cycles the session actually consumed
+// (res.EndCycles - res.StartCycles, measured by the engine around the
+// task), records the session's latency, and updates the counters. Pinned
+// tasks deliver Done calls in FIFO order on the shard goroutine, so this is
+// single-threaded per shard by construction.
+func (sv *server) complete(st *shardState, s *session, res shard.TaskResult) {
+	if s.outcome == outcomeShedQueue {
+		st.stats.ShedQueue++
+		sv.shedQueue.Inc()
+		st.noteOverload(s)
+		return
+	}
+	start := s.arrival
+	if st.busyUntil > start {
+		start = st.busyUntil
+	}
+	completion := start + (res.EndCycles - res.StartCycles)
+	st.busyUntil = completion
+	st.pending = append(st.pending, completion)
+	if len(st.pending) > st.stats.MaxDepth {
+		st.stats.MaxDepth = len(st.pending)
+	}
+	st.depthGauge.Set(int64(len(st.pending)))
+	st.stats.BusyUntilCycles = completion
+	st.stats.Admitted++
+	sv.admitted.Inc()
+	if s.waited {
+		st.stats.Queued++
+		sv.queued.Inc()
+	}
+	if s.outcome == outcomeShedOOM {
+		st.stats.ShedOOM++
+		sv.shedOOM.Inc()
+		st.noteOverload(s)
+		return
+	}
+	st.stats.Completed++
+	sv.completed.Inc()
+	sv.latency.Observe(completion - s.arrival)
+}
+
+// noteOverload keeps the shard's earliest shed error.
+func (st *shardState) noteOverload(s *session) {
+	if st.firstOverload == nil {
+		st.firstOverload = s.err
+		st.firstSID = s.id
+	}
+}
+
+// lifecycle runs one session on the shard's runtime: parse into a request
+// region, open a work region that outlives it, delete the parse region
+// mid-request (the non-lexical lifetime Spegion motivates), hammer the
+// sameregion write barrier, then delete the work region. All allocation
+// goes through Try* primitives; the first refused page mapping aborts the
+// session, releases whatever it created, and surfaces as the returned
+// error.
+func (sv *server) lifecycle(st *shardState, s *session) (uint32, error) {
+	rt := st.env.Runtime()
+	f := rt.PushFrame(2)
+	defer rt.PopFrame()
+
+	abort := func(regs ...*core.Region) {
+		f.Set(0, 0)
+		f.Set(1, 0)
+		for _, r := range regs {
+			if r == nil {
+				continue
+			}
+			if ok, _ := rt.TryDeleteRegion(r); !ok {
+				st.leaked++
+			}
+		}
+	}
+
+	parse, err := rt.TryNewRegion()
+	if err != nil {
+		return 0, err
+	}
+	sum, _, err := sv.allocPhase(st, parse, s.prof.parse, s.weight, f, 0)
+	if err != nil {
+		abort(parse)
+		return 0, err
+	}
+
+	work, err := rt.TryNewRegion()
+	if err != nil {
+		abort(parse)
+		return 0, err
+	}
+	wsum, hot, err := sv.allocPhase(st, work, s.prof.work, s.weight, f, 1)
+	sum += wsum
+	if err != nil {
+		abort(parse, work)
+		return 0, err
+	}
+
+	// The parse region dies while the request is still running: its only
+	// counted reference is frame slot 0, so clearing the slot makes the
+	// delete succeed — and if anything else still referenced it, the
+	// safety machinery refuses and we record the leak instead of dying.
+	f.Set(0, 0)
+	if ok, derr := rt.TryDeleteRegion(parse); derr != nil {
+		abort(work)
+		return 0, derr
+	} else if !ok {
+		st.leaked++
+	}
+
+	// Work phase proper: sameregion pointer stores between the work
+	// region's two hottest objects — the steady-state barrier path that
+	// dominates all six apps.
+	if hot[0] != 0 && hot[1] != 0 {
+		for i := 0; i < s.prof.stores*s.weight; i++ {
+			if i%2 == 0 {
+				rt.StorePtr(hot[0], hot[1])
+			} else {
+				rt.StorePtr(hot[1], hot[0])
+			}
+		}
+		rt.StorePtr(hot[0], 0)
+		rt.StorePtr(hot[1], 0)
+	}
+
+	f.Set(1, 0)
+	if ok, derr := rt.TryDeleteRegion(work); derr != nil {
+		return 0, derr
+	} else if !ok {
+		st.leaked++
+	}
+	return sum, nil
+}
+
+// allocPhase performs one phase's allocation mix into r, chaining scanned
+// objects with sameregion pointer stores (a linked structure, like the
+// apps' ASTs), anchoring the chain head in frame slot fslot, and returning
+// the phase checksum plus the last two scanned objects (the "hot" pair the
+// store loop reuses).
+func (sv *server) allocPhase(st *shardState, r *core.Region, sites []site, weight int, f *core.Frame, fslot int) (uint32, [2]core.Ptr, error) {
+	rt := st.env.Runtime()
+	var sum uint32
+	var hot [2]core.Ptr
+	var prev core.Ptr
+	for _, sc := range sites {
+		n := sc.count * weight
+		switch sc.kind {
+		case allocPtr:
+			cln := st.cln[sc.name]
+			for i := 0; i < n; i++ {
+				p, err := rt.TryRalloc(r, sc.size, cln)
+				if err != nil {
+					return sum, hot, err
+				}
+				if prev == 0 {
+					f.Set(fslot, p)
+				} else {
+					rt.StorePtr(prev, p) // sameregion: chains the structure
+				}
+				prev = p
+				hot[0], hot[1] = hot[1], p
+				sum += uint32(p)
+			}
+		case allocStr:
+			for i := 0; i < n; i++ {
+				p, err := rt.TryRstrAlloc(r, sc.size)
+				if err != nil {
+					return sum, hot, err
+				}
+				st.env.Space().Store(p, uint32(sc.size)) // payload, pointer-free
+				sum += uint32(p)
+			}
+		case allocArr:
+			p, err := rt.TryRarrayAlloc(r, n, sc.size, st.cln[sc.name])
+			if err != nil {
+				return sum, hot, err
+			}
+			sum += uint32(p)
+		}
+	}
+	return sum, hot, nil
+}
+
+// registerCleanups registers one cleanup per named profile site on rt. The
+// sessions' scanned objects hold only sameregion pointers, which the write
+// barrier never counts, so the cleanups have no Destroy calls to make —
+// they exist to give each site its census label and to report the object
+// size the deletion walk advances by.
+func registerCleanups(rt *core.Runtime) map[string]core.CleanupID {
+	cln := map[string]core.CleanupID{}
+	for _, p := range Profiles() {
+		for _, phase := range [][]site{p.parse, p.work} {
+			for _, sc := range phase {
+				if sc.kind == allocStr {
+					continue
+				}
+				if _, ok := cln[sc.name]; ok {
+					continue
+				}
+				size := sc.size
+				cln[sc.name] = rt.RegisterCleanup(sc.name,
+					func(*core.Runtime, core.Ptr) int { return size })
+			}
+		}
+	}
+	return cln
+}
+
+// homeKeys finds, for each shard, an affinity key that hashes to it, so the
+// driver's round-robin session→shard assignment survives the engine's
+// affinity hashing unchanged.
+func homeKeys(eng *shard.Engine) []string {
+	keys := make([]string, eng.Shards())
+	found := 0
+	for i := 0; found < len(keys); i++ {
+		k := fmt.Sprintf("home-%d", i)
+		if s := eng.ShardFor(k); keys[s] == "" {
+			keys[s] = k
+			found++
+		}
+	}
+	return keys
+}

@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"regions/internal/mem"
+	"regions/internal/metrics"
+)
+
+// testConfig is a small, fast serving run used by most tests.
+func testConfig() Config {
+	return Config{Sessions: 600, Seed: 1, Shards: 4, Rate: 700}
+}
+
+// TestServeDeterminism is the acceptance gate from the issue: the same seed
+// must yield identical admitted/shed counts, the same checksum, and a
+// bit-identical latency histogram across two fresh runs.
+func TestServeDeterminism(t *testing.T) {
+	regA, regB := metrics.NewRegistry(), metrics.NewRegistry()
+	cfgA, cfgB := testConfig(), testConfig()
+	cfgA.Metrics, cfgB.Metrics = regA, regB
+
+	a, err := Run(cfgA)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := Run(cfgB)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("results differ across same-seed runs:\n  a: %+v\n  b: %+v", a, b)
+	}
+	ha, okA := regA.Snapshot().Histogram("regions_serve_latency_cycles")
+	hb, okB := regB.Snapshot().Histogram("regions_serve_latency_cycles")
+	if !okA || !okB {
+		t.Fatalf("latency histogram missing: a=%v b=%v", okA, okB)
+	}
+	if !reflect.DeepEqual(ha, hb) {
+		t.Errorf("latency histograms differ across same-seed runs:\n  a: %+v\n  b: %+v", ha, hb)
+	}
+	if a.Completed == 0 || a.Checksum == 0 {
+		t.Errorf("run did no work: %+v", a)
+	}
+}
+
+// TestServeSeedsDiffer guards against the arrival process ignoring its
+// seed: different seeds must produce different schedules (and therefore
+// different latency profiles or checksums).
+func TestServeSeedsDiffer(t *testing.T) {
+	cfgA, cfgB := testConfig(), testConfig()
+	cfgB.Seed = 2
+	a, err := Run(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum == b.Checksum && a.MakespanCycles == b.MakespanCycles {
+		t.Errorf("seeds 1 and 2 produced identical runs (checksum %08x, makespan %d)",
+			a.Checksum, a.MakespanCycles)
+	}
+}
+
+// TestServeBurstShedsQueue drives the burst arrival process hard enough to
+// fill the admission queue and checks the queue-shed path: typed ErrOverload
+// (not OOM), counted sheds, and a clean run.
+func TestServeBurstShedsQueue(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sessions = 1200
+	cfg.BurstEvery = 1_000_000
+	cfg.BurstLen = 300_000
+	cfg.BurstFactor = 8
+	cfg.MaxQueue = 16
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.ShedQueue == 0 {
+		t.Fatalf("burst run shed nothing: %+v", res)
+	}
+	if res.FirstOverload == nil {
+		t.Fatal("sheds recorded but FirstOverload is nil")
+	}
+	if !errors.Is(res.FirstOverload, ErrOverload) {
+		t.Errorf("queue shed error is not ErrOverload: %v", res.FirstOverload)
+	}
+	if errors.Is(res.FirstOverload, mem.ErrOutOfMemory) {
+		t.Errorf("queue shed error claims out-of-memory: %v", res.FirstOverload)
+	}
+	if got := res.Admitted + res.ShedQueue; got != uint64(cfg.Sessions) {
+		t.Errorf("admitted(%d) + shedQueue(%d) = %d, want %d sessions accounted",
+			res.Admitted, res.ShedQueue, got, cfg.Sessions)
+	}
+}
+
+// TestServeOverloadFaultPlans runs the simulator under every fault-plan
+// shape the failure model supports (nth-call, probabilistic at several
+// severities, byte budget) plus hard page limits, asserting the issue's
+// contract: overload surfaces as a typed ErrOverload wrapping
+// mem.ErrOutOfMemory — never a panic — and the run drains with clean heaps
+// (serve.Run verifies every shard and would return an error otherwise).
+func TestServeOverloadFaultPlans(t *testing.T) {
+	cases := []struct {
+		name      string
+		plan      *mem.FaultPlan
+		pageLimit int
+	}{
+		{name: "fail-nth-1", plan: &mem.FaultPlan{FailNth: 1}},
+		{name: "fail-nth-3", plan: &mem.FaultPlan{FailNth: 3}},
+		{name: "prob-half", plan: &mem.FaultPlan{FailProb: 0.5, Seed: 7}},
+		{name: "prob-heavy", plan: &mem.FaultPlan{FailProb: 0.9, Seed: 42}},
+		{name: "prob-total", plan: &mem.FaultPlan{FailProb: 1, Seed: 1}},
+		{name: "byte-budget", plan: &mem.FaultPlan{ByteBudget: 8 * mem.PageSize}},
+		{name: "page-limit", pageLimit: 3},
+		{name: "page-limit-and-plan", plan: &mem.FaultPlan{FailProb: 0.5, Seed: 3}, pageLimit: 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Sessions = 400
+			cfg.FaultPlan = tc.plan
+			cfg.PageLimit = tc.pageLimit
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("Run must absorb injected faults, got: %v", err)
+			}
+			if res.ShedOOM > 0 {
+				if res.FirstOverload == nil {
+					t.Fatal("OOM sheds recorded but FirstOverload is nil")
+				}
+				if !errors.Is(res.FirstOverload, ErrOverload) {
+					t.Errorf("OOM shed error is not ErrOverload: %v", res.FirstOverload)
+				}
+				if !errors.Is(res.FirstOverload, mem.ErrOutOfMemory) {
+					t.Errorf("OOM shed error does not wrap mem.ErrOutOfMemory: %v", res.FirstOverload)
+				}
+			}
+			if got := res.Completed + res.ShedQueue + res.ShedOOM; got != uint64(cfg.Sessions) {
+				t.Errorf("completed(%d)+shedQueue(%d)+shedOOM(%d) = %d, want %d",
+					res.Completed, res.ShedQueue, res.ShedOOM, got, cfg.Sessions)
+			}
+		})
+	}
+}
+
+// TestServeTotalFaultShedsEverything pins the hardest case: with every page
+// mapping refused, no session can run — and the server must shed all of
+// them rather than crash.
+func TestServeTotalFaultShedsEverything(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sessions = 200
+	cfg.FaultPlan = &mem.FaultPlan{FailProb: 1, Seed: 1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Completed != 0 || res.ShedOOM != uint64(cfg.Sessions) {
+		t.Errorf("want all %d sessions OOM-shed, got completed=%d shedOOM=%d",
+			cfg.Sessions, res.Completed, res.ShedOOM)
+	}
+	if !errors.Is(res.FirstOverload, mem.ErrOutOfMemory) {
+		t.Errorf("total fault's error should wrap ErrOutOfMemory: %v", res.FirstOverload)
+	}
+}
+
+// TestServeMetricsCounters checks the exported serve series against the
+// result: the /metrics story is only trustworthy if the counters and the
+// report agree.
+func TestServeMetricsCounters(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := testConfig()
+	cfg.Sessions = 500
+	cfg.PageLimit = 3 // force a mixed outcome: completions and OOM sheds
+	cfg.Metrics = reg
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	snap := reg.Snapshot()
+	for _, tc := range []struct {
+		name string
+		want uint64
+	}{
+		{"regions_serve_admitted_total", res.Admitted},
+		{"regions_serve_completed_total", res.Completed},
+		{"regions_serve_queued_total", res.Queued},
+		{`regions_serve_shed_total{reason="queue"}`, res.ShedQueue},
+		{`regions_serve_shed_total{reason="oom"}`, res.ShedOOM},
+	} {
+		got, ok := snap.Counter(tc.name)
+		if !ok {
+			t.Errorf("counter %s missing from registry", tc.name)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("counter %s = %d, want %d (result %+v)", tc.name, got, tc.want, res)
+		}
+	}
+	if res.ShedOOM == 0 {
+		t.Errorf("page-limited run shed nothing via OOM; tighten the test's PageLimit")
+	}
+	if _, ok := snap.Gauge(`regions_serve_queue_depth{shard="0"}`); !ok {
+		t.Error("queue depth gauge missing for shard 0")
+	}
+}
+
+// TestServePercentilesOrdered sanity-checks the histogram-derived
+// percentiles: monotone, nonzero for a run with completions, and consistent
+// with the SLO verdict.
+func TestServePercentilesOrdered(t *testing.T) {
+	res, err := Run(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P50 == 0 || res.P99 < res.P50 || res.P999 < res.P99 {
+		t.Errorf("percentiles out of order: p50=%d p99=%d p999=%d", res.P50, res.P99, res.P999)
+	}
+	if res.SLOPass != (res.P99 <= res.SLOTarget) {
+		t.Errorf("SLO verdict %v inconsistent with p99=%d target=%d",
+			res.SLOPass, res.P99, res.SLOTarget)
+	}
+}
+
+// TestHomeKeys checks the affinity-key probe covers every shard.
+func TestHomeKeys(t *testing.T) {
+	cfg := testConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin placement over covered home keys means every shard served
+	// an equal share (Sessions divisible by Shards here).
+	for _, st := range res.PerShard {
+		if got := st.Completed + st.ShedQueue + st.ShedOOM; got != uint64(cfg.Sessions/cfg.Shards) {
+			t.Errorf("shard %d handled %d sessions, want %d", st.Shard, got, cfg.Sessions/cfg.Shards)
+		}
+	}
+}

@@ -38,6 +38,33 @@ type Task struct {
 	Pin bool
 	// Run executes the task on the shard's environment.
 	Run func(env appkit.RegionEnv) uint32
+	// Done, when non-nil, is the task's completion callback: it runs on the
+	// executing shard's goroutine immediately after Run returns (or after a
+	// panic in Run is recovered), before the worker pops its next task.
+	// Pinned tasks on one shard therefore observe their Done calls in
+	// submission (FIFO) order, which is what lets a serving driver thread
+	// per-shard bookkeeping through callbacks without locks — see
+	// internal/serve. Done must not submit to the engine.
+	Done func(res TaskResult)
+}
+
+// TaskResult describes one completed task, delivered to Task.Done.
+type TaskResult struct {
+	// Shard is the shard the task executed on (its home shard unless the
+	// task was stolen).
+	Shard int
+	// Stolen reports whether a sibling shard ran the task.
+	Stolen bool
+	// Checksum is Run's return value; zero when the task failed.
+	Checksum uint32
+	// Err is non-nil when Run panicked; the panic was recovered and
+	// recorded as a task failure.
+	Err error
+	// StartCycles and EndCycles bracket the task on the executing shard's
+	// simulated clock: EndCycles-StartCycles is the simulated cost of this
+	// task, and since a shard runs its tasks serially, consecutive pinned
+	// tasks see contiguous, monotone windows.
+	StartCycles, EndCycles uint64
 }
 
 // Config sizes an Engine.
@@ -204,6 +231,12 @@ func New(cfg Config) *Engine {
 
 // Shards returns the number of workers.
 func (e *Engine) Shards() int { return len(e.shards) }
+
+// Env returns shard i's environment. The worker goroutine owns its
+// environment while tasks run, so callers may touch it only before the
+// first Submit (to install fault plans, page limits, cleanups), from a
+// task pinned to shard i, or after Close (to Verify the drained heap).
+func (e *Engine) Env(i int) *Env { return e.shards[i].env }
 
 // ShardFor returns the home shard index an affinity key maps to.
 func (e *Engine) ShardFor(key string) int {
@@ -433,6 +466,7 @@ func (w *worker) loop(e *Engine) {
 		// A pop freed a deque slot; unblock any submitter waiting on it.
 		e.wake()
 		start := time.Now()
+		simBefore := w.env.Counters().TotalCycles()
 		sum, err := w.runTask(t)
 		w.stats.Busy += time.Since(start)
 		w.stats.Tasks++
@@ -458,6 +492,16 @@ func (w *worker) loop(e *Engine) {
 			w.met.busyCycles.Add(now - prevCycles)
 			prevCycles = now
 		}
+		if t.Done != nil {
+			w.runDone(t, TaskResult{
+				Shard:       w.id,
+				Stolen:      stolen,
+				Checksum:    sum,
+				Err:         err,
+				StartCycles: simBefore,
+				EndCycles:   w.env.Counters().TotalCycles(),
+			})
+		}
 		if w.profEvery > 0 && (w.stats.Tasks == 1 || w.stats.Tasks%uint64(w.profEvery) == 0) {
 			w.captureHeapProfile()
 		}
@@ -479,6 +523,21 @@ func (w *worker) runTask(t Task) (sum uint32, err error) {
 		}
 	}()
 	return t.Run(w.env), nil
+}
+
+// runDone invokes t's completion callback, converting a panic in it into a
+// recorded failure rather than letting it kill the worker goroutine.
+func (w *worker) runDone(t Task, res TaskResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.stats.Failures++
+			w.stats.LastError = fmt.Sprintf("shard: done %q: %v", t.Name, r)
+			if w.met != nil {
+				w.met.failures.Inc()
+			}
+		}
+	}()
+	t.Done(res)
 }
 
 // fnv32a is the 32-bit FNV-1a hash, inlined to keep Submit allocation-free.
