@@ -12,6 +12,7 @@
 //	regionserve -sessions 5000 -rate 64 -burst-every 2000000 -burst-len 400000
 //	regionserve -sessions 2000 -page-limit 96        # overload: shed via ErrOverload
 //	regionserve -sessions 2000 -metrics-addr :8080   # live /metrics while serving
+//	regionserve -sessions 2000 -profile bulk -defer-delete   # deferred reclamation
 //
 // All latency figures are simulated cycles, so output is bit-identical for
 // a given flag set and seed — `regionserve -sessions 2000 -seed 1` twice
@@ -53,6 +54,11 @@ func main() {
 		faultSeed = flag.Int64("fault-seed", 1, "seed for -fault-prob draws")
 		faultBud  = flag.Uint64("fault-budget", 0, "per-shard mapped-byte budget before mappings fail (0 = unlimited)")
 
+		profile    = flag.String("profile", "", "serve only the named session profile (default: the weighted six-app mix)")
+		deferDel   = flag.Bool("defer-delete", false, "deferred reclamation: deletes detach, pages are swept incrementally on idle cycles")
+		sweepBud   = flag.Int("sweep-budget", 0, "pages per sweep slice (0 = runtime default; requires -defer-delete)")
+		sweepWater = flag.Int("sweep-highwater", 0, "sweep-debt pages above which allocations pay a sweep tax (0 = runtime default; requires -defer-delete)")
+
 		metAddr = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text format) on this address during the run")
 		jsonOut = flag.Bool("json", false, "emit the full result as JSON instead of the text report")
 	)
@@ -76,6 +82,21 @@ func main() {
 	if *faultProb < 0 || *faultProb > 1 {
 		fail(2, "-fault-prob must be in [0, 1], got %g", *faultProb)
 	}
+	// Sweep tuning without deferred deletion would silently do nothing, and
+	// a zero-or-negative budget would mean "sweep no pages per slice" —
+	// both are configuration mistakes, not runs worth starting.
+	if *sweepBud != 0 && !*deferDel {
+		fail(2, "-sweep-budget requires -defer-delete")
+	}
+	if *sweepWater != 0 && !*deferDel {
+		fail(2, "-sweep-highwater requires -defer-delete")
+	}
+	if *deferDel && *sweepBud < 0 {
+		fail(2, "-sweep-budget must be at least 1 (or 0 for the default), got %d", *sweepBud)
+	}
+	if *deferDel && *sweepWater < 0 {
+		fail(2, "-sweep-highwater must be at least 1 (or 0 for the default), got %d", *sweepWater)
+	}
 
 	cfg := serve.Config{
 		Sessions:    *sessions,
@@ -88,6 +109,11 @@ func main() {
 		MaxQueue:    *queue,
 		SLOP99:      *sloP99,
 		PageLimit:   *pageLimit,
+
+		Profile:        *profile,
+		DeferredDelete: *deferDel,
+		SweepBudget:    *sweepBud,
+		SweepHighWater: *sweepWater,
 	}
 	if *faultNth > 0 || *faultProb > 0 || *faultBud > 0 {
 		cfg.FaultPlan = &mem.FaultPlan{
@@ -142,6 +168,10 @@ func printReport(res *serve.Result) {
 		res.P50, res.P99, res.P999, res.Mean)
 	fmt.Printf("max queue depth %d  makespan %d sim cycles  checksum %08x\n",
 		res.MaxQueueDepth, res.MakespanCycles, res.Checksum)
+	if res.DeferredDelete {
+		fmt.Printf("sweep: peak debt %d pages  swept %d pages  reclamation lag %d sim cycles\n",
+			res.SweepDebtPeakPages, res.SweptPages, res.ReclamationLagCycles)
+	}
 	if res.FirstOverload != nil {
 		fmt.Printf("first overload: %v\n", res.FirstOverload)
 	}

@@ -107,6 +107,7 @@ func CompareReports(w io.Writer, old, cur *Report, threshold float64) []string {
 	}
 
 	regressions = append(regressions, compareServe(w, old, cur, sameConfig)...)
+	regressions = append(regressions, compareServeAB(w, old, cur, sameConfig)...)
 
 	if old.Metrics != nil && cur.Metrics != nil {
 		fmt.Fprintf(w, "\nmetrics delta (new minus old, Snapshot.Sub; nonzero series):\n")

@@ -37,6 +37,11 @@ type Report struct {
 	// deterministic latency percentiles and checksum. Optional so version-2
 	// reports written before the scenario existed still load.
 	Serve *serve.Result `json:"serve,omitempty"`
+	// ServeAB is the deferred-reclamation A/B (see RunServeAB): the bulk
+	// large-region scenario served synchronously and with DeferredDelete,
+	// checksum-identical by construction. Optional so older version-2
+	// reports still load.
+	ServeAB *ServeABResult `json:"serveAB,omitempty"`
 	// Metrics is the final snapshot of a registry attached to the whole
 	// shard sweep: the cumulative core/mem/gc/shard series over every run
 	// in Throughput. Simulated-cycle metrics in it are deterministic.
@@ -68,6 +73,10 @@ func BuildBenchReportOpts(scaleDiv, repeats int, opts ThroughputOpts) (*Report, 
 	if err != nil {
 		return nil, err
 	}
+	ab, err := RunServeAB(scaleDiv, opts.Metrics)
+	if err != nil {
+		return nil, err
+	}
 	r := &Report{
 		Schema:        "regions-bench/v2",
 		SchemaVersion: ReportSchemaVersion,
@@ -79,6 +88,7 @@ func BuildBenchReportOpts(scaleDiv, repeats int, opts ThroughputOpts) (*Report, 
 		Throughput:    tp,
 		Imbalance:     imb,
 		Serve:         srv,
+		ServeAB:       ab,
 	}
 	if opts.Metrics != nil {
 		r.Metrics = opts.Metrics.Snapshot()

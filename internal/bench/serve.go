@@ -33,6 +33,102 @@ func RunServeScenario(scaleDiv int, reg *metrics.Registry) (*serve.Result, error
 	})
 }
 
+// ServeABRate is the offered load of the deferred-reclamation A/B: just
+// under the synchronous mode's capacity for the bulk profile on 4 shards,
+// where per-page reclamation inside the service window turns directly into
+// queueing delay — the regime the deferral exists for.
+const ServeABRate = 6500
+
+// ServeABResult is the deferred-reclamation A/B embedded in the report: the
+// same bulk-profile serving scenario run twice — synchronous deletion, then
+// DeferredDelete — over identical seeds. RunServeAB enforces the mode's
+// core claim (bit-identical checksums) at build time; the compare gate
+// holds the tail-latency claim (deferred p999 no worse than sync) and the
+// artifact's determinism across regenerations.
+type ServeABResult struct {
+	Profile  string        `json:"profile"`
+	Sessions int           `json:"sessions"`
+	Seed     int64         `json:"seed"`
+	Rate     float64       `json:"ratePerMcycle"`
+	Sync     *serve.Result `json:"sync"`
+	Deferred *serve.Result `json:"deferred"`
+}
+
+// RunServeAB runs the deferred-reclamation A/B scenario. It errors — rather
+// than recording a report — when the two modes disagree on the checksum or
+// the deferred run swept nothing, since either would make the A/B vacuous.
+// (serve.Run itself already fails a deferred run whose sweep debt is
+// nonzero after drain.)
+func RunServeAB(scaleDiv int, reg *metrics.Registry) (*ServeABResult, error) {
+	sessions := 4000 / scaleDiv
+	if sessions < 100 {
+		sessions = 100
+	}
+	base := serve.Config{
+		Sessions: sessions,
+		Seed:     ServeScenarioSeed,
+		Profile:  "bulk",
+		Rate:     ServeABRate,
+		Metrics:  reg,
+	}
+	syncRes, err := serve.Run(base)
+	if err != nil {
+		return nil, fmt.Errorf("bench: serve A/B sync run: %w", err)
+	}
+	dcfg := base
+	dcfg.DeferredDelete = true
+	defRes, err := serve.Run(dcfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: serve A/B deferred run: %w", err)
+	}
+	if syncRes.Checksum != defRes.Checksum {
+		return nil, fmt.Errorf("bench: serve A/B checksum mismatch: sync %08x, deferred %08x — deferred deletion changed the allocation stream",
+			syncRes.Checksum, defRes.Checksum)
+	}
+	if defRes.SweptPages == 0 {
+		return nil, fmt.Errorf("bench: serve A/B deferred run swept no pages — deferral never engaged")
+	}
+	return &ServeABResult{
+		Profile:  base.Profile,
+		Sessions: sessions,
+		Seed:     base.Seed,
+		Rate:     base.Rate,
+		Sync:     syncRes,
+		Deferred: defRes,
+	}, nil
+}
+
+// compareServeAB prints the A/B delta and returns the regressions: a
+// deferred p999 above the sync p999 (the scenario is deterministic, so
+// this gate is noise-free), and — when the configs match — a checksum that
+// drifted from the artifact.
+func compareServeAB(w io.Writer, old, cur *Report, sameConfig bool) []string {
+	if cur.ServeAB == nil {
+		return nil
+	}
+	var regressions []string
+	c := cur.ServeAB
+	fmt.Fprintf(w, "\nserve A/B (%s profile, %d sessions, rate %g/Mcycle): sync vs deferred\n",
+		c.Profile, c.Sessions, c.Rate)
+	fmt.Fprintf(w, "  p50 %d -> %d, p99 %d -> %d, p999 %d -> %d sim cycles\n",
+		c.Sync.P50, c.Deferred.P50, c.Sync.P99, c.Deferred.P99, c.Sync.P999, c.Deferred.P999)
+	fmt.Fprintf(w, "  deferred: peak debt %d pages, swept %d pages, reclamation lag %d sim cycles\n",
+		c.Deferred.SweepDebtPeakPages, c.Deferred.SweptPages, c.Deferred.ReclamationLagCycles)
+	if c.Deferred.P999 > c.Sync.P999 {
+		regressions = append(regressions,
+			fmt.Sprintf("serve A/B: deferred p999 %d above sync p999 %d — deferral is hurting the tail",
+				c.Deferred.P999, c.Sync.P999))
+	}
+	if o := old.ServeAB; o != nil && sameConfig && o.Sessions == c.Sessions {
+		if c.Sync.Checksum != o.Sync.Checksum {
+			regressions = append(regressions,
+				fmt.Sprintf("serve A/B: checksum %08x, artifact has %08x — serving results changed",
+					c.Sync.Checksum, o.Sync.Checksum))
+		}
+	}
+	return regressions
+}
+
 // compareServe prints the serve-scenario delta as context and returns a
 // regression when both reports ran the identical scenario but disagree on
 // its deterministic checksum.

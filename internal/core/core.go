@@ -106,7 +106,8 @@ const (
 	offStringFirst = 12
 	offStringAvail = 16
 
-	errDeleted = "core: operation on deleted region"
+	errDeleted  = "core: operation on deleted region"
+	errDetached = "core: operation on detached region (sweep pending)"
 )
 
 // Region is a handle to a region. As in the paper, the handle itself is not
@@ -122,6 +123,12 @@ type Region struct {
 	allocs  uint64
 	born    uint64 // simulated cycle of creation, for the lifetime histogram
 	deleted bool
+	// unswept counts the region's detached pages the incremental sweeper has
+	// not yet poisoned (Options.DeferredDelete). A deleted region with
+	// unswept > 0 is "detached": unreachable and RC-checked exactly like a
+	// deleted one, but its pages still carry stale contents on the free
+	// lists. See sweep.go.
+	unswept int
 }
 
 // Options configures a Runtime beyond the paper's two libraries, enabling
@@ -155,6 +162,24 @@ type Options struct {
 	// cost (regionWriteExtra), the pre-cache model. Exists for ablation
 	// and A/B measurement.
 	NoRegionCache bool
+	// DeferredDelete splits deleteregion into detach + incremental sweep:
+	// TryDeleteRegion keeps the RC check and cleanup semantics but only
+	// detaches the region's pages (flagged in the page index, poisoning and
+	// the per-page reclamation charge deferred), and SweepSlice pays the
+	// deferred cost in bounded slices. Detached pages sit on the free lists
+	// in exactly the order synchronous deletion would put them, so the
+	// allocation address stream — and with it every checksum — is identical
+	// in both modes. See sweep.go for the debt-bound argument.
+	DeferredDelete bool
+	// SweepBudget is the maximum pages one SweepSlice poisons (default
+	// defaultSweepBudget). Only meaningful with DeferredDelete.
+	SweepBudget int
+	// SweepHighWater is the sweep-debt page count above which every page
+	// acquisition first runs one sweep slice — the "pay as you allocate"
+	// tax that bounds debt under delete-heavy workloads (default
+	// sweepHighWaterFactor times the budget). Only meaningful with
+	// DeferredDelete.
+	SweepHighWater int
 }
 
 // Runtime is one region-based memory management instance over one simulated
@@ -171,6 +196,16 @@ type Runtime struct {
 	freePages []Ptr           // single free pages available for reuse
 	spans     freeSpanTable
 	colorSeq  int
+
+	// Deferred-reclamation state (Options.DeferredDelete; see sweep.go).
+	// sweepq[sweepHead:] lists the detached page runs awaiting their sweep;
+	// sweepDebt counts detached-but-unswept pages across the heap.
+	sweepq      []sweepEntry
+	sweepHead   int
+	sweepDebt   int
+	sweepPeak   int
+	sweptPages  uint64
+	sweepSlices uint64
 
 	cleanups     []cleanupEntry
 	sizeCleanups map[int]CleanupID
@@ -284,6 +319,12 @@ func (rt *Runtime) notePages(first Ptr, n int, r *Region) {
 // (refilled in batches when Options.PageBatch is set); freed multi-page
 // spans are reused for allocations of the same page count.
 func (rt *Runtime) acquirePages(n int, r *Region) Ptr {
+	if rt.sweepDebt > 0 && rt.sweepDebt > rt.sweepHighWaterPages() {
+		// Allocation tax: above the high-water mark every acquisition sweeps
+		// one slice first, so debt is bounded even when no idle cycles ever
+		// arrive (see sweep.go).
+		rt.sweepSlice(0)
+	}
 	rt.charge(stats.ModeAlloc, 2) // list manipulation
 	if n == 1 {
 		if len(rt.freePages) == 0 {
@@ -292,6 +333,7 @@ func (rt *Runtime) acquirePages(n int, r *Region) Ptr {
 		if len(rt.freePages) > 0 {
 			p := rt.freePages[len(rt.freePages)-1]
 			rt.freePages = rt.freePages[:len(rt.freePages)-1]
+			rt.cancelDetached(p, 1)
 			rt.space.ZeroPageFree(p)
 			rt.notePages(p, 1, r)
 			rt.meterPagesAcquired(1)
@@ -300,6 +342,7 @@ func (rt *Runtime) acquirePages(n int, r *Region) Ptr {
 	}
 	if n > 1 {
 		if p := rt.spans.take(n); p != 0 {
+			rt.cancelDetached(p, n)
 			for i := 0; i < n; i++ {
 				rt.space.ZeroPageFree(p + Ptr(i)<<mem.PageShift)
 			}
@@ -510,9 +553,19 @@ func (rt *Runtime) checkLive(r *Region) error {
 		panic("core: nil region")
 	}
 	if r.deleted {
-		return rt.fault(FaultDeletedRegion, r.hdr, r.id, errDeleted, nil)
+		return rt.deletedFault(r)
 	}
 	return nil
+}
+
+// deletedFault reports use of a dead region, distinguishing a detached
+// region (deleted, pages awaiting their sweep) from a fully reclaimed one so
+// the fault names the state the offending pointer actually sees.
+func (rt *Runtime) deletedFault(r *Region) *Fault {
+	if r.unswept > 0 {
+		return rt.fault(FaultDetachedRegion, r.hdr, r.id, errDetached, nil)
+	}
+	return rt.fault(FaultDeletedRegion, r.hdr, r.id, errDeleted, nil)
 }
 
 // Ralloc allocates size bytes of cleared memory with the given cleanup in
@@ -697,7 +750,7 @@ func (rt *Runtime) TryDeleteRegion(r *Region) (bool, error) {
 		panic("core: nil region")
 	}
 	if r.deleted {
-		return false, rt.fault(FaultDeletedRegion, r.hdr, r.id, errDeleted, nil)
+		return false, rt.deletedFault(r)
 	}
 
 	if rt.safe {
@@ -738,7 +791,11 @@ func (rt *Runtime) TryDeleteRegion(r *Region) (bool, error) {
 
 	// Return every page-list entry of both allocators to the free list. Both
 	// list heads are read before anything is released: the region header
-	// lives on the normal list's home page, and releasing poisons it.
+	// lives on the normal list's home page, and releasing poisons it. Under
+	// DeferredDelete the same walk detaches instead: identical free-list
+	// updates (so reuse order and the allocation address stream match the
+	// synchronous path exactly), with poisoning and the per-page charge left
+	// as sweep debt.
 	old := rt.space.SetMode(stats.ModeFree)
 	heads := [2]Ptr{rt.space.Load(r.hdr + offNormalFirst), rt.space.Load(r.hdr + offStringFirst)}
 	for _, entry := range heads {
@@ -746,7 +803,11 @@ func (rt *Runtime) TryDeleteRegion(r *Region) (bool, error) {
 			link := rt.space.Load(entry + pageLink)
 			next := link &^ Ptr(mem.PageSize-1)
 			count := int(link&(mem.PageSize-1)) + 1
-			rt.releaseEntry(entry, count)
+			if rt.opts.DeferredDelete {
+				rt.detachEntry(entry, count, r)
+			} else {
+				rt.releaseEntry(entry, count)
+			}
 			entry = next
 		}
 	}
@@ -800,11 +861,18 @@ func (r *Region) RC() Word {
 // Word is re-exported for convenience in package users.
 type Word = mem.Word
 
+// Detached reports whether r has been deleted but still has pages awaiting
+// the incremental sweeper (Options.DeferredDelete).
+func (r *Region) Detached() bool { return r.deleted && r.unswept > 0 }
+
 // String implements fmt.Stringer for diagnostics.
 func (r *Region) String() string {
 	state := "live"
 	if r.deleted {
 		state = "deleted"
+		if r.unswept > 0 {
+			state = fmt.Sprintf("detached, %d unswept pages", r.unswept)
+		}
 	}
 	return fmt.Sprintf("region#%d(%s, %d bytes, %d allocs)", r.id, state, r.bytes, r.allocs)
 }

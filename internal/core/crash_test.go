@@ -28,7 +28,11 @@ type crashMachine struct {
 }
 
 func newCrashMachine(t *testing.T, safe bool) *crashMachine {
-	rt, _ := newRT(safe)
+	return newCrashMachineOpts(t, Options{Safe: safe})
+}
+
+func newCrashMachineOpts(t *testing.T, o Options) *crashMachine {
+	rt, _ := newRTOpts(o)
 	m := &crashMachine{t: t, rt: rt}
 	m.cln = rt.RegisterCleanup("cell", func(rt *Runtime, obj Ptr) int {
 		rt.Destroy(rt.Space().Load(obj + 4))
@@ -170,25 +174,28 @@ func (m *crashMachine) drain() {
 	}
 }
 
-// TestCrashConsistencyUnderFaultPlans runs the machine under a battery of
-// fault plans — every Nth call failing, random failures at several rates,
-// and tight byte budgets — verifying the full heap after every single
-// operation, then clears the plan and checks the runtime recovers.
+// crashPlans is the fault-plan battery both crash-consistency suites run:
+// every Nth call failing, random failures at several rates, and tight byte
+// budgets.
+var crashPlans = []mem.FaultPlan{
+	{FailNth: 1},
+	{FailNth: 2},
+	{FailNth: 3},
+	{FailNth: 5},
+	{FailNth: 8},
+	{FailProb: 0.1, Seed: 1},
+	{FailProb: 0.3, Seed: 2},
+	{FailProb: 0.7, Seed: 3},
+	{ByteBudget: 6 * mem.PageSize},
+	{ByteBudget: 20 * mem.PageSize},
+	{FailProb: 0.2, Seed: 4, ByteBudget: 40 * mem.PageSize},
+}
+
+// TestCrashConsistencyUnderFaultPlans runs the machine under the fault-plan
+// battery, verifying the full heap after every single operation, then
+// clears the plan and checks the runtime recovers.
 func TestCrashConsistencyUnderFaultPlans(t *testing.T) {
-	plans := []mem.FaultPlan{
-		{FailNth: 1},
-		{FailNth: 2},
-		{FailNth: 3},
-		{FailNth: 5},
-		{FailNth: 8},
-		{FailProb: 0.1, Seed: 1},
-		{FailProb: 0.3, Seed: 2},
-		{FailProb: 0.7, Seed: 3},
-		{ByteBudget: 6 * mem.PageSize},
-		{ByteBudget: 20 * mem.PageSize},
-		{FailProb: 0.2, Seed: 4, ByteBudget: 40 * mem.PageSize},
-	}
-	for pi, plan := range plans {
+	for pi, plan := range crashPlans {
 		plan := plan
 		for _, safe := range []bool{true, false} {
 			mode := "unsafe"
@@ -238,4 +245,90 @@ func TestCrashConsistencySoak(t *testing.T) {
 	}
 	m.rt.Space().SetFaultPlan(nil)
 	m.drain()
+}
+
+// sweepDrainAndCheck retires any remaining sweep debt and verifies the
+// fully swept heap — Verify's free-page poison check is what proves the
+// deferred deletions eventually reclaimed everything.
+func (m *crashMachine) sweepDrainAndCheck() {
+	m.rt.SweepDrain()
+	if d := m.rt.SweepDebt(); d != 0 {
+		m.t.Fatalf("sweep debt %d pages after SweepDrain", d)
+	}
+	if err := m.rt.Verify(); err != nil {
+		m.t.Fatalf("Verify after sweep drain: %v", err)
+	}
+}
+
+// TestCrashConsistencyDeferredFaultPlans is the deferred-reclamation run of
+// the same battery: every fault plan, safe and unsafe, with
+// Options.DeferredDelete on, a tight sweep budget, and sweep slices
+// interleaved at random between steps — so injected mapping failures land
+// while the heap holds detached pages in every intermediate sweep state.
+// The heap is verified after every operation, and after the drain the
+// remaining debt is swept and the poisoned heap verified once more.
+func TestCrashConsistencyDeferredFaultPlans(t *testing.T) {
+	for pi, plan := range crashPlans {
+		plan := plan
+		for _, safe := range []bool{true, false} {
+			mode := "unsafe"
+			if safe {
+				mode = "safe"
+			}
+			t.Run(fmt.Sprintf("plan%d-%s", pi, mode), func(t *testing.T) {
+				m := newCrashMachineOpts(t, Options{
+					Safe: safe, DeferredDelete: true,
+					SweepBudget: 4, SweepHighWater: 16,
+				})
+				m.rt.Space().SetFaultPlan(&plan)
+				r := rand.New(rand.NewSource(int64(pi) + 500))
+				for i := 0; i < 250; i++ {
+					m.step(r, byte(r.Intn(256)))
+					if r.Intn(4) == 0 {
+						m.rt.SweepSlice()
+					}
+					if err := m.rt.Verify(); err != nil {
+						t.Fatalf("Verify after op %d under plan %+v: %v", i, plan, err)
+					}
+				}
+				// Recovery: no more injected failures; everything works.
+				m.rt.Space().SetFaultPlan(nil)
+				for i := 0; i < 50; i++ {
+					m.step(r, byte(r.Intn(256)))
+				}
+				m.drain()
+				m.sweepDrainAndCheck()
+			})
+		}
+	}
+}
+
+// TestCrashConsistencyDeferredSoak is the deferred-mode soak: one random
+// fault plan, the heavier allocation mix, sweep slices mixed in at random,
+// verification every few operations, and the full drain-and-sweep check at
+// the end.
+func TestCrashConsistencyDeferredSoak(t *testing.T) {
+	m := newCrashMachineOpts(t, Options{
+		Safe: true, DeferredDelete: true,
+		SweepBudget: 4, SweepHighWater: 16,
+	})
+	m.rt.Space().SetFaultPlan(&mem.FaultPlan{FailProb: 0.25, Seed: 17})
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 3000; i++ {
+		m.step(r, byte(r.Intn(256)))
+		if r.Intn(5) == 0 {
+			m.rt.SweepSlice()
+		}
+		if i%13 == 0 {
+			if err := m.rt.Verify(); err != nil {
+				t.Fatalf("Verify after op %d: %v", i, err)
+			}
+		}
+	}
+	if m.ooms == 0 {
+		t.Fatal("soak injected no failures; test is vacuous")
+	}
+	m.rt.Space().SetFaultPlan(nil)
+	m.drain()
+	m.sweepDrainAndCheck()
 }

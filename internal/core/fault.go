@@ -40,6 +40,12 @@ const (
 	FaultStackUnderflow
 	// FaultInvariant: Runtime.Verify found a heap invariant violated.
 	FaultInvariant
+	// FaultDetachedRegion: an operation — typically a double delete —
+	// targeted a region that was deleted under Options.DeferredDelete and
+	// whose pages the incremental sweeper has not yet reclaimed. The same
+	// use-after-delete condition as FaultDeletedRegion, reported with the
+	// state the offending pointer actually sees.
+	FaultDetachedRegion
 )
 
 var faultNames = map[FaultKind]string{
@@ -50,6 +56,7 @@ var faultNames = map[FaultKind]string{
 	FaultDanglingDestroy: "dangling-destroy",
 	FaultStackUnderflow:  "stack-underflow",
 	FaultInvariant:       "invariant",
+	FaultDetachedRegion:  "detached-region",
 }
 
 // String returns the fault kind's kebab-case name (also the trace event's

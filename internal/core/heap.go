@@ -111,6 +111,10 @@ func (rt *Runtime) heapWalk(collect bool) (*metrics.HeapReport, *Fault) {
 							"page also on region #%d's lists", prev)
 					}
 					seen[pg] = r.id
+					if det := rt.pages.detachedAt(pg); det != nil {
+						return nil, rt.invariant(a, r.id,
+							"live page marked detached (from region #%d)", det.id)
+					}
 					if owner := rt.pages.ownerAt(pg); owner != r {
 						ownerID := int32(-1)
 						if owner != nil {
@@ -146,7 +150,19 @@ func (rt *Runtime) heapWalk(collect bool) (*metrics.HeapReport, *Fault) {
 		}
 	}
 
-	// 3. Free lists.
+	// 3. Free lists. A detached page (deferred deletion, sweep pending) is
+	// legitimately unpoisoned: it is counted here instead — flagged pages
+	// must be unowned, attributed to a deleted region, still queued for the
+	// sweeper, and sum to exactly the runtime's sweep debt and each source
+	// region's unswept count.
+	detachedSeen := 0
+	detachedPer := map[*Region]int{}
+	queued := map[int]bool{}
+	for _, e := range rt.sweepq[rt.sweepHead:] {
+		for i := 0; i < e.pages; i++ {
+			queued[int(e.first>>mem.PageShift)+i] = true
+		}
+	}
 	checkFree := func(p Ptr, n int) *Fault {
 		for i := 0; i < n; i++ {
 			pg := int(p>>mem.PageShift) + i
@@ -156,6 +172,17 @@ func (rt *Runtime) heapWalk(collect bool) (*metrics.HeapReport, *Fault) {
 			}
 			if owner := rt.pages.ownerAt(pg); owner != nil {
 				return rt.invariant(a, owner.id, "free page has an owner")
+			}
+			if det := rt.pages.detachedAt(pg); det != nil {
+				if !det.deleted {
+					return rt.invariant(a, det.id, "detached page attributed to a live region")
+				}
+				if !queued[pg] {
+					return rt.invariant(a, det.id, "detached page missing from the sweep queue")
+				}
+				detachedSeen++
+				detachedPer[det]++
+				continue // poison deferred until the sweep
 			}
 			if rt.opts.NoPoison {
 				continue
@@ -181,6 +208,21 @@ func (rt *Runtime) heapWalk(collect bool) (*metrics.HeapReport, *Fault) {
 		return checkFree(p, n)
 	}); f != nil {
 		return nil, f
+	}
+	if detachedSeen != rt.sweepDebt {
+		return nil, rt.invariant(0, -1,
+			"sweep debt is %d pages but %d detached pages are on the free lists",
+			rt.sweepDebt, detachedSeen)
+	}
+	for _, r := range rt.regions {
+		if got := detachedPer[r]; r.unswept != got {
+			return nil, rt.invariant(r.hdr, r.id,
+				"region unswept count %d, %d of its detached pages on the free lists",
+				r.unswept, got)
+		}
+	}
+	if rep != nil {
+		rep.DetachedPages = detachedSeen
 	}
 
 	// 4. Object headers (and, when collecting, the live-object census).

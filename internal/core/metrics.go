@@ -20,6 +20,9 @@ var (
 	allocSizeBounds      = []uint64{16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536}
 	regionLifetimeBounds = []uint64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
 	barrierCycleBounds   = []uint64{4, 8, 16, 24, 32, 48, 64, 128}
+	// Sweep-slice cycle bounds bracket the per-slice charge (1 cycle per
+	// swept page) up to and past the default 32-page budget.
+	sweepSliceCycleBounds = []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 )
 
 // runtimeMetrics caches direct pointers to every series the runtime emits.
@@ -54,6 +57,11 @@ type runtimeMetrics struct {
 
 	pagesAcquired *metrics.Counter
 	pagesReleased *metrics.Counter
+
+	sweepDebt        *metrics.Gauge
+	sweepSlices      *metrics.Counter
+	sweptPages       *metrics.Counter
+	sweepSliceCycles *metrics.Histogram
 }
 
 func newRuntimeMetrics(reg *metrics.Registry) *runtimeMetrics {
@@ -88,6 +96,11 @@ func newRuntimeMetrics(reg *metrics.Registry) *runtimeMetrics {
 
 		pagesAcquired: reg.Counter("regions_core_pages_acquired_total"),
 		pagesReleased: reg.Counter("regions_core_pages_released_total"),
+
+		sweepDebt:        reg.Gauge("regions_sweep_debt_pages"),
+		sweepSlices:      reg.Counter("regions_sweep_slices_total"),
+		sweptPages:       reg.Counter("regions_swept_pages_total"),
+		sweepSliceCycles: reg.Histogram("regions_sweep_slice_cycles", sweepSliceCycleBounds),
 	}
 }
 

@@ -16,6 +16,13 @@ import "regions/internal/mem"
 // space is at most 2^20 slots).
 type pageIndex struct {
 	owners []*Region
+	// detached flags pages released by a deferred deletion but not yet
+	// swept (Options.DeferredDelete): non-nil means the page is on a free
+	// list with stale contents, and the value is the deleted region the
+	// page came from, so Verify can reconcile per-region unswept counts.
+	// Detached pages are always unowned; the two slices never mark the
+	// same page.
+	detached []*Region
 }
 
 // set records r (which may be nil, meaning "no region") as the owner of the
@@ -47,6 +54,33 @@ func (ix *pageIndex) ownerAt(pg int) *Region {
 		return nil
 	}
 	return ix.owners[pg]
+}
+
+// setDetached flags the n pages starting at first as detached from region r.
+func (ix *pageIndex) setDetached(first Ptr, n int, r *Region) {
+	firstNo := int(first >> mem.PageShift)
+	for len(ix.detached) < firstNo+n {
+		ix.detached = append(ix.detached, nil)
+	}
+	for i := 0; i < n; i++ {
+		ix.detached[firstNo+i] = r
+	}
+}
+
+// detachedAt returns the deleted region page number pg was detached from,
+// or nil if the page is not awaiting a sweep.
+func (ix *pageIndex) detachedAt(pg int) *Region {
+	if pg < 0 || pg >= len(ix.detached) {
+		return nil
+	}
+	return ix.detached[pg]
+}
+
+// clearDetached removes page number pg's detached flag.
+func (ix *pageIndex) clearDetached(pg int) {
+	if pg >= 0 && pg < len(ix.detached) {
+		ix.detached[pg] = nil
+	}
 }
 
 // spanBucketMax is the largest page count with a dedicated free-list bucket.

@@ -36,7 +36,11 @@ import (
 //     live region and appear in that region's census.
 //  3. Free lists: free pages and spans must be unowned and — unless
 //     Options.NoPoison — still filled with mem.PoisonWord, so a stray write
-//     into freed memory is detected.
+//     into freed memory is detected. Pages detached by a deferred deletion
+//     (Options.DeferredDelete) are exempt from the poison check until the
+//     incremental sweeper retires them; instead they must be attributed to
+//     a deleted region, present in the sweep queue, and sum to exactly the
+//     runtime's sweep debt and each region's unswept count.
 //  4. Object headers: every normal-allocator entry's filled prefix must
 //     parse as a sequence of valid headers whose extents (cleanup sizes,
 //     array bounds) stay inside the entry.

@@ -71,7 +71,11 @@ type HeapReport struct {
 	MappedBytes   uint64 `json:"mappedBytes"` // total requested from the simulated OS
 	FreePages     int    `json:"freePages"`   // single pages on the runtime free list
 	FreeSpanPages int    `json:"freeSpanPages"`
-	LiveRegions   int    `json:"liveRegions"`
+	// DetachedPages counts free pages released by a deferred deletion and
+	// not yet poisoned by the incremental sweeper (the runtime's sweep
+	// debt at capture).
+	DetachedPages int `json:"detachedPages,omitempty"`
+	LiveRegions   int `json:"liveRegions"`
 
 	Totals  RegionHeap   `json:"totals"` // summed over live regions (ID = -1)
 	Regions []RegionHeap `json:"regions"`
@@ -127,7 +131,11 @@ func (r *HeapReport) WriteText(w io.Writer, topN int) {
 	fmt.Fprintf(w, "  live %s (%.1f%% occupancy): %s scanned + %s string; overhead %s bookkeeping, %s free, %s fragmentation\n",
 		fmtBytes(t.LiveBytes), t.OccupancyPct, fmtBytes(t.NormalBytes), fmtBytes(t.StringBytes),
 		fmtBytes(t.BookkeepingBytes), fmtBytes(t.FreeBytes), fmtBytes(t.FragBytes))
-	fmt.Fprintf(w, "  free pages: %d single + %d in spans\n", r.FreePages, r.FreeSpanPages)
+	fmt.Fprintf(w, "  free pages: %d single + %d in spans", r.FreePages, r.FreeSpanPages)
+	if r.DetachedPages > 0 {
+		fmt.Fprintf(w, " (%d detached, sweep pending)", r.DetachedPages)
+	}
+	fmt.Fprintln(w)
 
 	top := r.Top(topN)
 	if len(top) > 0 {

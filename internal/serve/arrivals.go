@@ -27,6 +27,10 @@ type session struct {
 	outcome uint8
 	waited  bool // entered the modelled queue (nonzero queue wait)
 	err     error
+	// sweepCycles is the simulated cost of the idle-gap sweep slices
+	// serveOne ran before this session's service; complete subtracts it
+	// from the measured task window so sweeping never bills a session.
+	sweepCycles uint64
 }
 
 // Session outcomes.
@@ -48,6 +52,11 @@ const (
 func genSessions(cfg Config) []*session {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	profiles := Profiles()
+	if cfg.Profile != "" {
+		// Run validated the name; a single-profile run still draws from the
+		// PRNG in pickProfile so weights stay on the same stream.
+		profiles = []*Profile{profileByName(cfg.Profile)}
+	}
 	total := 0
 	for _, p := range profiles {
 		total += p.Weight

@@ -123,3 +123,46 @@ func Profiles() []*Profile {
 		},
 	}
 }
+
+// bulkProfile is the large-region archetype: a request that streams big
+// pointer-free multi-page blobs into its regions — dozens of pages per
+// session — with almost no pointer work. An 8-page rstralloc costs a
+// handful of cycles to allocate (bump + span acquire, nothing cleared),
+// but synchronous deletion charges every one of those pages inside the
+// session's service window, so reclamation is the dominant cost here —
+// the worst honest case for synchronous deleteregion and the profile
+// where deferred reclamation's tail-latency claim is testable. The
+// deferred-delete A/B benchmark serves it under load and compares p999.
+// Not part of the default mix (Profiles()); select it with
+// Config.Profile = "bulk".
+func bulkProfile() *Profile {
+	return &Profile{
+		Name: "bulk", Weight: 1,
+		parse: []site{
+			{"bulk/header", allocPtr, 24, 2},
+			{"bulk/blob", allocStr, 32768, 2},
+		},
+		work: []site{
+			{"bulk/body", allocStr, 32768, 3},
+			{"bulk/index", allocPtr, 24, 2},
+		},
+		stores: 2,
+	}
+}
+
+// allProfiles returns every profile the simulator knows: the default
+// six-app mix plus the special-purpose archetypes selectable by
+// Config.Profile.
+func allProfiles() []*Profile {
+	return append(Profiles(), bulkProfile())
+}
+
+// profileByName finds a profile by Name, nil if unknown.
+func profileByName(name string) *Profile {
+	for _, p := range allProfiles() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}

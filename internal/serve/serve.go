@@ -107,6 +107,27 @@ type Config struct {
 	// of the injected-failure schedule on every shard.
 	PageLimit int
 	FaultPlan *mem.FaultPlan
+	// Profile, when non-empty, restricts every session to the named profile
+	// instead of the weighted six-app mix — e.g. "bulk", the large-region
+	// archetype the deferred-reclamation A/B benchmark serves. Unknown
+	// names are an error from Run.
+	Profile string
+	// DeferredDelete serves with deferred region reclamation
+	// (core.Options.DeferredDelete): a session's deletes detach in O(page
+	// lists) and the per-page poisoning runs in bounded sweep slices during
+	// the shard's modelled idle gaps — the cycles between one session's
+	// completion and the next arrival — plus the allocation tax above the
+	// high-water mark. Sweep slices never extend a session's service time
+	// (serveOne measures and complete subtracts them), which is exactly the
+	// tail-latency claim the mode exists to test. The allocation address
+	// stream, and therefore Result.Checksum, is bit-identical to a
+	// synchronous run with the same seed.
+	DeferredDelete bool
+	// SweepBudget and SweepHighWater tune deferred reclamation (pages per
+	// slice, debt level that triggers the allocation tax); zero keeps the
+	// core defaults. Meaningless unless DeferredDelete is set.
+	SweepBudget    int
+	SweepHighWater int
 	// Metrics, when non-nil, receives the serve series (and attaches every
 	// shard runtime, as in shard.Config). A private registry is used when
 	// nil, so percentiles work either way.
@@ -170,10 +191,10 @@ type Result struct {
 	// Latency percentiles over completed sessions, in simulated cycles,
 	// estimated from the fixed-bucket regions_serve_latency_cycles
 	// histogram.
-	P50   uint64 `json:"p50Cycles"`
-	P99   uint64 `json:"p99Cycles"`
-	P999  uint64 `json:"p999Cycles"`
-	Mean  uint64 `json:"meanCycles"`
+	P50  uint64 `json:"p50Cycles"`
+	P99  uint64 `json:"p99Cycles"`
+	P999 uint64 `json:"p999Cycles"`
+	Mean uint64 `json:"meanCycles"`
 	// MaxQueueDepth is the deepest modelled queue any shard saw.
 	MaxQueueDepth int `json:"maxQueueDepth"`
 	// MakespanCycles is the modelled drain time: the maximum shard clock.
@@ -184,6 +205,17 @@ type Result struct {
 
 	SLOTarget uint64 `json:"sloTargetP99"`
 	SLOPass   bool   `json:"sloPass"`
+
+	// Deferred-reclamation outcome (Config.DeferredDelete only).
+	// SweptPages counts pages the incremental sweepers poisoned across all
+	// shards; SweepDebtPeakPages is the highest debt any shard carried —
+	// the boundedness gate. ReclamationLagCycles is the worst per-shard
+	// drain at Close: the simulated cycles of debt still owed when the last
+	// session finished, i.e. how far reclamation trailed the workload.
+	DeferredDelete       bool   `json:"deferredDelete,omitempty"`
+	SweptPages           uint64 `json:"sweptPages,omitempty"`
+	SweepDebtPeakPages   int    `json:"sweepDebtPeakPages,omitempty"`
+	ReclamationLagCycles uint64 `json:"reclamationLagCycles,omitempty"`
 
 	PerShard []ShardStats `json:"perShard"`
 
@@ -247,6 +279,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Sessions <= 0 {
 		return nil, fmt.Errorf("serve: Sessions must be positive, got %d", cfg.Sessions)
 	}
+	if cfg.Profile != "" && profileByName(cfg.Profile) == nil {
+		return nil, fmt.Errorf("serve: unknown profile %q", cfg.Profile)
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
@@ -264,7 +299,13 @@ func Run(cfg Config) (*Result, error) {
 	// already held in the latency histogram.
 	before := reg.Snapshot()
 
-	eng := shard.New(shard.Config{Shards: cfg.Shards, Metrics: cfg.Metrics})
+	// IdleSweep stays off: the engine's idle sweeping depends on wall-clock
+	// scheduling, which would make sweep progress (and so every latency
+	// percentile) nondeterministic. serveOne models idle sweeping on the
+	// simulated clock instead.
+	eng := shard.New(shard.Config{Shards: cfg.Shards, Metrics: cfg.Metrics,
+		DeferredDelete: cfg.DeferredDelete, SweepBudget: cfg.SweepBudget,
+		SweepHighWater: cfg.SweepHighWater})
 	states := make([]*shardState, cfg.Shards)
 	for i := range states {
 		env := eng.Env(i)
@@ -309,18 +350,32 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("serve: %d session task failures", agg.Failures)
 	}
 	for i := range states {
-		if err := eng.Env(i).Runtime().Verify(); err != nil {
+		rt := eng.Env(i).Runtime()
+		if d := rt.SweepDebt(); d != 0 {
+			return nil, fmt.Errorf("serve: shard %d still carries %d pages of sweep debt at drain", i, d)
+		}
+		if err := rt.Verify(); err != nil {
 			return nil, fmt.Errorf("serve: shard %d heap verify at drain: %w", i, err)
 		}
 	}
 
 	res := &Result{
-		Sessions:  cfg.Sessions,
-		Shards:    cfg.Shards,
-		Seed:      cfg.Seed,
-		Rate:      cfg.Rate,
-		Checksum:  agg.Checksum,
-		SLOTarget: cfg.SLOP99,
+		Sessions:       cfg.Sessions,
+		Shards:         cfg.Shards,
+		Seed:           cfg.Seed,
+		Rate:           cfg.Rate,
+		Checksum:       agg.Checksum,
+		SLOTarget:      cfg.SLOP99,
+		DeferredDelete: cfg.DeferredDelete,
+	}
+	for _, s := range agg.PerShard {
+		res.SweptPages += s.SweptPages
+		if s.SweepDebtPeak > res.SweepDebtPeakPages {
+			res.SweepDebtPeakPages = s.SweepDebtPeak
+		}
+		if s.DrainSweepCycles > res.ReclamationLagCycles {
+			res.ReclamationLagCycles = s.DrainSweepCycles
+		}
 	}
 	firstSID := -1
 	for _, st := range states {
@@ -359,6 +414,25 @@ func Run(cfg Config) (*Result, error) {
 // the runtime at all (queue shed) or after releasing its regions (OOM
 // shed).
 func (sv *server) serveOne(st *shardState, s *session) uint32 {
+	// Modelled idle sweeping: the cycles between the previous session's
+	// completion and this arrival are shard idle time on the modelled
+	// clock, so deferred mode spends them on sweep debt — one bounded slice
+	// at a time, stopping once the gap is spent (overshoot is at most one
+	// slice). The slices charge the runtime inside this task's measured
+	// window, so serveOne records their cost for complete to subtract:
+	// sweeping in an idle gap must not bill the session that happened to
+	// arrive next.
+	if sv.cfg.DeferredDelete && s.arrival > st.busyUntil {
+		gap := s.arrival - st.busyUntil
+		rt := st.env.Runtime()
+		for s.sweepCycles < gap && rt.SweepDebt() > 0 {
+			before := st.env.Counters().TotalCycles()
+			if rt.SweepSlice() == 0 {
+				break
+			}
+			s.sweepCycles += st.env.Counters().TotalCycles() - before
+		}
+	}
 	// Admission: drain the modelled queue up to this session's arrival
 	// instant, then shed if MaxQueue sessions are still ahead of it.
 	for len(st.pending) > 0 && st.pending[0] <= s.arrival {
@@ -397,7 +471,16 @@ func (sv *server) complete(st *shardState, s *session, res shard.TaskResult) {
 	if st.busyUntil > start {
 		start = st.busyUntil
 	}
-	completion := start + (res.EndCycles - res.StartCycles)
+	// The session's service time is what it consumed on the shard runtime,
+	// minus any idle-gap sweep slices serveOne ran inside the same measured
+	// window — those belong to the shard's idle time, not this session.
+	service := res.EndCycles - res.StartCycles
+	if service >= s.sweepCycles {
+		service -= s.sweepCycles
+	} else {
+		service = 0
+	}
+	completion := start + service
 	st.busyUntil = completion
 	st.pending = append(st.pending, completion)
 	if len(st.pending) > st.stats.MaxDepth {
@@ -569,7 +652,7 @@ func (sv *server) allocPhase(st *shardState, r *core.Region, sites []site, weigh
 // size the deletion walk advances by.
 func registerCleanups(rt *core.Runtime) map[string]core.CleanupID {
 	cln := map[string]core.CleanupID{}
-	for _, p := range Profiles() {
+	for _, p := range allProfiles() {
 		for _, phase := range [][]site{p.parse, p.work} {
 			for _, sc := range phase {
 				if sc.kind == allocStr {

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"regions/internal/mem"
@@ -239,5 +241,122 @@ func TestHomeKeys(t *testing.T) {
 		if got := st.Completed + st.ShedQueue + st.ShedOOM; got != uint64(cfg.Sessions/cfg.Shards) {
 			t.Errorf("shard %d handled %d sessions, want %d", st.Shard, got, cfg.Sessions/cfg.Shards)
 		}
+	}
+}
+
+// TestServeDeferredDeleteMatchesSyncChecksum is the serving half of the
+// deferred-reclamation equivalence claim: the bulk profile served with
+// DeferredDelete must reproduce the synchronous run's checksum bit for bit
+// — detach pushes the same free-list entries in the same order, and the
+// modelled idle sweeping never touches the allocation address stream —
+// while actually sweeping pages and carrying debt mid-run. A second
+// deferred run must be byte-identical (determinism).
+func TestServeDeferredDeleteMatchesSyncChecksum(t *testing.T) {
+	base := Config{Sessions: 400, Seed: 3, Shards: 4, Profile: "bulk", Rate: 6500}
+	syncRes, err := Run(base)
+	if err != nil {
+		t.Fatalf("sync run: %v", err)
+	}
+	dcfg := base
+	dcfg.DeferredDelete = true
+	defRes, err := Run(dcfg)
+	if err != nil {
+		t.Fatalf("deferred run: %v", err)
+	}
+	if syncRes.Checksum != defRes.Checksum {
+		t.Fatalf("checksum diverged: sync %08x, deferred %08x", syncRes.Checksum, defRes.Checksum)
+	}
+	if !defRes.DeferredDelete {
+		t.Error("deferred result not flagged DeferredDelete")
+	}
+	if defRes.SweptPages == 0 {
+		t.Error("deferred run swept no pages; deferral never engaged")
+	}
+	if defRes.SweepDebtPeakPages == 0 {
+		t.Error("deferred run never carried sweep debt; the A/B is vacuous")
+	}
+	if syncRes.SweptPages != 0 || syncRes.SweepDebtPeakPages != 0 {
+		t.Errorf("sync run reports sweep activity: swept %d, peak %d",
+			syncRes.SweptPages, syncRes.SweepDebtPeakPages)
+	}
+	defRes2, err := Run(dcfg)
+	if err != nil {
+		t.Fatalf("deferred rerun: %v", err)
+	}
+	if !reflect.DeepEqual(defRes, defRes2) {
+		t.Errorf("deferred runs differ across same-seed runs:\n  a: %+v\n  b: %+v", defRes, defRes2)
+	}
+}
+
+// TestServeDeferredSweepTuning checks the sweep knobs reach the shards: a
+// tighter budget means more slices for the same debt, and both runs still
+// reproduce the sync checksum and drain to zero debt (Run fails otherwise).
+func TestServeDeferredSweepTuning(t *testing.T) {
+	base := Config{Sessions: 200, Seed: 5, Shards: 2, Profile: "bulk", Rate: 6500,
+		DeferredDelete: true}
+	tight := base
+	tight.SweepBudget = 1
+	tight.SweepHighWater = 4
+	a, err := Run(base)
+	if err != nil {
+		t.Fatalf("default budget: %v", err)
+	}
+	b, err := Run(tight)
+	if err != nil {
+		t.Fatalf("tight budget: %v", err)
+	}
+	if a.Checksum != b.Checksum {
+		t.Fatalf("sweep tuning changed the checksum: %08x vs %08x", a.Checksum, b.Checksum)
+	}
+	if a.SweptPages == 0 || b.SweptPages == 0 {
+		t.Fatalf("runs swept nothing: default %d, tight %d", a.SweptPages, b.SweptPages)
+	}
+}
+
+// TestServeUnknownProfileRejected pins the fail-fast validation: a typo'd
+// profile name must fail before any session runs.
+func TestServeUnknownProfileRejected(t *testing.T) {
+	_, err := Run(Config{Sessions: 10, Profile: "no-such-profile"})
+	if err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown profile") {
+		t.Errorf("error %v does not name the unknown profile", err)
+	}
+}
+
+// TestOverloadErrorChains is the table-driven audit of the shed-error
+// contract: every OverloadError matches ErrOverload via errors.Is and
+// unwraps via errors.As; OOM-caused sheds additionally match
+// mem.ErrOutOfMemory through the runtime's *Fault chain, queue sheds must
+// not.
+func TestOverloadErrorChains(t *testing.T) {
+	oomCause := fmt.Errorf("session aborted: %w", &mem.OOMError{Op: "core: ralloc", Pages: 1})
+	cases := []struct {
+		name    string
+		err     error
+		wantOOM bool
+	}{
+		{"queue-shed", &OverloadError{Session: 7, Shard: 1, Reason: "queue full"}, false},
+		{"oom-shed", &OverloadError{Session: 9, Shard: 2, Reason: "out of memory", Err: oomCause}, true},
+		{"wrapped-queue-shed", fmt.Errorf("serving: %w", &OverloadError{Session: 3, Shard: 0, Reason: "queue full"}), false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if !errors.Is(tc.err, ErrOverload) {
+				t.Fatalf("errors.Is(err, ErrOverload) = false: %v", tc.err)
+			}
+			var oe *OverloadError
+			if !errors.As(tc.err, &oe) {
+				t.Fatalf("errors.As(*OverloadError) = false: %v", tc.err)
+			}
+			if got := errors.Is(tc.err, mem.ErrOutOfMemory); got != tc.wantOOM {
+				t.Fatalf("errors.Is(err, ErrOutOfMemory) = %v, want %v (%v)", got, tc.wantOOM, tc.err)
+			}
+			if oe.Error() == "" {
+				t.Fatal("empty error message")
+			}
+		})
 	}
 }

@@ -96,6 +96,23 @@ type Config struct {
 	// endpoint. Capture runs on the shard's own goroutine, so it is safe
 	// without locking the runtime.
 	HeapProfileEvery int
+	// DeferredDelete runs every shard runtime with core.Options.
+	// DeferredDelete: region deletion detaches pages and the per-page
+	// reclamation runs in bounded sweep slices — on idle cycles when
+	// IdleSweep is set, via the allocation tax above the high-water mark,
+	// and in a final drain when the engine closes (recorded per shard as
+	// Stats.DrainSweepCycles).
+	DeferredDelete bool
+	// SweepBudget and SweepHighWater forward to the shard runtimes'
+	// core.Options fields; zero keeps the core defaults.
+	SweepBudget    int
+	SweepHighWater int
+	// IdleSweep makes a worker that finds no runnable task sweep one slice
+	// of its runtime's debt before blocking, turning scheduler idle cycles
+	// into reclamation. Off by default because sweep progress then depends
+	// on wall-clock scheduling: drivers that need deterministic simulated
+	// clocks (internal/serve) model their own idle sweeping instead.
+	IdleSweep bool
 }
 
 // Stats is one shard's tally, owned by the shard goroutine until Close.
@@ -109,6 +126,11 @@ type Stats struct {
 	SimCycles uint64        // simulated cycles charged on this shard
 	OSBytes   uint64        // memory the shard requested from its OS
 	Busy      time.Duration // wall-clock time spent inside tasks
+
+	// Deferred-reclamation tallies (Config.DeferredDelete only).
+	SweptPages       uint64 // pages the shard's sweeper poisoned
+	SweepDebtPeak    int    // highest sweep debt the shard ever carried
+	DrainSweepCycles uint64 // simulated cycles of the close-time debt drain
 }
 
 // Aggregate is the whole engine's tally after Close.
@@ -180,6 +202,8 @@ type Engine struct {
 	wg        sync.WaitGroup
 	reg       *metrics.Registry
 	noSteal   bool
+	deferred  bool         // shards run with core.Options.DeferredDelete
+	idleSweep bool         // idle workers sweep debt before sleeping
 	stealable atomic.Int64 // tasks currently in stealable deques, engine-wide
 
 	mu     sync.Mutex
@@ -202,12 +226,19 @@ func New(cfg Config) *Engine {
 	if batch == 0 {
 		batch = DefaultPageBatch
 	}
-	e := &Engine{shards: make([]*worker, n), reg: cfg.Metrics, noSteal: cfg.NoSteal}
+	e := &Engine{shards: make([]*worker, n), reg: cfg.Metrics, noSteal: cfg.NoSteal,
+		deferred: cfg.DeferredDelete, idleSweep: cfg.DeferredDelete && cfg.IdleSweep}
 	e.cond = sync.NewCond(&e.mu)
 	for i := 0; i < n; i++ {
 		w := &worker{
-			id:        i,
-			env:       NewEnv(shardName(i), core.Options{Safe: !cfg.Unsafe, PageBatch: batch}),
+			id: i,
+			env: NewEnv(shardName(i), core.Options{
+				Safe:           !cfg.Unsafe,
+				PageBatch:      batch,
+				DeferredDelete: cfg.DeferredDelete,
+				SweepBudget:    cfg.SweepBudget,
+				SweepHighWater: cfg.SweepHighWater,
+			}),
 			dq:        newDeque(queue),
 			pinned:    newDeque(queue),
 			profEvery: cfg.HeapProfileEvery,
@@ -375,6 +406,15 @@ func (e *Engine) next(w *worker) (t Task, stolen, ok bool) {
 				}
 			}
 		}
+		// Nothing runnable anywhere: spend the idle cycles on sweep debt,
+		// one bounded slice per pass so a task arriving mid-drain is picked
+		// up after at most one slice.
+		if e.idleSweep {
+			if rt := w.env.Runtime(); rt.SweepDebt() > 0 {
+				rt.SweepSlice()
+				continue
+			}
+		}
 		e.mu.Lock()
 		for {
 			if w.npinned.Load() > 0 || w.dq.len() > 0 ||
@@ -505,6 +545,18 @@ func (w *worker) loop(e *Engine) {
 		if w.profEvery > 0 && (w.stats.Tasks == 1 || w.stats.Tasks%uint64(w.profEvery) == 0) {
 			w.captureHeapProfile()
 		}
+	}
+	if e.deferred {
+		// Drain remaining sweep debt before the books close, so Close hands
+		// back fully poisoned heaps and debt provably returns to zero.
+		rt := w.env.Runtime()
+		if rt.SweepDebt() > 0 {
+			before := w.env.Counters().TotalCycles()
+			rt.SweepDrain()
+			w.stats.DrainSweepCycles = w.env.Counters().TotalCycles() - before
+		}
+		w.stats.SweptPages = rt.SweptPages()
+		w.stats.SweepDebtPeak = rt.SweepDebtPeak()
 	}
 	w.stats.SimCycles = w.env.Counters().TotalCycles()
 	w.stats.OSBytes = w.env.Space().MappedBytes()

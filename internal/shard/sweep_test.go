@@ -1,0 +1,116 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"regions/internal/apps/appkit"
+	"regions/internal/metrics"
+)
+
+// blobTask is a request that allocates multi-page blobs in a fresh region,
+// folds them into a checksum, and deletes the region. Under DeferredDelete
+// the delete only detaches the pages; the worker's idle loop and the
+// close-time drain sweep them behind later tasks.
+func blobTask(seed uint32) Task {
+	return Task{
+		Name: "blob",
+		Run: func(e appkit.RegionEnv) uint32 {
+			sp := e.Space()
+			r := e.NewRegion()
+			cln := e.SizeCleanup(16)
+			sum := seed
+			for i := 0; i < 3; i++ {
+				b := e.RstrAlloc(r, 8000)
+				sp.Store(b, seed+uint32(i))
+				sum = sum*31 + sp.Load(b)
+			}
+			p := e.Ralloc(r, 16, cln)
+			sp.Store(p, sum)
+			sum = sum*31 + sp.Load(p)
+			if !e.DeleteRegion(r) {
+				panic("blob task: region not deletable")
+			}
+			return sum
+		},
+	}
+}
+
+// TestDeferredSweepRacesDeletes races task-driven deletions against the
+// background sweeper under the race detector, in the two interleavings that
+// matter: a flooded submission where workers never go idle (debt is
+// cancelled by reuse or drained at close) and a paced submission whose idle
+// gaps let the sweeper poison pages between tasks. A shared metrics
+// registry is scraped concurrently throughout, like a live /metrics
+// endpoint. Both deferred interleavings must produce the synchronous run's
+// checksum, end with zero debt, and leave every shard's heap invariants
+// intact.
+func TestDeferredSweepRacesDeletes(t *testing.T) {
+	const tasks = 240
+	run := func(deferred, paced bool) uint32 {
+		reg := metrics.NewRegistry()
+		eng := New(Config{
+			Shards: 4, Metrics: reg,
+			DeferredDelete: deferred, IdleSweep: deferred, SweepBudget: 2,
+		})
+		stop := make(chan struct{})
+		scraperDone := make(chan error, 1)
+		go func() {
+			for {
+				select {
+				case <-stop:
+					scraperDone <- nil
+					return
+				default:
+					if err := metrics.WritePrometheus(bytes.NewBuffer(nil), reg.Snapshot()); err != nil {
+						scraperDone <- err
+						return
+					}
+				}
+			}
+		}()
+		for i := 0; i < tasks; i++ {
+			eng.Submit(blobTask(uint32(i)))
+			if paced && i%8 == 7 {
+				time.Sleep(time.Millisecond) // idle window: the sweeper runs
+			}
+		}
+		agg := eng.Close()
+		close(stop)
+		if err := <-scraperDone; err != nil {
+			t.Fatalf("scraper (deferred=%v paced=%v): %v", deferred, paced, err)
+		}
+		if agg.Tasks != tasks || agg.Failures != 0 {
+			t.Fatalf("deferred=%v paced=%v: ran %d tasks with %d failures", deferred, paced, agg.Tasks, agg.Failures)
+		}
+		var swept uint64
+		for i := 0; i < eng.Shards(); i++ {
+			rt := eng.Env(i).Runtime()
+			if d := rt.SweepDebt(); d != 0 {
+				t.Fatalf("deferred=%v paced=%v: shard %d holds %d pages of sweep debt after Close", deferred, paced, i, d)
+			}
+			if err := rt.Verify(); err != nil {
+				t.Fatalf("deferred=%v paced=%v: shard %d invariants: %v", deferred, paced, i, err)
+			}
+			swept += rt.SweptPages()
+		}
+		if deferred && swept == 0 {
+			t.Fatalf("paced=%v: deferred run swept no pages; deferral never engaged", paced)
+		}
+		for _, s := range agg.PerShard {
+			if s.SweepDebtPeak < 0 {
+				t.Fatalf("negative sweep-debt peak %d", s.SweepDebtPeak)
+			}
+		}
+		return agg.Checksum
+	}
+
+	want := run(false, false)
+	if got := run(true, false); got != want {
+		t.Fatalf("flooded deferred checksum %#x, sync %#x — deferral changed results", got, want)
+	}
+	if got := run(true, true); got != want {
+		t.Fatalf("paced deferred checksum %#x, sync %#x — idle sweeping changed results", got, want)
+	}
+}

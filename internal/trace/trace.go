@@ -74,6 +74,11 @@ const (
 	// its numeric code, Addr and Region the faulting location.
 	KindFault
 
+	// Deferred reclamation (internal/core, Options.DeferredDelete). One
+	// event per sweep slice that retired pages: Size is the pages poisoned,
+	// Aux the sweep debt remaining after the slice.
+	KindSweepSlice
+
 	numKinds
 )
 
@@ -101,6 +106,7 @@ var kindNames = [numKinds]string{
 	KindParRegionDeleteFail: "par-region-delete-fail",
 	KindParWrite:            "par-write",
 	KindFault:               "fault",
+	KindSweepSlice:          "sweep-slice",
 }
 
 // String returns the kebab-case event name used throughout the sinks.

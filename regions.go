@@ -98,6 +98,7 @@ const (
 	FaultDanglingDestroy = core.FaultDanglingDestroy
 	FaultStackUnderflow  = core.FaultStackUnderflow
 	FaultInvariant       = core.FaultInvariant
+	FaultDetachedRegion  = core.FaultDetachedRegion
 )
 
 // ParWorld, ParRegion, ParWorker and ParSlot form the paper's parallel
@@ -123,8 +124,11 @@ type System struct {
 type Option func(*config)
 
 type config struct {
-	unsafe bool
-	cache  bool
+	unsafe         bool
+	cache          bool
+	deferredDelete bool
+	sweepBudget    int
+	sweepHighWater int
 }
 
 // Unsafe disables all reference counting, stack scanning, and cleanups, as
@@ -135,6 +139,24 @@ func Unsafe() Option { return func(c *config) { c.unsafe = true } }
 // WithCache attaches the UltraSparc-I cache model so the counters include
 // read- and write-stall cycles.
 func WithCache() Option { return func(c *config) { c.cache = true } }
+
+// DeferredDelete makes DeleteRegion detach a region's pages instead of
+// reclaiming them synchronously: the reference-count check, the cleanup
+// walk, and the failure semantics are exactly as before, but poisoning and
+// the per-page reclamation charge are left as "sweep debt" retired in
+// bounded slices (SweepSlice, SweepDrain) or automatically, one slice per
+// page acquisition, whenever debt exceeds the high-water mark. The
+// allocation address stream is bit-identical to synchronous deletion.
+func DeferredDelete() Option { return func(c *config) { c.deferredDelete = true } }
+
+// WithSweepBudget caps the pages one sweep slice poisons (default 32). Only
+// meaningful together with DeferredDelete.
+func WithSweepBudget(pages int) Option { return func(c *config) { c.sweepBudget = pages } }
+
+// WithSweepHighWater sets the sweep-debt page count above which every page
+// acquisition first runs one sweep slice (default 8x the budget). Only
+// meaningful together with DeferredDelete.
+func WithSweepHighWater(pages int) Option { return func(c *config) { c.sweepHighWater = pages } }
 
 // New creates a System.
 func New(opts ...Option) *System {
@@ -147,7 +169,13 @@ func New(opts ...Option) *System {
 	if cfg.cache {
 		sp.AttachCache(cachesim.New(cachesim.UltraSparcI()))
 	}
-	return &System{rt: core.NewRuntime(sp, !cfg.unsafe), sp: sp}
+	rt := core.NewRuntimeOpts(sp, core.Options{
+		Safe:           !cfg.unsafe,
+		DeferredDelete: cfg.deferredDelete,
+		SweepBudget:    cfg.sweepBudget,
+		SweepHighWater: cfg.sweepHighWater,
+	})
+	return &System{rt: rt, sp: sp}
 }
 
 // Safe reports whether the system maintains reference counts.
@@ -198,6 +226,24 @@ func (s *System) DeleteRegion(r *Region) bool { return s.rt.DeleteRegion(r) }
 // references remain, and returns (false, *Fault) — instead of panicking —
 // when r was already deleted. See docs/API.md for the full error contract.
 func (s *System) TryDeleteRegion(r *Region) (bool, error) { return s.rt.TryDeleteRegion(r) }
+
+// SweepSlice retires one bounded slice of sweep debt — up to the configured
+// budget of detached pages are poisoned and their deferred reclamation
+// charge paid — returning the pages swept (0 when no debt remains). Only
+// meaningful under DeferredDelete; without it there is never debt.
+func (s *System) SweepSlice() int { return s.rt.SweepSlice() }
+
+// SweepDrain sweeps until no debt remains and returns the pages swept.
+func (s *System) SweepDrain() int { return s.rt.SweepDrain() }
+
+// SweepDebt returns the pages deleted-but-unswept under DeferredDelete.
+func (s *System) SweepDebt() int { return s.rt.SweepDebt() }
+
+// SweepDebtPeak returns the highest sweep debt the system ever carried.
+func (s *System) SweepDebtPeak() int { return s.rt.SweepDebtPeak() }
+
+// SweptPages returns the total pages the incremental sweeper has poisoned.
+func (s *System) SweptPages() uint64 { return s.rt.SweptPages() }
 
 // Ralloc allocates size bytes of cleared memory with the given cleanup in
 // region r and returns its address.

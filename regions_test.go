@@ -162,3 +162,42 @@ func TestReferrersPublic(t *testing.T) {
 		t.Fatal("delete failed")
 	}
 }
+
+// TestDeferredDeleteOption walks the deferred-reclamation lifecycle through
+// the public API: DeleteRegion under the DeferredDelete option leaves sweep
+// debt, SweepSlice retires it within its budget, Verify stays clean in the
+// detached state, and misuse of the detached region faults with
+// FaultDetachedRegion.
+func TestDeferredDeleteOption(t *testing.T) {
+	sys := regions.New(regions.DeferredDelete(), regions.WithSweepBudget(2))
+	r := sys.NewRegion()
+	for i := 0; i < 6; i++ {
+		sys.RstrAlloc(r, 2000)
+	}
+	if !sys.DeleteRegion(r) {
+		t.Fatal("delete failed")
+	}
+	debt := sys.SweepDebt()
+	if debt == 0 {
+		t.Fatal("deferred delete left no sweep debt")
+	}
+	if err := sys.Verify(); err != nil {
+		t.Fatalf("Verify with detached pages: %v", err)
+	}
+	if _, err := sys.TryDeleteRegion(r); err == nil {
+		t.Fatal("double delete of detached region returned no error")
+	} else if f, ok := err.(*regions.Fault); !ok || f.Kind != regions.FaultDetachedRegion {
+		t.Fatalf("want FaultDetachedRegion, got %v", err)
+	}
+	if n := sys.SweepSlice(); n < 1 || n > 2 {
+		t.Fatalf("slice swept %d pages, budget 2", n)
+	}
+	sys.SweepDrain()
+	if sys.SweepDebt() != 0 || sys.SweptPages() == 0 || sys.SweepDebtPeak() != debt {
+		t.Fatalf("after drain: debt %d, swept %d, peak %d (initial debt %d)",
+			sys.SweepDebt(), sys.SweptPages(), sys.SweepDebtPeak(), debt)
+	}
+	if err := sys.Verify(); err != nil {
+		t.Fatalf("Verify after drain: %v", err)
+	}
+}
