@@ -13,6 +13,7 @@
 //	regionserve -sessions 2000 -page-limit 96        # overload: shed via ErrOverload
 //	regionserve -sessions 2000 -metrics-addr :8080   # live /metrics while serving
 //	regionserve -sessions 2000 -profile bulk -defer-delete   # deferred reclamation
+//	regionserve -sessions 2400 -shards 2 -tenants 8 -resize 4  # live shard grow
 //
 // All latency figures are simulated cycles, so output is bit-identical for
 // a given flag set and seed — `regionserve -sessions 2000 -seed 1` twice
@@ -33,6 +34,81 @@ import (
 	"regions/internal/metrics"
 	"regions/internal/serve"
 )
+
+// options are the parsed flag values; validate is the fail-fast audit main
+// runs before anything serves, extracted so the flag contract is testable.
+type options struct {
+	sessions    int
+	shards      int
+	rate        float64
+	queue       int
+	burstEvery  uint64
+	burstLen    uint64
+	faultProb   float64
+	deferDel    bool
+	sweepBud    int
+	sweepWater  int
+	tenants     int
+	resizeTo    int
+	resizeAfter float64
+}
+
+// validate returns the first configuration mistake, nil for a runnable flag
+// set. Every rule here is a run not worth starting: either the flag value
+// is nonsense on its own, or it silently does nothing without a companion.
+func (o options) validate() error {
+	if o.sessions < 1 {
+		return fmt.Errorf("-sessions must be at least 1, got %d", o.sessions)
+	}
+	if o.shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", o.shards)
+	}
+	if o.rate <= 0 {
+		return fmt.Errorf("-rate must be positive, got %g", o.rate)
+	}
+	if o.queue < 1 {
+		return fmt.Errorf("-queue must be at least 1, got %d", o.queue)
+	}
+	if o.burstEvery > 0 && (o.burstLen == 0 || o.burstLen >= o.burstEvery) {
+		return fmt.Errorf("-burst-len must be in (0, -burst-every), got %d of %d", o.burstLen, o.burstEvery)
+	}
+	if o.faultProb < 0 || o.faultProb > 1 {
+		return fmt.Errorf("-fault-prob must be in [0, 1], got %g", o.faultProb)
+	}
+	// Sweep tuning without deferred deletion would silently do nothing, and
+	// a zero-or-negative budget would mean "sweep no pages per slice" —
+	// both are configuration mistakes, not runs worth starting.
+	if o.sweepBud != 0 && !o.deferDel {
+		return fmt.Errorf("-sweep-budget requires -defer-delete")
+	}
+	if o.sweepWater != 0 && !o.deferDel {
+		return fmt.Errorf("-sweep-highwater requires -defer-delete")
+	}
+	if o.deferDel && o.sweepBud < 0 {
+		return fmt.Errorf("-sweep-budget must be at least 1 (or 0 for the default), got %d", o.sweepBud)
+	}
+	if o.deferDel && o.sweepWater < 0 {
+		return fmt.Errorf("-sweep-highwater must be at least 1 (or 0 for the default), got %d", o.sweepWater)
+	}
+	if o.tenants < 0 {
+		return fmt.Errorf("-tenants must not be negative, got %d", o.tenants)
+	}
+	// Elastic resharding only makes sense over tenant state, and only as a
+	// grow: a -resize at or below -shards has nothing to rebalance onto.
+	if o.resizeTo != 0 && o.tenants == 0 {
+		return fmt.Errorf("-resize requires -tenants")
+	}
+	if o.resizeTo != 0 && o.resizeTo <= o.shards {
+		return fmt.Errorf("-resize (%d) must exceed -shards (%d)", o.resizeTo, o.shards)
+	}
+	if o.resizeAfter != 0 && o.resizeTo == 0 {
+		return fmt.Errorf("-resize-after requires -resize")
+	}
+	if o.resizeAfter < 0 || o.resizeAfter >= 1 {
+		return fmt.Errorf("-resize-after must be in (0, 1), got %g", o.resizeAfter)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -59,43 +135,32 @@ func main() {
 		sweepBud   = flag.Int("sweep-budget", 0, "pages per sweep slice (0 = runtime default; requires -defer-delete)")
 		sweepWater = flag.Int("sweep-highwater", 0, "sweep-debt pages above which allocations pay a sweep tax (0 = runtime default; requires -defer-delete)")
 
+		tenants     = flag.Int("tenants", 0, "tenant mode: sessions belong to N tenants with long-lived state regions (0 disables)")
+		resizeTo    = flag.Int("resize", 0, "grow the engine live to N shards mid-run, migrating tenant regions (requires -tenants; must exceed -shards)")
+		resizeAfter = flag.Float64("resize-after", 0, "fraction of sessions served before the resize barrier (default 0.5; requires -resize)")
+
 		metAddr = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text format) on this address during the run")
 		jsonOut = flag.Bool("json", false, "emit the full result as JSON instead of the text report")
 	)
 	flag.Parse()
 
-	if *sessions < 1 {
-		fail(2, "-sessions must be at least 1, got %d", *sessions)
+	opts := options{
+		sessions:    *sessions,
+		shards:      *shards,
+		rate:        *rate,
+		queue:       *queue,
+		burstEvery:  *burstEvery,
+		burstLen:    *burstLen,
+		faultProb:   *faultProb,
+		deferDel:    *deferDel,
+		sweepBud:    *sweepBud,
+		sweepWater:  *sweepWater,
+		tenants:     *tenants,
+		resizeTo:    *resizeTo,
+		resizeAfter: *resizeAfter,
 	}
-	if *shards < 1 {
-		fail(2, "-shards must be at least 1, got %d", *shards)
-	}
-	if *rate <= 0 {
-		fail(2, "-rate must be positive, got %g", *rate)
-	}
-	if *queue < 1 {
-		fail(2, "-queue must be at least 1, got %d", *queue)
-	}
-	if *burstEvery > 0 && (*burstLen == 0 || *burstLen >= *burstEvery) {
-		fail(2, "-burst-len must be in (0, -burst-every), got %d of %d", *burstLen, *burstEvery)
-	}
-	if *faultProb < 0 || *faultProb > 1 {
-		fail(2, "-fault-prob must be in [0, 1], got %g", *faultProb)
-	}
-	// Sweep tuning without deferred deletion would silently do nothing, and
-	// a zero-or-negative budget would mean "sweep no pages per slice" —
-	// both are configuration mistakes, not runs worth starting.
-	if *sweepBud != 0 && !*deferDel {
-		fail(2, "-sweep-budget requires -defer-delete")
-	}
-	if *sweepWater != 0 && !*deferDel {
-		fail(2, "-sweep-highwater requires -defer-delete")
-	}
-	if *deferDel && *sweepBud < 0 {
-		fail(2, "-sweep-budget must be at least 1 (or 0 for the default), got %d", *sweepBud)
-	}
-	if *deferDel && *sweepWater < 0 {
-		fail(2, "-sweep-highwater must be at least 1 (or 0 for the default), got %d", *sweepWater)
+	if err := opts.validate(); err != nil {
+		fail(2, "%v", err)
 	}
 
 	cfg := serve.Config{
@@ -114,6 +179,10 @@ func main() {
 		DeferredDelete: *deferDel,
 		SweepBudget:    *sweepBud,
 		SweepHighWater: *sweepWater,
+
+		Tenants:     *tenants,
+		ResizeTo:    *resizeTo,
+		ResizeAfter: *resizeAfter,
 	}
 	if *faultNth > 0 || *faultProb > 0 || *faultBud > 0 {
 		cfg.FaultPlan = &mem.FaultPlan{
@@ -171,6 +240,14 @@ func printReport(res *serve.Result) {
 	if res.DeferredDelete {
 		fmt.Printf("sweep: peak debt %d pages  swept %d pages  reclamation lag %d sim cycles\n",
 			res.SweepDebtPeakPages, res.SweptPages, res.ReclamationLagCycles)
+	}
+	if res.Tenants > 0 {
+		fmt.Printf("tenants %d  migrations %d (%d pages)  tenant checksum %08x\n",
+			res.Tenants, res.Migrations, res.MigratedPages, res.TenantChecksum)
+	}
+	if res.ResizeTo > 0 {
+		fmt.Printf("resize %d -> %d shards  busy max/min: phase1 %.3f  phase2 %.3f\n",
+			res.Shards, res.ResizeTo, res.Phase1BusyRatio, res.Phase2BusyRatio)
 	}
 	if res.FirstOverload != nil {
 		fmt.Printf("first overload: %v\n", res.FirstOverload)

@@ -86,7 +86,11 @@ func RunImbalance(shards, scaleDiv int, reg *metrics.Registry) (*ImbalanceResult
 	}
 
 	run := func(noSteal bool, reg *metrics.Registry) (ThroughputResult, error) {
-		eng := shard.New(shard.Config{Shards: shards, NoSteal: noSteal, Metrics: reg})
+		engOpts := []shard.Option{shard.WithShards(shards), shard.WithMetrics(reg)}
+		if noSteal {
+			engOpts = append(engOpts, shard.WithNoSteal())
+		}
+		eng := shard.NewEngine(engOpts...)
 		eng.SubmitBatch(makeTasks())
 		agg := eng.Close()
 		if agg.Failures > 0 {

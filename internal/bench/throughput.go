@@ -69,12 +69,12 @@ func RunThroughputOpts(shards, scaleDiv, repeats int, opts ThroughputOpts) (Thro
 	if repeats < 1 {
 		repeats = 1
 	}
-	eng := shard.New(shard.Config{
-		Shards:           shards,
-		NoSteal:          opts.NoSteal,
-		Metrics:          opts.Metrics,
-		HeapProfileEvery: opts.HeapProfileEvery,
-	})
+	engOpts := []shard.Option{shard.WithShards(shards), shard.WithMetrics(opts.Metrics),
+		shard.WithHeapProfileEvery(opts.HeapProfileEvery)}
+	if opts.NoSteal {
+		engOpts = append(engOpts, shard.WithNoSteal())
+	}
+	eng := shard.NewEngine(engOpts...)
 	if opts.OnEngine != nil {
 		opts.OnEngine(eng)
 	}

@@ -108,6 +108,7 @@ const (
 
 	errDeleted  = "core: operation on deleted region"
 	errDetached = "core: operation on detached region (sweep pending)"
+	errMigrated = "core: operation on region migrated to another runtime"
 )
 
 // Region is a handle to a region. As in the paper, the handle itself is not
@@ -123,6 +124,10 @@ type Region struct {
 	allocs  uint64
 	born    uint64 // simulated cycle of creation, for the lifetime histogram
 	deleted bool
+	// migrated marks a region ExportRegion handed off to another runtime:
+	// deleted is also set (the pages are gone from this runtime), and stale
+	// handles fault with FaultMigratedRegion instead of FaultDeletedRegion.
+	migrated bool
 	// unswept counts the region's detached pages the incremental sweeper has
 	// not yet poisoned (Options.DeferredDelete). A deleted region with
 	// unswept > 0 is "detached": unreachable and RC-checked exactly like a
@@ -558,10 +563,14 @@ func (rt *Runtime) checkLive(r *Region) error {
 	return nil
 }
 
-// deletedFault reports use of a dead region, distinguishing a detached
-// region (deleted, pages awaiting their sweep) from a fully reclaimed one so
-// the fault names the state the offending pointer actually sees.
+// deletedFault reports use of a dead region, distinguishing a migrated
+// region (handed off to another runtime) and a detached region (deleted,
+// pages awaiting their sweep) from a fully reclaimed one so the fault names
+// the state the offending pointer actually sees.
 func (rt *Runtime) deletedFault(r *Region) *Fault {
+	if r.migrated {
+		return rt.fault(FaultMigratedRegion, r.hdr, r.id, errMigrated, nil)
+	}
 	if r.unswept > 0 {
 		return rt.fault(FaultDetachedRegion, r.hdr, r.id, errDetached, nil)
 	}
@@ -864,6 +873,24 @@ type Word = mem.Word
 // Detached reports whether r has been deleted but still has pages awaiting
 // the incremental sweeper (Options.DeferredDelete).
 func (r *Region) Detached() bool { return r.deleted && r.unswept > 0 }
+
+// Migrated reports whether r was handed off to another runtime by
+// ExportRegion; such a handle is a tombstone and every operation on it
+// faults with FaultMigratedRegion.
+func (r *Region) Migrated() bool { return r.migrated }
+
+// LiveRegions returns the runtime's live (not deleted, not migrated-away)
+// regions in creation order. Host-side only: it charges no simulated cycles
+// and exists for migration coordinators and diagnostics.
+func (rt *Runtime) LiveRegions() []*Region {
+	var out []*Region
+	for _, r := range rt.regions {
+		if !r.deleted {
+			out = append(out, r)
+		}
+	}
+	return out
+}
 
 // String implements fmt.Stringer for diagnostics.
 func (r *Region) String() string {

@@ -46,6 +46,12 @@ const (
 	// use-after-delete condition as FaultDeletedRegion, reported with the
 	// state the offending pointer actually sees.
 	FaultDetachedRegion
+	// FaultMigratedRegion: an operation used a stale handle to a region
+	// that Runtime.ExportRegion handed off to another runtime. The export
+	// tombstone keeps the handle faulting here instead of silently touching
+	// recycled pages; the live region is the handle ImportRegion returned on
+	// the receiving runtime.
+	FaultMigratedRegion
 )
 
 var faultNames = map[FaultKind]string{
@@ -57,6 +63,7 @@ var faultNames = map[FaultKind]string{
 	FaultStackUnderflow:  "stack-underflow",
 	FaultInvariant:       "invariant",
 	FaultDetachedRegion:  "detached-region",
+	FaultMigratedRegion:  "migrated-region",
 }
 
 // String returns the fault kind's kebab-case name (also the trace event's

@@ -115,6 +115,19 @@ func TestFaultErrorChains(t *testing.T) {
 			},
 		},
 		{
+			name: "migrated-region", kind: FaultMigratedRegion,
+			trigger: func(t *testing.T) error {
+				rt, _ := newRT(true)
+				r := rt.NewRegion()
+				rt.Ralloc(r, 8, rt.SizeCleanup(8))
+				if _, err := rt.ExportRegion(r); err != nil {
+					t.Fatalf("export: %v", err)
+				}
+				_, err := rt.TryRalloc(r, 8, rt.SizeCleanup(8))
+				return err
+			},
+		},
+		{
 			name: "stack-underflow", kind: FaultStackUnderflow,
 			trigger: func(t *testing.T) error {
 				rt, _ := newRT(true)

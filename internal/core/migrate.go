@@ -1,0 +1,638 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"regions/internal/mem"
+	"regions/internal/stats"
+	"regions/internal/trace"
+)
+
+// This file implements live region migration between runtimes (ROADMAP item
+// 2): ExportRegion serializes a quiesced region into a portable RegionRecord
+// and ImportRegion materializes that record in another runtime's address
+// space. What makes this tractable is the paper's own representation —
+// regions are self-describing page lists (Section 3), so a region whose
+// reference count is zero can be relocated wholesale: copy the page
+// payloads, rebuild the links from the recorded run order, and fix up
+// intra-region pointers with a per-page base-delta rewrite. No object graph
+// tracing is needed; translation is O(pages), not O(objects reachable).
+//
+// The contract mirrors deleteregion's: a region is exportable exactly when
+// it is deletable (exact reference count zero after the deferred stack scan),
+// because that is the proof that no pointer outside the region's own pages —
+// heap, global, or tracked frame slot — will dangle when the pages move.
+// Two additional refusals keep the record self-contained: a region whose
+// scanned data points into *another* region cannot be exported (those
+// pointers would dangle in the target's address space), and a record whose
+// cleanups are not registered on the importing runtime cannot be imported
+// (cleanup ids are remapped by registered name, so the two runtimes may have
+// registered in different orders, but every used name must exist).
+//
+// The export side leaves a tombstone: the handle is marked deleted+migrated
+// and every subsequent operation on it faults with FaultMigratedRegion, so a
+// stale handle is a diagnosable error rather than a silent touch of recycled
+// pages. Neither side runs Verify itself — the shard migration coordinator
+// runs it on donor and receiver around the handoff, as do the tests.
+//
+// Caveats, both inherited from verifyRC's C@ discipline assumption: a
+// scanned-data integer that happens to equal a region address is
+// indistinguishable from a pointer (it will be refused as a cross-region
+// reference or translated as an intra-region one), and cleanup size
+// functions are dry-run during the import rewrite on not-yet-translated
+// data, so they must compute sizes without dereferencing region pointers.
+
+// Sentinel causes for migration refusals, exposed for errors.Is. The
+// returned errors wrap these with the region and offending address.
+var (
+	// ErrExportReferenced: the region's exact reference count is nonzero —
+	// heap words, global storage, or tracked frame slots still point into
+	// it, exactly the condition that makes deleteregion a failing no-op.
+	ErrExportReferenced = errors.New("region has live external references")
+	// ErrExportCrossRegion: the region's scanned data points into another
+	// region of the source runtime; those pointers would dangle after the
+	// move.
+	ErrExportCrossRegion = errors.New("region data points into another region")
+	// ErrImportCleanup: the record references a cleanup name not registered
+	// on the importing runtime.
+	ErrImportCleanup = errors.New("cleanup not registered on importing runtime")
+)
+
+// PageRun is one page-list entry's payload in a RegionRecord: the entry's
+// address in the source address space, its page count, and every word of its
+// pages verbatim (links and headers included; the import side rewrites them).
+type PageRun struct {
+	OldFirst Ptr
+	Pages    int
+	Words    []Word
+}
+
+// CleanupRef names one cleanup id used by objects in the record. Import
+// remaps ids by Name, so source and target runtimes may have registered
+// their cleanups in different orders.
+type CleanupRef struct {
+	ID   CleanupID
+	Name string
+}
+
+// RegionRecord is a quiesced region serialized for transport between
+// runtimes: everything ImportRegion needs to rebuild the region — page runs
+// of both allocators in list order, the header location, and the cleanup
+// names its objects reference. The record addresses are source-space;
+// nothing in it is live, so it can cross goroutines freely.
+type RegionRecord struct {
+	SourceRegion int32  // region id on the exporting runtime
+	Bytes        uint64 // program-requested bytes, carried for Table 2 stats
+	Allocs       uint64
+	OldHdr       Ptr       // region structure address in the source space
+	Normal       []PageRun // normal-allocator entries, head first
+	Str          []PageRun // string-allocator entries, head first
+	Cleanups     []CleanupRef
+	Pages        int // total pages across both lists
+
+	// newPages is the old-page→new-page placement of the last successful
+	// ImportRegion of this record, backing Translate.
+	newPages map[Ptr]Ptr
+}
+
+// Translate maps a source-space pointer into the imported region's new
+// address space: same page offset, relocated page. It reports false until
+// the record has been successfully imported, and for pointers outside the
+// record's pages. This is how a caller that held roots into the region
+// before the export (untracked Go-side Ptr values, like a driver's chain
+// head) re-finds them after the move.
+func (rec *RegionRecord) Translate(p Ptr) (Ptr, bool) {
+	npg, ok := rec.newPages[p>>mem.PageShift]
+	if !ok {
+		return 0, false
+	}
+	return npg<<mem.PageShift | p&Ptr(mem.PageSize-1), true
+}
+
+// ExportRegion serializes r into a portable record and releases its pages,
+// leaving the handle a tombstone (Migrated() true; every operation faults
+// with FaultMigratedRegion). The region must be quiesced: its exact
+// reference count must be zero — the same deferred stack scan deleteregion
+// performs runs first — and its scanned data must not point into any other
+// region. On refusal (ErrExportReferenced, ErrExportCrossRegion) the region
+// is untouched.
+//
+// Charges: the RC check charges as deleteregion's does (ModeScan); page
+// release charges the synchronous 1+n per entry (ModeFree). Serialization
+// itself is host-side and uncharged — the payload copy models a DMA out of
+// the simulated machine.
+func (rt *Runtime) ExportRegion(r *Region) (*RegionRecord, error) {
+	if r == nil {
+		panic("core: nil region")
+	}
+	if r.deleted {
+		return nil, rt.deletedFault(r)
+	}
+
+	if rt.safe {
+		if rc := rt.quiescedRC(r); rc != 0 {
+			return nil, fmt.Errorf("core: exportregion region#%d: reference count %d: %w",
+				r.id, rc, ErrExportReferenced)
+		}
+	}
+
+	rec := &RegionRecord{SourceRegion: r.id, Bytes: r.bytes, Allocs: r.allocs, OldHdr: r.hdr}
+	var serr error
+	rt.space.Uncharged(func() { serr = rt.serializeRegion(r, rec) })
+	if serr != nil {
+		return nil, serr
+	}
+
+	// Release every page run synchronously (even under DeferredDelete: the
+	// payload has been copied out and the free pages must be poisoned, not
+	// detached, because no sweep will ever re-derive their contents).
+	old := rt.space.SetMode(stats.ModeFree)
+	for _, run := range rec.Normal {
+		rt.releaseEntry(run.OldFirst, run.Pages)
+	}
+	for _, run := range rec.Str {
+		rt.releaseEntry(run.OldFirst, run.Pages)
+	}
+	rt.space.SetMode(old)
+
+	r.deleted = true
+	r.migrated = true
+	if rt.tracer != nil {
+		rt.tracer.Emit(trace.Event{Kind: trace.KindMigrate, Region: r.id,
+			Addr: rec.OldHdr, Size: int32(rec.Pages), Aux: 0})
+	}
+	if m := rt.met; m != nil {
+		m.liveRegions.Dec()
+	}
+	return rec, nil
+}
+
+// quiescedRC performs the exact reference-count read deleteregion's quiesce
+// check performs: scan all frames but the active one, temporarily count the
+// active frame, and read the region's count under ModeScan.
+func (rt *Runtime) quiescedRC(r *Region) Word {
+	var active *Frame
+	if !rt.opts.EagerLocals {
+		rt.stack.scanForDelete()
+		if n := len(rt.stack.frames); n > 0 {
+			active = rt.stack.frames[n-1]
+		}
+	}
+	mode := rt.space.SetMode(stats.ModeScan)
+	if active != nil {
+		rt.stack.countFrame(active, +1)
+	}
+	rc := rt.space.Load(r.hdr + offRC)
+	if active != nil {
+		rt.stack.countFrame(active, -1)
+	}
+	rt.space.SetMode(mode)
+	return rc
+}
+
+// Exportable reports whether r would pass ExportRegion's refusals right
+// now: live, exact reference count zero, and no scanned data word pointing
+// into another region. The reference-count probe charges what deleteregion's
+// scan charges (ModeScan); the data scan is host-side and uncharged. A true
+// result is advisory — the runtime's next task can invalidate it — so
+// callers probe from the goroutine that owns the runtime and act before
+// running anything else on it.
+func (rt *Runtime) Exportable(r *Region) bool {
+	if r == nil || r.deleted {
+		return false
+	}
+	if rt.safe && rt.quiescedRC(r) != 0 {
+		return false
+	}
+	ok := true
+	rt.space.Uncharged(func() {
+		ok = rt.exportScan(r, map[CleanupID]bool{}) == nil
+	})
+	return ok
+}
+
+// serializeRegion fills rec from r: the used-cleanup census plus the
+// cross-region refusal (one object walk), then both page lists verbatim.
+// Runs uncharged; the heap is not mutated.
+func (rt *Runtime) serializeRegion(r *Region, rec *RegionRecord) error {
+	used := map[CleanupID]bool{}
+	if err := rt.exportScan(r, used); err != nil {
+		return err
+	}
+	ids := make([]CleanupID, 0, len(used))
+	for id := range used {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rec.Cleanups = append(rec.Cleanups, CleanupRef{ID: id, Name: rt.cleanups[id-1].name})
+	}
+	rec.Normal = rt.serializeList(rt.space.Load(r.hdr + offNormalFirst))
+	rec.Str = rt.serializeList(rt.space.Load(r.hdr + offStringFirst))
+	for _, run := range rec.Normal {
+		rec.Pages += run.Pages
+	}
+	for _, run := range rec.Str {
+		rec.Pages += run.Pages
+	}
+	return nil
+}
+
+// serializeList copies every entry of one page list, head first.
+func (rt *Runtime) serializeList(entry Ptr) []PageRun {
+	var runs []PageRun
+	for entry != 0 {
+		link := rt.space.Load(entry + pageLink)
+		count := int(link&(mem.PageSize-1)) + 1
+		words := make([]Word, count*mem.PageSize/mem.WordSize)
+		for i := range words {
+			words[i] = rt.space.Load(entry + Ptr(i*mem.WordSize))
+		}
+		runs = append(runs, PageRun{OldFirst: entry, Pages: count, Words: words})
+		entry = link &^ Ptr(mem.PageSize-1)
+	}
+	return runs
+}
+
+// exportScan walks r's objects the way deleteregion's cleanup pass would,
+// collecting the cleanup ids in use and refusing any data word that points
+// into another region. Cleanup size functions are dry-run (Destroy disabled)
+// to find non-array extents, as in Verify.
+func (rt *Runtime) exportScan(r *Region, used map[CleanupID]bool) error {
+	rt.verifying = true
+	defer func() { rt.verifying = false }()
+
+	checkWords := func(from, to Ptr) error {
+		for a := from; a < to; a += mem.WordSize {
+			w := rt.space.Load(a)
+			if w == 0 {
+				continue
+			}
+			if t := rt.pages.lookup(Ptr(w)); t != nil && t != r {
+				return fmt.Errorf("core: exportregion region#%d: word at %#x points into region#%d: %w",
+					r.id, a, t.id, ErrExportCrossRegion)
+			}
+		}
+		return nil
+	}
+	homePage := r.hdr &^ Ptr(mem.PageSize-1)
+	entry := rt.space.Load(r.hdr + offNormalFirst)
+	for entry != 0 {
+		link := rt.space.Load(entry + pageLink)
+		count := int(link&(mem.PageSize-1)) + 1
+		end := entry + Ptr(count*mem.PageSize)
+		p := entry + mem.WordSize
+		if entry == homePage {
+			p = r.hdr + hdrBytes
+		}
+		for p < end {
+			hdr := rt.space.Load(p)
+			if hdr == 0 {
+				break // end of the entry's filled prefix
+			}
+			id := CleanupID(hdr &^ arrayFlag)
+			if id <= 0 || int(id) > len(rt.cleanups) {
+				return rt.fault(FaultCorruptHeader, p, r.id,
+					fmt.Sprintf("corrupt object header %#x", hdr), nil)
+			}
+			used[id] = true
+			var extent Ptr
+			if hdr&arrayFlag != 0 {
+				n := int(rt.space.Load(p + 4))
+				esz := int(rt.space.Load(p + 8))
+				extent = Ptr(3*mem.WordSize + n*esz)
+			} else {
+				size := rt.cleanups[id-1].fn(rt, p+mem.WordSize)
+				extent = Ptr(mem.WordSize + align4(size))
+			}
+			var dataFrom Ptr = p + mem.WordSize
+			if hdr&arrayFlag != 0 {
+				dataFrom = p + 3*mem.WordSize
+			}
+			if err := checkWords(dataFrom, p+extent); err != nil {
+				return err
+			}
+			p += extent
+		}
+		entry = link &^ Ptr(mem.PageSize-1)
+	}
+	return nil
+}
+
+// ImportRegion materializes rec in this runtime and returns the new live
+// region handle. Pages are acquired through the normal allocator path (free
+// lists first, then the simulated OS — a refused mapping rolls every
+// acquired run back and returns a FaultOOM error, leaving the runtime
+// unchanged). Cleanup ids are remapped by registered name; a missing name
+// is an ErrImportCleanup error before anything is acquired.
+//
+// The pointer fixup is the O(pages) base-delta rewrite: a per-page old→new
+// map built from the run placements, applied object-aware — headers get the
+// remapped cleanup id, array bookkeeping is skipped, and every scanned data
+// word whose page moved is rewritten to the same offset on the destination
+// page. String-allocator payloads are pointer-free by contract and copied
+// verbatim. The rewrite charges 2 ModeAlloc cycles per page, the
+// import-side counterpart of release's 1+n; the payload copy itself is
+// uncharged, the inbound half of the export's DMA.
+func (rt *Runtime) ImportRegion(rec *RegionRecord) (*Region, error) {
+	if rec == nil {
+		panic("core: nil region record")
+	}
+	if len(rec.Normal) == 0 {
+		return nil, fmt.Errorf("core: importregion: record has no normal-list pages")
+	}
+	oldHome := rec.OldHdr &^ Ptr(mem.PageSize-1)
+	homeIdx := -1
+	for i, run := range rec.Normal {
+		if oldHome >= run.OldFirst && oldHome < run.OldFirst+Ptr(run.Pages*mem.PageSize) {
+			homeIdx = i
+			break
+		}
+	}
+	if homeIdx < 0 {
+		return nil, fmt.Errorf("core: importregion: header %#x is on none of the record's normal runs", rec.OldHdr)
+	}
+	idMap := make(map[CleanupID]CleanupID, len(rec.Cleanups))
+	for _, ref := range rec.Cleanups {
+		var nid CleanupID
+		for i := range rt.cleanups {
+			if rt.cleanups[i].name == ref.Name {
+				nid = CleanupID(i + 1)
+				break
+			}
+		}
+		if nid == 0 {
+			return nil, fmt.Errorf("core: importregion: %q: %w", ref.Name, ErrImportCleanup)
+		}
+		idMap[ref.ID] = nid
+	}
+
+	old := rt.space.SetMode(stats.ModeAlloc)
+	defer rt.space.SetMode(old)
+	rt.charge(stats.ModeAlloc, 3)
+
+	r := &Region{rt: rt, id: int32(len(rt.regions))}
+
+	type run struct {
+		first Ptr
+		pages int
+	}
+	var acquired []run
+	rollback := func() {
+		mode := rt.space.SetMode(stats.ModeFree)
+		for _, a := range acquired {
+			rt.releaseEntry(a.first, a.pages)
+		}
+		rt.space.SetMode(mode)
+	}
+	place := func(runs []PageRun) []Ptr {
+		news := make([]Ptr, len(runs))
+		for i := range runs {
+			p := rt.acquirePages(runs[i].Pages, r)
+			if p == 0 {
+				return nil
+			}
+			acquired = append(acquired, run{p, runs[i].Pages})
+			news[i] = p
+		}
+		return news
+	}
+	newNormal := place(rec.Normal)
+	if newNormal == nil {
+		rollback()
+		return nil, rt.oomFault("importregion", r.id)
+	}
+	newStr := place(rec.Str)
+	if newStr == nil && len(rec.Str) > 0 {
+		rollback()
+		return nil, rt.oomFault("importregion", r.id)
+	}
+
+	pageMap := make(map[Ptr]Ptr, rec.Pages)
+	note := func(runs []PageRun, news []Ptr) {
+		for i := range runs {
+			for j := 0; j < runs[i].Pages; j++ {
+				pageMap[runs[i].OldFirst>>mem.PageShift+Ptr(j)] = news[i]>>mem.PageShift + Ptr(j)
+			}
+		}
+	}
+	note(rec.Normal, newNormal)
+	note(rec.Str, newStr)
+	newHdr := newNormal[homeIdx] + (rec.OldHdr - rec.Normal[homeIdx].OldFirst)
+
+	var werr error
+	rt.space.Uncharged(func() {
+		werr = rt.materialize(rec, newNormal, newStr, newHdr, idMap, pageMap)
+	})
+	if werr != nil {
+		rollback()
+		return nil, werr
+	}
+	rt.charge(stats.ModeAlloc, 2*uint64(rec.Pages))
+	rec.newPages = pageMap
+
+	r.hdr = newHdr
+	r.bytes = rec.Bytes
+	r.allocs = rec.Allocs
+	r.born = rt.c.TotalCycles()
+	rt.regions = append(rt.regions, r)
+	if rt.tracer != nil {
+		rt.tracer.Emit(trace.Event{Kind: trace.KindMigrate, Region: r.id,
+			Addr: newHdr, Size: int32(rec.Pages), Aux: 1})
+	}
+	if m := rt.met; m != nil {
+		m.liveRegions.Inc()
+	}
+	return r, nil
+}
+
+// materialize copies the record's payload onto the freshly acquired (zeroed)
+// runs and performs every fixup: link words rebuilt from the run order,
+// region structure repointed, cleanup ids remapped, and intra-region
+// pointers translated page-by-page. Runs uncharged. An error (a record
+// whose objects name a cleanup absent from its own Cleanups table) leaves
+// only the acquired pages dirty; the caller releases them.
+func (rt *Runtime) materialize(rec *RegionRecord, newNormal, newStr []Ptr,
+	newHdr Ptr, idMap map[CleanupID]CleanupID, pageMap map[Ptr]Ptr) error {
+	copyRuns := func(runs []PageRun, news []Ptr) {
+		for i := range runs {
+			for j, w := range runs[i].Words {
+				if w != 0 {
+					rt.space.Store(news[i]+Ptr(j*mem.WordSize), w)
+				}
+			}
+		}
+	}
+	copyRuns(rec.Normal, newNormal)
+	copyRuns(rec.Str, newStr)
+
+	// Rebuild the link words: entry i links to entry i+1 of its own list,
+	// keeping each entry's page count in the low bits.
+	relink := func(runs []PageRun, news []Ptr) {
+		for i := range runs {
+			var next Ptr
+			if i+1 < len(runs) {
+				next = news[i+1]
+			}
+			rt.space.Store(news[i]+pageLink, next|Ptr(runs[i].Pages-1))
+		}
+	}
+	relink(rec.Normal, newNormal)
+	relink(rec.Str, newStr)
+
+	// Region structure: count stays zero (the region arrives quiesced), the
+	// list heads move, the bump offsets carry over verbatim with the copy.
+	rt.space.Store(newHdr+offRC, 0)
+	rt.space.Store(newHdr+offNormalFirst, newNormal[0])
+	if len(newStr) > 0 {
+		rt.space.Store(newHdr+offStringFirst, newStr[0])
+	} else {
+		rt.space.Store(newHdr+offStringFirst, 0)
+	}
+
+	// Object-aware pointer rewrite over the normal runs.
+	rt.verifying = true
+	defer func() { rt.verifying = false }()
+	translate := func(a Ptr) {
+		w := rt.space.Load(a)
+		if w == 0 {
+			return
+		}
+		if npg, ok := pageMap[Ptr(w)>>mem.PageShift]; ok {
+			rt.space.Store(a, npg<<mem.PageShift|w&Ptr(mem.PageSize-1))
+		}
+	}
+	newHome := newHdr &^ Ptr(mem.PageSize-1)
+	for i := range rec.Normal {
+		entry := newNormal[i]
+		end := entry + Ptr(rec.Normal[i].Pages*mem.PageSize)
+		p := entry + mem.WordSize
+		if entry == newHome {
+			p = newHdr + hdrBytes
+		}
+		for p < end {
+			hdr := rt.space.Load(p)
+			if hdr == 0 {
+				break
+			}
+			nid, ok := idMap[CleanupID(hdr&^arrayFlag)]
+			if !ok {
+				return fmt.Errorf("core: importregion: object header %#x at %#x names a cleanup missing from the record",
+					hdr, p)
+			}
+			nh := Word(nid)
+			if hdr&arrayFlag != 0 {
+				nh |= arrayFlag
+			}
+			rt.space.Store(p, nh)
+			var extent, dataFrom Ptr
+			if hdr&arrayFlag != 0 {
+				n := int(rt.space.Load(p + 4))
+				esz := int(rt.space.Load(p + 8))
+				extent = Ptr(3*mem.WordSize + n*esz)
+				dataFrom = p + 3*mem.WordSize
+			} else {
+				size := rt.cleanups[nid-1].fn(rt, p+mem.WordSize)
+				extent = Ptr(mem.WordSize + align4(size))
+				dataFrom = p + mem.WordSize
+			}
+			for a := dataFrom; a < p+extent; a += mem.WordSize {
+				translate(a)
+			}
+			p += extent
+		}
+	}
+	return nil
+}
+
+// ContentChecksum folds r's live contents into a placement-independent
+// digest: equal before an export and after the matching import, and equal
+// across runtimes regardless of where pages landed. Word locations are
+// folded as (page ordinal in list order, offset), and a scanned word that
+// points into the region's own pages is folded in the same relative form, so
+// the translation ImportRegion performs cancels out. Host-side and
+// uncharged; the shard determinism gate and the migration tests are its
+// consumers.
+//
+// Comparability requires what migration itself requires: both runtimes
+// registered the object's cleanups (ids are folded raw, so identical
+// registration order — or the id remap import performs — keeps them equal),
+// and scanned integers don't alias region addresses. Array bookkeeping words
+// are folded raw, matching the import rewrite's skip.
+func (rt *Runtime) ContentChecksum(r *Region) uint32 {
+	if r == nil {
+		panic("core: nil region")
+	}
+	if r.deleted {
+		panic(rt.deletedFault(r))
+	}
+	var h uint32
+	rt.space.Uncharged(func() { h = rt.contentChecksum(r) })
+	return h
+}
+
+func (rt *Runtime) contentChecksum(r *Region) uint32 {
+	// Number the region's pages in page-list order (normal first, then
+	// string); the ordinal survives relocation, the page number does not.
+	ord := map[Ptr]uint32{}
+	walk := func(entry Ptr) {
+		for entry != 0 {
+			link := rt.space.Load(entry + pageLink)
+			count := int(link&(mem.PageSize-1)) + 1
+			for i := 0; i < count; i++ {
+				ord[entry>>mem.PageShift+Ptr(i)] = uint32(len(ord))
+			}
+			entry = link &^ Ptr(mem.PageSize-1)
+		}
+	}
+	walk(rt.space.Load(r.hdr + offNormalFirst))
+	walk(rt.space.Load(r.hdr + offStringFirst))
+
+	h := uint32(2166136261)
+	mix := func(v uint32) {
+		for i := 0; i < 4; i++ {
+			h ^= v & 0xff
+			h *= 16777619
+			v >>= 8
+		}
+	}
+	// Relative form of an address: (page ordinal, in-page offset), with the
+	// region structure's colored offset subtracted out on the home page so
+	// two regions differing only in their coloring accident digest equal.
+	homePg := r.hdr >> mem.PageShift
+	homeOff := uint32(r.hdr) & (mem.PageSize - 1)
+	rel := func(p Ptr) uint32 {
+		off := uint32(p) & (mem.PageSize - 1)
+		if p>>mem.PageShift == homePg {
+			off = (off - homeOff) & (mem.PageSize - 1)
+		}
+		return ord[p>>mem.PageShift]<<mem.PageShift | off
+	}
+	rt.forEachNormalWord(r, func(a Ptr, v Word) {
+		mix(rel(a))
+		if _, ok := ord[Ptr(v)>>mem.PageShift]; ok {
+			// Intra-region pointer (or an integer aliasing one): fold its
+			// relative form, marked so it cannot collide with a raw word.
+			mix(1<<31 | rel(Ptr(v)))
+		} else {
+			mix(uint32(v))
+		}
+	})
+	// String-allocator payloads are pointer-free: fold raw, skip the links.
+	entry := rt.space.Load(r.hdr + offStringFirst)
+	for entry != 0 {
+		link := rt.space.Load(entry + pageLink)
+		count := int(link&(mem.PageSize-1)) + 1
+		end := entry + Ptr(count*mem.PageSize)
+		for a := entry + mem.WordSize; a < end; a += mem.WordSize {
+			if v := rt.space.Load(a); v != 0 {
+				mix(rel(a))
+				mix(uint32(v))
+			}
+		}
+		entry = link &^ Ptr(mem.PageSize-1)
+	}
+	return h
+}

@@ -209,6 +209,12 @@ func (rt *Runtime) SweepDebt() int { return rt.sweepDebt }
 // SweepDebtPeak returns the highest sweep debt the runtime has ever carried.
 func (rt *Runtime) SweepDebtPeak() int { return rt.sweepPeak }
 
+// ResetSweepDebtPeak restarts the peak-debt watermark from the current debt,
+// so a measurement window (a serving phase, an A/B arm) can report its own
+// peak instead of the process lifetime's. Host-side only: no simulated
+// cycles, no effect on the debt itself.
+func (rt *Runtime) ResetSweepDebtPeak() { rt.sweepPeak = rt.sweepDebt }
+
 // SweptPages returns the total pages the sweeper has poisoned (reused pages
 // whose debt was cancelled are not counted).
 func (rt *Runtime) SweptPages() uint64 { return rt.sweptPages }

@@ -23,6 +23,11 @@ type session struct {
 	prof    *Profile
 	weight  int // 1-3 size multiplier applied to every site count
 	shard   int
+	// tenant is the session's tenant id in tenant mode (Config.Tenants > 0),
+	// -1 otherwise. Tenant-mode sessions are homed on their tenant's shard
+	// rather than round-robin, so a skewed tenant draw produces the shard
+	// imbalance the resize barrier exists to fix.
+	tenant int
 
 	outcome uint8
 	waited  bool // entered the modelled queue (nonzero queue wait)
@@ -76,9 +81,31 @@ func genSessions(cfg Config) []*session {
 			prof:    pickProfile(rng, profiles, total),
 			weight:  1 + rng.Intn(3),
 			shard:   i % cfg.Shards,
+			tenant:  -1,
+		}
+		// Tenant draws come after every legacy draw so a Tenants == 0 config
+		// consumes exactly the PRNG stream it always did: old seeds keep
+		// reproducing old schedules bit for bit.
+		if cfg.Tenants > 0 {
+			out[i].tenant = pickTenant(rng, cfg.Tenants)
+			out[i].shard = tenantHome(out[i].tenant, cfg.Tenants, cfg.Shards)
 		}
 	}
 	return out
+}
+
+// pickTenant draws a tenant id under a triangular skew: tenant 0 carries
+// weight n, tenant n-1 weight 1. The hot tenants all land on the low
+// shards under the block home rule (see tenantHome), which is what makes
+// the pre-resize phase genuinely imbalanced rather than merely random.
+func pickTenant(rng *rand.Rand, n int) int {
+	k := rng.Intn(n * (n + 1) / 2)
+	for t, w := 0, n; ; t, w = t+1, w-1 {
+		if k < w {
+			return t
+		}
+		k -= w
+	}
 }
 
 // pickProfile draws one profile by weight.

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// tenantConfig is the skewed-tenant workload the resize A/B runs: two
+// shards, eight tenants under the triangular draw skew (block placement
+// piles the hot tenants on shard 0), at a rate the 2-shard engine can
+// absorb without shedding — sheds are placement-dependent, so a shed-free
+// schedule is what makes the resized run and its control comparable
+// session for session.
+func tenantConfig() Config {
+	return Config{Sessions: 2400, Seed: 1, Shards: 2, Rate: 300, Tenants: 8}
+}
+
+// TestServeTenantDeterminism extends the determinism gate to tenant mode:
+// same seed, same config, bit-identical results — including the
+// content-based checksum and the tenant region digests.
+func TestServeTenantDeterminism(t *testing.T) {
+	a, err := Run(tenantConfig())
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := Run(tenantConfig())
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("tenant runs differ across same-seed runs:\n  a: %+v\n  b: %+v", a, b)
+	}
+	if a.Completed == 0 || a.Checksum == 0 || a.TenantChecksum == 0 {
+		t.Errorf("run did no tenant work: %+v", a)
+	}
+}
+
+// TestServeResizeDeterminism is the same gate for the full resize path:
+// live grow, tenant migration, and the phase split must all be on the
+// simulated clock, so two runs are byte-identical.
+func TestServeResizeDeterminism(t *testing.T) {
+	cfg := tenantConfig()
+	cfg.ResizeTo = 4
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("resize runs differ across same-seed runs:\n  a: %+v\n  b: %+v", a, b)
+	}
+}
+
+// TestServeResizeChecksumMatchesControl is the serving half of the
+// migration determinism gate: the same schedule served with and without
+// the mid-run resize must produce the same session checksum (content sums
+// are placement-free) and the same tenant region digests (migration moves
+// state without corrupting a word of it) — while the resize run actually
+// migrates regions and ends with clean heaps (Run verifies every shard).
+func TestServeResizeChecksumMatchesControl(t *testing.T) {
+	control, err := Run(tenantConfig())
+	if err != nil {
+		t.Fatalf("control run: %v", err)
+	}
+	cfg := tenantConfig()
+	cfg.ResizeTo = 4
+	resized, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("resize run: %v", err)
+	}
+	if control.ShedQueue+control.ShedOOM+resized.ShedQueue+resized.ShedOOM != 0 {
+		t.Fatalf("A/B schedule sheds (control %d+%d, resized %d+%d); sheds are placement-dependent, so lower the rate",
+			control.ShedQueue, control.ShedOOM, resized.ShedQueue, resized.ShedOOM)
+	}
+	if resized.Checksum != control.Checksum {
+		t.Errorf("resize changed the session checksum: %08x vs %08x",
+			resized.Checksum, control.Checksum)
+	}
+	if resized.TenantChecksum != control.TenantChecksum {
+		t.Errorf("migration changed tenant state: digest %08x vs %08x",
+			resized.TenantChecksum, control.TenantChecksum)
+	}
+	if resized.Migrations == 0 || resized.MigratedPages == 0 {
+		t.Errorf("resize run migrated nothing: migrations=%d pages=%d",
+			resized.Migrations, resized.MigratedPages)
+	}
+	if control.Migrations != 0 {
+		t.Errorf("control run reports %d migrations", control.Migrations)
+	}
+	if got := resized.Completed + resized.ShedQueue + resized.ShedOOM; got != uint64(cfg.Sessions) {
+		t.Errorf("resize run lost sessions: %d accounted of %d", got, cfg.Sessions)
+	}
+}
+
+// TestServeResizeImprovesBalance pins the elasticity claim on the skewed
+// workload: after the barrier moves the hot tenants onto the grown engine's
+// weight-balanced placement, the per-phase busy-cycle max/min ratio must
+// drop, and the resize run's tail latency must beat the 2-shard control
+// that kept serving the skew.
+func TestServeResizeImprovesBalance(t *testing.T) {
+	control, err := Run(tenantConfig())
+	if err != nil {
+		t.Fatalf("control run: %v", err)
+	}
+	cfg := tenantConfig()
+	cfg.ResizeTo = 4
+	resized, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("resize run: %v", err)
+	}
+	if resized.Phase1BusyRatio == 0 || resized.Phase2BusyRatio == 0 {
+		t.Fatalf("phase busy ratios missing: %+v", resized)
+	}
+	if resized.Phase2BusyRatio >= resized.Phase1BusyRatio {
+		t.Errorf("resize did not improve balance: phase1 ratio %.3f, phase2 ratio %.3f",
+			resized.Phase1BusyRatio, resized.Phase2BusyRatio)
+	}
+	if resized.P999 >= control.P999 {
+		t.Errorf("resize did not improve p999: resized %d, control %d",
+			resized.P999, control.P999)
+	}
+}
+
+// TestServeResizeDeferredPhases runs the resize path under deferred
+// reclamation: the barrier's ResetSweepDebtPeak gives each phase its own
+// debt-peak window, the run still drains to zero debt (Run fails
+// otherwise), and the checksum still matches the control.
+func TestServeResizeDeferredPhases(t *testing.T) {
+	cfg := tenantConfig()
+	cfg.DeferredDelete = true
+	control, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("deferred control: %v", err)
+	}
+	cfg.ResizeTo = 4
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("deferred resize run: %v", err)
+	}
+	if len(res.SweepDebtPeakPhases) != 2 {
+		t.Fatalf("SweepDebtPeakPhases = %v, want one entry per phase", res.SweepDebtPeakPhases)
+	}
+	if res.SweptPages == 0 {
+		t.Error("deferred resize run swept nothing")
+	}
+	if res.Migrations == 0 {
+		t.Error("deferred resize run migrated nothing")
+	}
+	if res.Checksum != control.Checksum || res.TenantChecksum != control.TenantChecksum {
+		t.Errorf("deferred resize changed checksums: %08x/%08x vs control %08x/%08x",
+			res.Checksum, res.TenantChecksum, control.Checksum, control.TenantChecksum)
+	}
+}
+
+// TestServeResizeValidation is the fail-fast audit for the new knobs: every
+// bad combination must be rejected before a session runs.
+func TestServeResizeValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"negative-tenants", func(c *Config) { c.Tenants = -1 }, "Tenants"},
+		{"resize-without-tenants", func(c *Config) { c.Tenants = 0; c.ResizeTo = 4 }, "ResizeTo requires Tenants"},
+		{"resize-not-larger", func(c *Config) { c.ResizeTo = 2 }, "must exceed Shards"},
+		{"resize-shrink", func(c *Config) { c.ResizeTo = 1 }, "must exceed Shards"},
+		{"bad-resize-after", func(c *Config) { c.ResizeTo = 4; c.ResizeAfter = 1.5 }, "ResizeAfter"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tenantConfig()
+			tc.mut(&cfg)
+			_, err := Run(cfg)
+			if err == nil {
+				t.Fatalf("config accepted: %+v", cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestTenantHomesBalance checks the greedy placement: the triangular
+// weights must spread within one unit of even across the grown engine, and
+// every tenant must get a valid shard.
+func TestTenantHomesBalance(t *testing.T) {
+	const tenants, shards = 8, 4
+	homes := tenantHomes(tenants, shards)
+	load := make([]int, shards)
+	for tn, s := range homes {
+		if s < 0 || s >= shards {
+			t.Fatalf("tenant %d homed on invalid shard %d", tn, s)
+		}
+		load[s] += tenants - tn
+	}
+	min, max := load[0], load[0]
+	for _, l := range load {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("greedy placement left load %v (spread %d)", load, max-min)
+	}
+}

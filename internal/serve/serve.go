@@ -30,6 +30,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"regions/internal/apps/appkit"
 	"regions/internal/core"
@@ -128,6 +129,24 @@ type Config struct {
 	// core defaults. Meaningless unless DeferredDelete is set.
 	SweepBudget    int
 	SweepHighWater int
+	// Tenants, when > 0, turns on tenant mode: each session belongs to one
+	// of this many tenants (drawn with a triangular skew — tenant 0 hottest)
+	// and is homed on its tenant's shard instead of round-robin, and every
+	// session appends to its tenant's long-lived state region. Tenant mode
+	// switches Result.Checksum to content sums (pure functions of each
+	// session, not allocation addresses), because tenant migration and
+	// resize legitimately change placement: the checksum must stay
+	// bit-identical across a resize A/B, which address sums cannot do.
+	Tenants int
+	// ResizeTo, when > 0, grows the engine live from Shards to ResizeTo
+	// shards at a mid-run barrier, migrates every tenant region onto a
+	// weight-balanced placement over the grown engine (see tenantHomes),
+	// and serves the rest of the schedule there. Requires Tenants > 0 and
+	// ResizeTo > Shards.
+	ResizeTo int
+	// ResizeAfter is the fraction of sessions served before the resize
+	// barrier (default 0.5). Only meaningful with ResizeTo.
+	ResizeAfter float64
 	// Metrics, when non-nil, receives the serve series (and attaches every
 	// shard runtime, as in shard.Config). A private registry is used when
 	// nil, so percentiles work either way.
@@ -149,6 +168,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.SLOP99 == 0 {
 		cfg.SLOP99 = 1_000_000
+	}
+	if cfg.ResizeAfter == 0 {
+		cfg.ResizeAfter = 0.5
 	}
 	return cfg
 }
@@ -217,6 +239,28 @@ type Result struct {
 	SweepDebtPeakPages   int    `json:"sweepDebtPeakPages,omitempty"`
 	ReclamationLagCycles uint64 `json:"reclamationLagCycles,omitempty"`
 
+	// Tenant/resize outcome (Config.Tenants / Config.ResizeTo only).
+	// TenantChecksum sums a content digest (core.ContentChecksum) over
+	// every tenant region at drain. It is placement- and shard-independent
+	// by construction, so a resize run and its no-resize control must agree
+	// on it bit for bit — the serving half of the migration determinism
+	// gate. Migrations and MigratedPages count the barrier's region moves.
+	Tenants        int    `json:"tenants,omitempty"`
+	ResizeTo       int    `json:"resizeTo,omitempty"`
+	TenantChecksum uint32 `json:"tenantChecksum,omitempty"`
+	Migrations     uint64 `json:"migrations,omitempty"`
+	MigratedPages  uint64 `json:"migratedPages,omitempty"`
+	// Phase busy-cycle balance (ResizeTo only): max/min simulated busy
+	// cycles across the shards serving each phase — phase 1 runs on Shards
+	// shards, phase 2 on ResizeTo. The resize claim is the phase-2 ratio
+	// dropping toward 1.0 as migration spreads the hot tenants out.
+	Phase1BusyRatio float64 `json:"phase1BusyRatio,omitempty"`
+	Phase2BusyRatio float64 `json:"phase2BusyRatio,omitempty"`
+	// SweepDebtPeakPhases is the max sweep-debt peak across shards per
+	// phase (deferred resize runs only): the barrier resets each shard's
+	// peak via ResetSweepDebtPeak, giving each phase its own A/B window.
+	SweepDebtPeakPhases []int `json:"sweepDebtPeakPhases,omitempty"`
+
 	PerShard []ShardStats `json:"perShard"`
 
 	// FirstOverload is the earliest shed session's error (by session id),
@@ -235,7 +279,8 @@ var latencyBounds = func() []uint64 {
 	return b
 }()
 
-// server holds one run's cached metric handles.
+// server holds one run's cached metric handles and, in tenant mode, the
+// driver-side tenant table.
 type server struct {
 	cfg       Config
 	admitted  *metrics.Counter
@@ -244,6 +289,33 @@ type server struct {
 	shedQueue *metrics.Counter
 	shedOOM   *metrics.Counter
 	latency   *metrics.Histogram
+
+	// content switches session checksums from allocation addresses to pure
+	// functions of the session (tenant mode only; see Config.Tenants).
+	content bool
+	tenants []*tenantState
+}
+
+// Tenant-state layout: each session appends tenantNodes*weight scanned
+// nodes of tenantNodeSize bytes to its tenant's region, word 0 a small-int
+// payload, word 1 a sameregion link to the previous node.
+const (
+	tenantSite     = "tenant/state"
+	tenantNodeSize = 16
+	tenantNodes    = 3
+)
+
+// tenantState is one tenant's long-lived region and driver-held chain head.
+// It is touched only by pinned tasks on the tenant's home shard while the
+// engine serves, and only by the barrier (engine idle) when it migrates —
+// so, like shardState, it needs no lock. The head is deliberately held
+// host-side and never in a frame: the region's counted reference count
+// stays zero between requests, which is exactly the quiescence
+// ExportRegion demands when the barrier moves the tenant.
+type tenantState struct {
+	r    *core.Region
+	head core.Ptr
+	home int // current home shard (engine position == Stats.Shard id here)
 }
 
 // shardState is one shard's modelled queue and tally. It is touched only by
@@ -282,6 +354,20 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Profile != "" && profileByName(cfg.Profile) == nil {
 		return nil, fmt.Errorf("serve: unknown profile %q", cfg.Profile)
 	}
+	if cfg.Tenants < 0 {
+		return nil, fmt.Errorf("serve: Tenants must not be negative, got %d", cfg.Tenants)
+	}
+	if cfg.ResizeTo > 0 {
+		if cfg.Tenants == 0 {
+			return nil, fmt.Errorf("serve: ResizeTo requires Tenants > 0")
+		}
+		if cfg.ResizeTo <= cfg.Shards {
+			return nil, fmt.Errorf("serve: ResizeTo (%d) must exceed Shards (%d)", cfg.ResizeTo, cfg.Shards)
+		}
+		if cfg.ResizeAfter <= 0 || cfg.ResizeAfter >= 1 {
+			return nil, fmt.Errorf("serve: ResizeAfter must be in (0, 1), got %g", cfg.ResizeAfter)
+		}
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
@@ -295,6 +381,13 @@ func Run(cfg Config) (*Result, error) {
 		shedOOM:   reg.Counter(`regions_serve_shed_total{reason="oom"}`),
 		latency:   reg.Histogram("regions_serve_latency_cycles", latencyBounds),
 	}
+	if cfg.Tenants > 0 {
+		sv.content = true
+		sv.tenants = make([]*tenantState, cfg.Tenants)
+		for t := range sv.tenants {
+			sv.tenants[t] = &tenantState{home: tenantHome(t, cfg.Tenants, cfg.Shards)}
+		}
+	}
 	// Snapshot first so percentiles subtract anything a reused registry
 	// already held in the latency histogram.
 	before := reg.Snapshot()
@@ -303,9 +396,11 @@ func Run(cfg Config) (*Result, error) {
 	// scheduling, which would make sweep progress (and so every latency
 	// percentile) nondeterministic. serveOne models idle sweeping on the
 	// simulated clock instead.
-	eng := shard.New(shard.Config{Shards: cfg.Shards, Metrics: cfg.Metrics,
-		DeferredDelete: cfg.DeferredDelete, SweepBudget: cfg.SweepBudget,
-		SweepHighWater: cfg.SweepHighWater})
+	engOpts := []shard.Option{shard.WithShards(cfg.Shards), shard.WithMetrics(cfg.Metrics)}
+	if cfg.DeferredDelete {
+		engOpts = append(engOpts, shard.WithDeferredDelete(cfg.SweepBudget, cfg.SweepHighWater))
+	}
+	eng := shard.NewEngine(engOpts...)
 	states := make([]*shardState, cfg.Shards)
 	for i := range states {
 		env := eng.Env(i)
@@ -327,19 +422,122 @@ func Run(cfg Config) (*Result, error) {
 
 	keys := homeKeys(eng)
 	sessions := genSessions(cfg)
-	tasks := make([]shard.Task, len(sessions))
-	for i, s := range sessions {
-		s := s
-		st := states[s.shard]
-		tasks[i] = shard.Task{
-			Name:     fmt.Sprintf("sess-%d", s.id),
-			Affinity: keys[s.shard],
-			Pin:      true, // the session's regions live on this runtime
-			Run:      func(appkit.RegionEnv) uint32 { return sv.serveOne(st, s) },
-			Done:     func(res shard.TaskResult) { sv.complete(st, s, res) },
+	// submitWait submits one batch of sessions as pinned tasks and blocks
+	// until every completion callback has fired — a full engine barrier,
+	// which the resize path needs between its two phases. The single-phase
+	// path uses it too; waiting before Close is free.
+	submitWait := func(batch []*session) {
+		if len(batch) == 0 {
+			return
+		}
+		var done sync.WaitGroup
+		done.Add(len(batch))
+		tasks := make([]shard.Task, len(batch))
+		for i, s := range batch {
+			s := s
+			st := states[s.shard]
+			tasks[i] = shard.Task{
+				Name:     fmt.Sprintf("sess-%d", s.id),
+				Affinity: keys[s.shard],
+				Pin:      true, // the session's regions live on this runtime
+				Run:      func(appkit.RegionEnv) uint32 { return sv.serveOne(st, s) },
+				Done: func(res shard.TaskResult) {
+					sv.complete(st, s, res)
+					done.Done()
+				},
+			}
+		}
+		eng.SubmitBatch(tasks)
+		done.Wait()
+	}
+
+	split := len(sessions)
+	if cfg.ResizeTo > 0 {
+		split = int(float64(len(sessions)) * cfg.ResizeAfter)
+		if split < 1 {
+			split = 1
 		}
 	}
-	eng.SubmitBatch(tasks)
+	submitWait(sessions[:split])
+
+	var phase1Busy []uint64
+	var sweepPhases []int
+	if cfg.ResizeTo > 0 {
+		// The barrier: every phase-1 session has completed, so the engine is
+		// idle and the driver may touch shard runtimes directly (the same
+		// quiescence contract Env documents for before-first-submit access).
+		phase1Busy = make([]uint64, cfg.Shards)
+		peak := 0
+		for i, st := range states {
+			phase1Busy[i] = st.env.Counters().TotalCycles()
+			rt := st.env.Runtime()
+			if p := rt.SweepDebtPeak(); p > peak {
+				peak = p
+			}
+			rt.ResetSweepDebtPeak()
+		}
+		if cfg.DeferredDelete {
+			sweepPhases = append(sweepPhases, peak)
+		}
+
+		if _, err := eng.Resize(cfg.ResizeTo); err != nil {
+			return nil, fmt.Errorf("serve: resize to %d shards: %w", cfg.ResizeTo, err)
+		}
+		// New shards need the same per-shard setup the originals got —
+		// crucially the cleanup registrations, which ImportRegion requires
+		// on the receiving runtime before any tenant can migrate in.
+		for i := cfg.Shards; i < cfg.ResizeTo; i++ {
+			env := eng.Env(i)
+			if cfg.PageLimit > 0 {
+				env.Space().SetPageLimit(cfg.PageLimit)
+			}
+			if cfg.FaultPlan != nil {
+				env.Space().SetFaultPlan(cfg.FaultPlan)
+			}
+			st := &shardState{
+				id:         i,
+				env:        env,
+				cln:        registerCleanups(env.Runtime()),
+				depthGauge: reg.Gauge(fmt.Sprintf(`regions_serve_queue_depth{shard="%d"}`, i)),
+			}
+			st.stats.Shard = i
+			st.firstSID = -1
+			states = append(states, st)
+		}
+		keys = homeKeys(eng)
+
+		// Rebalance: move every materialized tenant whose home shifts under
+		// the weight-balanced placement, and translate the driver-held chain
+		// head through the transfer record.
+		homes := tenantHomes(cfg.Tenants, cfg.ResizeTo)
+		for t, ts := range sv.tenants {
+			newHome := homes[t]
+			if newHome == ts.home {
+				continue
+			}
+			if ts.r != nil {
+				m, err := eng.MigrateRegion(ts.r, ts.home, newHome)
+				if err != nil {
+					return nil, fmt.Errorf("serve: migrate tenant %d from shard %d to %d: %w",
+						t, ts.home, newHome, err)
+				}
+				ts.r = m.New
+				if ts.head != 0 {
+					np, ok := m.Rec.Translate(ts.head)
+					if !ok {
+						return nil, fmt.Errorf("serve: tenant %d chain head did not translate", t)
+					}
+					ts.head = np
+				}
+			}
+			ts.home = newHome
+		}
+		// Phase 2 follows the tenants to their new homes.
+		for _, s := range sessions[split:] {
+			s.shard = homes[s.tenant]
+		}
+	}
+	submitWait(sessions[split:])
 	agg := eng.Close()
 	if agg.Failures > 0 {
 		for _, s := range agg.PerShard {
@@ -404,7 +602,94 @@ func Run(cfg Config) (*Result, error) {
 		res.Mean = h.Sum / h.Count
 	}
 	res.SLOPass = res.P99 <= cfg.SLOP99
+
+	if cfg.Tenants > 0 {
+		res.Tenants = cfg.Tenants
+		res.ResizeTo = cfg.ResizeTo
+		res.Migrations, res.MigratedPages = eng.Migrations()
+		// The engine has drained and closed, so reading the runtimes is
+		// safe; tenant regions outlive their sessions by design and are
+		// reclaimed with the shard heaps.
+		for _, ts := range sv.tenants {
+			if ts.r != nil {
+				res.TenantChecksum += eng.Env(ts.home).Runtime().ContentChecksum(ts.r)
+			}
+		}
+	}
+	if cfg.ResizeTo > 0 {
+		res.Phase1BusyRatio = busyRatio(phase1Busy)
+		phase2Busy := make([]uint64, len(states))
+		peak2 := 0
+		for _, s := range agg.PerShard {
+			if s.Shard < len(phase2Busy) {
+				phase2Busy[s.Shard] = s.SimCycles
+			}
+			if s.SweepDebtPeak > peak2 {
+				peak2 = s.SweepDebtPeak
+			}
+		}
+		for i, b := range phase1Busy {
+			phase2Busy[i] -= b
+		}
+		res.Phase2BusyRatio = busyRatio(phase2Busy)
+		if cfg.DeferredDelete {
+			res.SweepDebtPeakPhases = append(sweepPhases, peak2)
+		}
+	}
 	return res, nil
+}
+
+// tenantHome is the pre-resize placement: contiguous blocks, tenant t on
+// shard t*shards/tenants — the "tenants assigned in signup order" shape.
+// Combined with the triangular draw skew (low tenant ids are hot) this
+// concentrates the hot tenants on the low shards, which is the imbalance
+// the resize barrier exists to fix.
+func tenantHome(t, tenants, shards int) int {
+	return t * shards / tenants
+}
+
+// tenantHomes assigns tenants to shards for the post-resize phase:
+// longest-processing-time greedy over the tenants' known draw weights
+// (tenant t's triangular weight is Tenants - t; see pickTenant), each
+// placed on the currently lightest shard. Unlike the t % Shards rule the
+// pre-resize phase uses — which concentrates the hot low-numbered tenants
+// on the low shards — this spreads expected load nearly evenly, so the
+// resize actually fixes the imbalance rather than reshuffling it.
+func tenantHomes(tenants, shards int) []int {
+	homes := make([]int, tenants)
+	load := make([]int, shards)
+	for t := 0; t < tenants; t++ {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		homes[t] = best
+		load[best] += tenants - t
+	}
+	return homes
+}
+
+// busyRatio is max/min over per-shard busy cycles, min floored at one cycle
+// so an idle shard yields a huge ratio rather than a division by zero.
+func busyRatio(busy []uint64) float64 {
+	if len(busy) == 0 {
+		return 0
+	}
+	min, max := busy[0], busy[0]
+	for _, b := range busy {
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if min == 0 {
+		min = 1
+	}
+	return float64(max) / float64(min)
 }
 
 // serveOne is the pinned task body: admission control against the shard's
@@ -587,11 +872,58 @@ func (sv *server) lifecycle(st *shardState, s *session) (uint32, error) {
 		rt.StorePtr(hot[1], 0)
 	}
 
+	// Tenant mode: append this session's state to its tenant's long-lived
+	// region before the request's own regions die.
+	if s.tenant >= 0 {
+		tsum, terr := sv.tenantPhase(st, s)
+		if terr != nil {
+			abort(work)
+			return 0, terr
+		}
+		sum += tsum
+	}
+
 	f.Set(1, 0)
 	if ok, derr := rt.TryDeleteRegion(work); derr != nil {
 		return 0, derr
 	} else if !ok {
 		st.leaked++
+	}
+	return sum, nil
+}
+
+// tenantPhase appends one session's worth of state to its tenant's region:
+// tenantNodes*weight scanned nodes, each holding a small-int payload and a
+// sameregion link to the previous node, with the chain head kept host-side
+// in the tenant table (never in a frame — see tenantState). A refused page
+// mapping aborts the session but keeps the tenant region: tenants outlive
+// requests, so partial appends simply stand.
+func (sv *server) tenantPhase(st *shardState, s *session) (uint32, error) {
+	ts := sv.tenants[s.tenant]
+	rt := st.env.Runtime()
+	if ts.r == nil {
+		r, err := rt.TryNewRegion()
+		if err != nil {
+			return 0, err
+		}
+		ts.r = r
+	}
+	var sum uint32
+	for i := 0; i < tenantNodes*s.weight; i++ {
+		p, err := rt.TryRalloc(ts.r, tenantNodeSize, st.cln[tenantSite])
+		if err != nil {
+			return 0, err
+		}
+		// The payload is a small integer, far below the first mapped page,
+		// so neither the write barrier nor the export scan can mistake it
+		// for a pointer.
+		v := uint32(s.id%251 + 1)
+		st.env.Space().Store(p, v)
+		if ts.head != 0 {
+			rt.StorePtr(p+mem.WordSize, ts.head)
+		}
+		ts.head = p
+		sum += v + uint32(i)
 	}
 	return sum, nil
 }
@@ -623,7 +955,7 @@ func (sv *server) allocPhase(st *shardState, r *core.Region, sites []site, weigh
 				}
 				prev = p
 				hot[0], hot[1] = hot[1], p
-				sum += uint32(p)
+				sum += sv.mix(p, uint32(sc.size), uint32(i))
 			}
 		case allocStr:
 			for i := 0; i < n; i++ {
@@ -632,17 +964,30 @@ func (sv *server) allocPhase(st *shardState, r *core.Region, sites []site, weigh
 					return sum, hot, err
 				}
 				st.env.Space().Store(p, uint32(sc.size)) // payload, pointer-free
-				sum += uint32(p)
+				sum += sv.mix(p, uint32(sc.size), uint32(i)+1<<16)
 			}
 		case allocArr:
 			p, err := rt.TryRarrayAlloc(r, n, sc.size, st.cln[sc.name])
 			if err != nil {
 				return sum, hot, err
 			}
-			sum += uint32(p)
+			sum += sv.mix(p, uint32(sc.size), uint32(n)+2<<16)
 		}
 	}
 	return sum, hot, nil
+}
+
+// mix is one allocation's checksum contribution. The default sums the
+// allocated address — the batch engine's historical determinism gate.
+// Tenant mode (sv.content) sums a pure function of the site instead,
+// because tenant migration and resize legitimately change where and in what
+// order shards allocate: content sums keep Result.Checksum bit-identical
+// across a resize A/B, which address sums cannot.
+func (sv *server) mix(p core.Ptr, a, b uint32) uint32 {
+	if sv.content {
+		return a*2654435761 + b*40503 + 1
+	}
+	return uint32(p)
 }
 
 // registerCleanups registers one cleanup per named profile site on rt. The
@@ -667,6 +1012,11 @@ func registerCleanups(rt *core.Runtime) map[string]core.CleanupID {
 			}
 		}
 	}
+	// The tenant-state site is registered on every shard — including shards
+	// grown by a resize — because ImportRegion remaps cleanups by name and
+	// refuses a record whose names the receiver has never registered.
+	cln[tenantSite] = rt.RegisterCleanup(tenantSite,
+		func(*core.Runtime, core.Ptr) int { return tenantNodeSize })
 	return cln
 }
 

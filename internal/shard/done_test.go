@@ -13,7 +13,7 @@ import (
 // submission order, on the shard's goroutine, with contiguous monotone
 // simulated-cycle windows.
 func TestDoneFIFOOnPinned(t *testing.T) {
-	e := New(Config{Shards: 2})
+	e := NewEngine(WithShards(2))
 	const n = 64
 	var mu sync.Mutex
 	var order []int
@@ -69,7 +69,7 @@ func TestDoneFIFOOnPinned(t *testing.T) {
 // TestDoneSeesRunPanic checks that a panicking Run still invokes Done with
 // the recorded error and a zero checksum.
 func TestDoneSeesRunPanic(t *testing.T) {
-	e := New(Config{Shards: 1})
+	e := NewEngine(WithShards(1))
 	var got TaskResult
 	done := false
 	e.Submit(Task{
@@ -93,7 +93,7 @@ func TestDoneSeesRunPanic(t *testing.T) {
 // TestDonePanicRecorded checks that a panic inside Done itself is recovered
 // and counted as a failure instead of killing the worker goroutine.
 func TestDonePanicRecorded(t *testing.T) {
-	e := New(Config{Shards: 1})
+	e := NewEngine(WithShards(1))
 	e.Submit(Task{
 		Name: "done-boom",
 		Run:  func(appkit.RegionEnv) uint32 { return 1 },

@@ -67,7 +67,9 @@ type TaskResult struct {
 	StartCycles, EndCycles uint64
 }
 
-// Config sizes an Engine.
+// Config sizes an Engine for the deprecated New constructor. New code
+// should use NewEngine with functional options (see options.go); each
+// field here corresponds to one With* option.
 type Config struct {
 	// Shards is the number of independent runtimes; values below 1 become 1.
 	Shards int
@@ -115,7 +117,8 @@ type Config struct {
 	IdleSweep bool
 }
 
-// Stats is one shard's tally, owned by the shard goroutine until Close.
+// Stats is one shard's tally, owned by the shard goroutine until it exits
+// (Close, or retirement by a shrinking Resize).
 type Stats struct {
 	Shard     int
 	Tasks     uint64
@@ -133,7 +136,9 @@ type Stats struct {
 	DrainSweepCycles uint64 // simulated cycles of the close-time debt drain
 }
 
-// Aggregate is the whole engine's tally after Close.
+// Aggregate is the whole engine's tally after Close. When the engine was
+// resized, PerShard includes retired shards (sorted by shard id) and Shards
+// counts only the workers live at Close.
 type Aggregate struct {
 	Shards   int
 	Tasks    uint64
@@ -170,12 +175,23 @@ func newWorkerMetrics(reg *metrics.Registry, shard int) *workerMetrics {
 }
 
 type worker struct {
-	id      int
+	id      int // stable shard id; also the metric label and Env name
 	env     *Env
 	dq      deque // stealable tasks: owner pops back, thieves take front
 	pinned  deque // pinned tasks: FIFO, never stolen
 	npinned atomic.Int64
 	stats   Stats
+
+	// retiring tells the worker to exit once its own queues are drained;
+	// done closes when its goroutine has exited. Set only by Resize.
+	retiring atomic.Bool
+	done     chan struct{}
+
+	// pubBusy and pubSteals publish the shard's simulated busy cycles and
+	// steal count after every task, regardless of metrics attachment, so
+	// the migration coordinator can watch load without a registry.
+	pubBusy   atomic.Uint64
+	pubSteals atomic.Uint64
 
 	met       *workerMetrics
 	profEvery int
@@ -189,6 +205,13 @@ type worker struct {
 // tasks never move. Submit and SubmitBatch may be called from any
 // goroutine; Close waits for the queues to drain and returns the tally.
 //
+// The worker set is dynamic: Resize grows it by starting fresh shards or
+// shrinks it by retiring the highest-indexed ones and migrating their
+// resident regions (see migrate.go). The live slice is published through an
+// atomic pointer, so Submit and the steal sweep always act on a consistent
+// snapshot; Resize must not race Submit/SubmitBatch/Close — the driver
+// quiesces submissions first (see Resize).
+//
 // Sleep/wake protocol: e.stealable counts tasks sitting in stealable
 // deques engine-wide and each worker counts its own pinned backlog, both
 // maintained by submitters at push time and by workers at pop time. A
@@ -197,10 +220,11 @@ type worker struct {
 // nothing" and "sleep" can never be lost; every push and pop broadcasts,
 // which also unblocks submitters waiting on a full deque.
 type Engine struct {
-	shards    []*worker
+	ws        atomic.Pointer[[]*worker]
 	rr        atomic.Uint32
 	wg        sync.WaitGroup
 	reg       *metrics.Registry
+	set       settings // resolved options; template for workers Resize adds
 	noSteal   bool
 	deferred  bool         // shards run with core.Options.DeferredDelete
 	idleSweep bool         // idle workers sweep debt before sleeping
@@ -209,78 +233,131 @@ type Engine struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	closed atomic.Bool
+
+	// Resize/Close serialization and retired-worker bookkeeping.
+	resizeMu sync.Mutex
+	nextID   int
+	retired  []*worker
+
+	// Migration tallies and coordinator plumbing (see migrate.go).
+	migrations    atomic.Uint64
+	migratedPages atomic.Uint64
+	coordStop     chan struct{}
+	coordDone     chan struct{}
+	migTotal      *metrics.Counter
+	migPages      *metrics.Counter
+	migCycles     *metrics.Histogram
 }
 
-// New starts an engine with cfg.Shards workers, each owning an independent
-// safe (or unsafe) region runtime with a batched free-page cache.
-func New(cfg Config) *Engine {
-	n := cfg.Shards
-	if n < 1 {
-		n = 1
+// NewEngine starts an engine configured by functional options (see
+// options.go), each worker owning an independent safe (or unsafe) region
+// runtime with a batched free-page cache.
+func NewEngine(opts ...Option) *Engine {
+	var s settings
+	for _, o := range opts {
+		o(&s)
 	}
-	queue := cfg.Queue
-	if queue <= 0 {
-		queue = 32
+	if s.Shards < 1 {
+		s.Shards = 1
 	}
-	batch := cfg.PageBatch
-	if batch == 0 {
-		batch = DefaultPageBatch
+	if s.Queue <= 0 {
+		s.Queue = 32
 	}
-	e := &Engine{shards: make([]*worker, n), reg: cfg.Metrics, noSteal: cfg.NoSteal,
-		deferred: cfg.DeferredDelete, idleSweep: cfg.DeferredDelete && cfg.IdleSweep}
+	if s.PageBatch == 0 {
+		s.PageBatch = DefaultPageBatch
+	}
+	if s.placement == nil {
+		s.placement = defaultPlacement
+	}
+	e := &Engine{reg: s.Metrics, set: s, noSteal: s.NoSteal,
+		deferred: s.DeferredDelete, idleSweep: s.DeferredDelete && s.IdleSweep}
 	e.cond = sync.NewCond(&e.mu)
-	for i := 0; i < n; i++ {
-		w := &worker{
-			id: i,
-			env: NewEnv(shardName(i), core.Options{
-				Safe:           !cfg.Unsafe,
-				PageBatch:      batch,
-				DeferredDelete: cfg.DeferredDelete,
-				SweepBudget:    cfg.SweepBudget,
-				SweepHighWater: cfg.SweepHighWater,
-			}),
-			dq:        newDeque(queue),
-			pinned:    newDeque(queue),
-			profEvery: cfg.HeapProfileEvery,
-		}
-		if cfg.Metrics != nil {
-			w.env.Runtime().SetMetrics(cfg.Metrics)
-			w.env.Space().SetMetrics(cfg.Metrics)
-			w.met = newWorkerMetrics(cfg.Metrics, i)
-		}
-		w.stats.Shard = i
-		e.shards[i] = w
+	if e.reg != nil {
+		e.migTotal = e.reg.Counter("regions_migrations_total")
+		e.migPages = e.reg.Counter("regions_migrated_pages_total")
+		e.migCycles = e.reg.Histogram("regions_migration_cycles", migrationCycleBounds)
 	}
-	// Start workers only after every slot is filled: a worker's steal sweep
-	// reads all of e.shards.
-	for _, w := range e.shards {
+	ws := make([]*worker, s.Shards)
+	for i := range ws {
+		ws[i] = e.newWorker()
+	}
+	// Publish the full slice before starting anyone: a worker's steal sweep
+	// reads the whole worker set.
+	e.ws.Store(&ws)
+	for _, w := range ws {
 		e.wg.Add(1)
 		go w.loop(e)
+	}
+	if s.migration.Enabled {
+		e.coordStop = make(chan struct{})
+		e.coordDone = make(chan struct{})
+		go e.coordinate(s.migration)
 	}
 	return e
 }
 
-// Shards returns the number of workers.
-func (e *Engine) Shards() int { return len(e.shards) }
+// New starts an engine sized by a Config literal.
+//
+// Deprecated: use NewEngine with functional options. New remains as a thin
+// adapter and configures exactly what the equivalent With* options would.
+func New(cfg Config) *Engine { return NewEngine(withConfig(cfg)) }
 
-// Env returns shard i's environment. The worker goroutine owns its
-// environment while tasks run, so callers may touch it only before the
-// first Submit (to install fault plans, page limits, cleanups), from a
-// task pinned to shard i, or after Close (to Verify the drained heap).
-func (e *Engine) Env(i int) *Env { return e.shards[i].env }
-
-// ShardFor returns the home shard index an affinity key maps to.
-func (e *Engine) ShardFor(key string) int {
-	return int(fnv32a(key) % uint32(len(e.shards)))
+// newWorker builds (but does not start) a worker from the engine's resolved
+// settings, assigning the next stable shard id.
+func (e *Engine) newWorker() *worker {
+	id := e.nextID
+	e.nextID++
+	w := &worker{
+		id: id,
+		env: NewEnv(shardName(id), core.Options{
+			Safe:           !e.set.Unsafe,
+			PageBatch:      e.set.PageBatch,
+			DeferredDelete: e.set.DeferredDelete,
+			SweepBudget:    e.set.SweepBudget,
+			SweepHighWater: e.set.SweepHighWater,
+		}),
+		dq:        newDeque(e.set.Queue),
+		pinned:    newDeque(e.set.Queue),
+		done:      make(chan struct{}),
+		profEvery: e.set.HeapProfileEvery,
+	}
+	if e.reg != nil {
+		w.env.Runtime().SetMetrics(e.reg)
+		w.env.Space().SetMetrics(e.reg)
+		w.met = newWorkerMetrics(e.reg, id)
+	}
+	w.stats.Shard = id
+	return w
 }
 
-// homeShard picks t's home shard: the affinity hash when a key is set,
-// round-robin otherwise.
-func (e *Engine) homeShard(t Task) int {
+// workers returns the current live worker slice. The slice is immutable
+// once published; Resize publishes a new one.
+func (e *Engine) workers() []*worker { return *e.ws.Load() }
+
+// Shards returns the number of live workers.
+func (e *Engine) Shards() int { return len(e.workers()) }
+
+// Env returns shard i's environment (by position in the live worker set).
+// The worker goroutine owns its environment while tasks run, so callers may
+// touch it only before the first Submit (to install fault plans, page
+// limits, cleanups), from a task pinned to shard i, or after Close (to
+// Verify the drained heap).
+func (e *Engine) Env(i int) *Env { return e.workers()[i].env }
+
+// ShardFor returns the home shard index an affinity key maps to under the
+// engine's placement function (WithPlacement; FNV-1a mod shards by
+// default).
+func (e *Engine) ShardFor(key string) int {
+	return e.set.placement(key, len(e.workers()))
+}
+
+// homeWorker picks t's home worker from ws: the placement function when an
+// affinity key is set, round-robin otherwise.
+func (e *Engine) homeWorker(ws []*worker, t Task) *worker {
 	if t.Affinity != "" {
-		return e.ShardFor(t.Affinity)
+		return ws[e.set.placement(t.Affinity, len(ws))]
 	}
-	return int((e.rr.Add(1) - 1) % uint32(len(e.shards)))
+	return ws[int((e.rr.Add(1)-1)%uint32(len(ws)))]
 }
 
 // Submit places t on its home shard's deque (the pinned queue when t.Pin
@@ -290,7 +367,15 @@ func (e *Engine) Submit(t Task) {
 	if e.closed.Load() {
 		panic("shard: Submit after Close")
 	}
-	w := e.shards[e.homeShard(t)]
+	w := e.homeWorker(e.workers(), t)
+	e.submitTo(w, t)
+}
+
+// submitTo places t on w's queue (pinned queue when t.Pin is set),
+// blocking while the queue is full. The internal entry point for targeting
+// a specific worker — migration uses it to pin export/import tasks to a
+// donor or receiver regardless of placement.
+func (e *Engine) submitTo(w *worker, t Task) {
 	q := &w.dq
 	if t.Pin {
 		q = &w.pinned
@@ -315,17 +400,22 @@ func (e *Engine) Submit(t Task) {
 // queue — the only order the engine promises, since stealable tasks may be
 // rearranged by stealing anyway while pinned queues are FIFO.
 func (e *Engine) SubmitBatch(ts []Task) {
-	steal := make([][]Task, len(e.shards))
-	pin := make([][]Task, len(e.shards))
+	ws := e.workers()
+	steal := make([][]Task, len(ws))
+	pin := make([][]Task, len(ws))
+	index := make(map[*worker]int, len(ws))
+	for i, w := range ws {
+		index[w] = i
+	}
 	for _, t := range ts {
-		i := e.homeShard(t)
+		i := index[e.homeWorker(ws, t)]
 		if t.Pin {
 			pin[i] = append(pin[i], t)
 		} else {
 			steal[i] = append(steal[i], t)
 		}
 	}
-	for i, w := range e.shards {
+	for i, w := range ws {
 		e.enqueue(w, &w.dq, false, steal[i])
 		e.enqueue(w, &w.pinned, true, pin[i])
 	}
@@ -381,9 +471,12 @@ func (e *Engine) wake() {
 // next returns the next task for w and whether it was stolen. Pop order:
 // w's pinned queue first (FIFO, nobody else can run those), then the newest
 // task on w's own deque (LIFO keeps the shard working what it was just
-// given), then — unless Config.NoSteal — the oldest task of the first
-// non-empty sibling deque, sweeping from w's right neighbor. Blocks while
-// nothing is runnable; ok=false means the engine is closed and drained.
+// given), then — unless stealing is off — the oldest task of the first
+// non-empty sibling deque, sweeping rightward from w's own position in the
+// live worker set. A worker marked retiring exits (ok=false) as soon as
+// its own queues are dry instead of stealing or sleeping. Blocks while
+// nothing is runnable; ok=false otherwise means the engine is closed and
+// drained.
 func (e *Engine) next(w *worker) (t Task, stolen, ok bool) {
 	for {
 		if t, ok := w.pinned.popFront(); ok {
@@ -396,13 +489,29 @@ func (e *Engine) next(w *worker) (t Task, stolen, ok bool) {
 			w.notePopped(w)
 			return t, false, true
 		}
+		if w.retiring.Load() {
+			return Task{}, false, false
+		}
 		if !e.noSteal {
-			for i := 1; i < len(e.shards); i++ {
-				v := e.shards[(w.id+i)%len(e.shards)]
-				if t, ok := v.dq.popFront(); ok {
-					e.stealable.Add(-1)
-					w.notePopped(v)
-					return t, true, true
+			// The live slice can change across iterations of the outer loop
+			// (Resize), so find our own position fresh each sweep; a worker
+			// no longer in the slice (mid-retirement) simply doesn't steal.
+			ws := e.workers()
+			self := -1
+			for i, v := range ws {
+				if v == w {
+					self = i
+					break
+				}
+			}
+			if self >= 0 {
+				for i := 1; i < len(ws); i++ {
+					v := ws[(self+i)%len(ws)]
+					if t, ok := v.dq.popFront(); ok {
+						e.stealable.Add(-1)
+						w.notePopped(v)
+						return t, true, true
+					}
 				}
 			}
 		}
@@ -421,7 +530,7 @@ func (e *Engine) next(w *worker) (t Task, stolen, ok bool) {
 				(!e.noSteal && e.stealable.Load() > 0) {
 				break
 			}
-			if e.closed.Load() {
+			if e.closed.Load() || w.retiring.Load() {
 				e.mu.Unlock()
 				return Task{}, false, false
 			}
@@ -439,13 +548,13 @@ func (w *worker) notePopped(owner *worker) {
 	}
 }
 
-// HeapReports returns the most recent heap profile captured by each shard,
-// in shard order, omitting shards that have not captured one yet. Profiles
-// are taken by the shard goroutines (see Config.HeapProfileEvery); reading
-// them is safe at any time.
+// HeapReports returns the most recent heap profile captured by each live
+// shard, in shard order, omitting shards that have not captured one yet.
+// Profiles are taken by the shard goroutines (see Config.HeapProfileEvery);
+// reading them is safe at any time.
 func (e *Engine) HeapReports() []*metrics.HeapReport {
 	var out []*metrics.HeapReport
-	for _, w := range e.shards {
+	for _, w := range e.workers() {
 		if rep, ok := w.lastProf.Load().(*metrics.HeapReport); ok && rep != nil {
 			out = append(out, rep)
 		}
@@ -464,16 +573,27 @@ func (w *worker) captureHeapProfile() {
 	w.lastProf.Store(rep)
 }
 
-// Close drains every queue, stops the workers, and returns the aggregated
-// stats.
+// Close drains every queue, stops the workers (and the migration
+// coordinator, if one is running), and returns the aggregated stats —
+// including shards retired by earlier Resize calls, sorted by shard id.
 func (e *Engine) Close() Aggregate {
+	if e.coordStop != nil {
+		close(e.coordStop)
+		<-e.coordDone
+		e.coordStop = nil
+	}
+	e.resizeMu.Lock()
+	defer e.resizeMu.Unlock()
 	e.mu.Lock()
 	e.closed.Store(true)
 	e.cond.Broadcast()
 	e.mu.Unlock()
 	e.wg.Wait()
-	agg := Aggregate{Shards: len(e.shards)}
-	for _, w := range e.shards {
+	live := e.workers()
+	all := append(append([]*worker(nil), e.retired...), live...)
+	sortWorkersByID(all)
+	agg := Aggregate{Shards: len(live)}
+	for _, w := range all {
 		s := w.stats
 		agg.Tasks += s.Tasks
 		agg.Failures += s.Failures
@@ -495,8 +615,19 @@ func (e *Engine) Close() Aggregate {
 	return agg
 }
 
+// sortWorkersByID is an insertion sort (the slice is small and mostly
+// ordered: retired ids then live ids, each ascending).
+func sortWorkersByID(ws []*worker) {
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j-1].id > ws[j].id; j-- {
+			ws[j-1], ws[j] = ws[j], ws[j-1]
+		}
+	}
+}
+
 func (w *worker) loop(e *Engine) {
 	defer e.wg.Done()
+	defer close(w.done)
 	var prevCycles uint64
 	for {
 		t, stolen, ok := e.next(w)
@@ -523,6 +654,8 @@ func (w *worker) loop(e *Engine) {
 		} else {
 			w.stats.Checksum += sum
 		}
+		w.pubBusy.Store(w.env.Counters().TotalCycles())
+		w.pubSteals.Store(w.stats.Steals)
 		if w.met != nil {
 			w.met.tasks.Inc()
 			if stolen {

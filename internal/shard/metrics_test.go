@@ -15,7 +15,7 @@ import (
 func TestMetricsUnderConcurrentScrape(t *testing.T) {
 	reg := metrics.NewRegistry()
 	reg.SetSiteSampling(16)
-	eng := New(Config{Shards: 4, Metrics: reg, HeapProfileEvery: 8})
+	eng := NewEngine(WithShards(4), WithMetrics(reg), WithHeapProfileEvery(8))
 
 	stop := make(chan struct{})
 	scraperDone := make(chan error, 1)

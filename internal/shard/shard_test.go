@@ -36,7 +36,7 @@ func TestEngineRunsTasksAcrossShards(t *testing.T) {
 	// that round-robin homes spread work over every shard. (With stealing
 	// enabled a fast worker may legitimately drain its siblings' deques
 	// before they start; TestStealingKeepsChecksumAndDrains covers that.)
-	eng := New(Config{Shards: 4, NoSteal: true})
+	eng := NewEngine(WithShards(4), WithNoSteal())
 	const tasks = 64
 	for i := 0; i < tasks; i++ {
 		eng.Submit(simpleTask(uint32(i)))
@@ -57,7 +57,7 @@ func TestEngineRunsTasksAcrossShards(t *testing.T) {
 	if busy != 4 {
 		t.Fatalf("round-robin left shards idle: %d/4 busy", busy)
 	}
-	for i, w := range eng.shards {
+	for i, w := range eng.workers() {
 		if err := w.env.Runtime().Verify(); err != nil {
 			t.Fatalf("shard %d invariants violated after run: %v", i, err)
 		}
@@ -66,7 +66,7 @@ func TestEngineRunsTasksAcrossShards(t *testing.T) {
 
 func TestChecksumIsPlacementIndependent(t *testing.T) {
 	run := func(shards int) uint32 {
-		eng := New(Config{Shards: shards})
+		eng := NewEngine(WithShards(shards))
 		for i := 0; i < 24; i++ {
 			eng.Submit(simpleTask(uint32(i * 7)))
 		}
@@ -85,7 +85,7 @@ func TestChecksumIsPlacementIndependent(t *testing.T) {
 }
 
 func TestAffinityTasksShareAShard(t *testing.T) {
-	eng := New(Config{Shards: 4})
+	eng := NewEngine(WithShards(4))
 	// The first task of the pipeline creates a region and leaves it live;
 	// the second, sharing its affinity key and pinned (affinity alone is a
 	// soft preference under work stealing), allocates in it and deletes
@@ -128,7 +128,7 @@ func TestAffinityTasksShareAShard(t *testing.T) {
 }
 
 func TestTaskPanicIsIsolatedAndStackReset(t *testing.T) {
-	eng := New(Config{Shards: 1})
+	eng := NewEngine(WithShards(1))
 	eng.Submit(Task{
 		Name: "bad",
 		Run: func(e appkit.RegionEnv) uint32 {
@@ -150,10 +150,10 @@ func TestTaskPanicIsIsolatedAndStackReset(t *testing.T) {
 	if !strings.Contains(agg.PerShard[0].LastError, "deleted-region") {
 		t.Fatalf("LastError = %q, want deleted-region fault", agg.PerShard[0].LastError)
 	}
-	if got := eng.shards[0].env.Runtime().Depth(); got != 0 {
+	if got := eng.workers()[0].env.Runtime().Depth(); got != 0 {
 		t.Fatalf("shadow stack depth after reset = %d, want 0", got)
 	}
-	if err := eng.shards[0].env.Runtime().Verify(); err != nil {
+	if err := eng.workers()[0].env.Runtime().Verify(); err != nil {
 		t.Fatalf("invariants violated after recovery: %v", err)
 	}
 }
@@ -170,7 +170,7 @@ func TestAppOnShardMatchesDedicatedEnv(t *testing.T) {
 	}
 	want := app.Region(appkit.NewRegionEnv("safe", appkit.Config{}), scale)
 
-	eng := New(Config{Shards: 1})
+	eng := NewEngine(WithShards(1))
 	var got [2]uint32
 	for i := range got {
 		i := i
@@ -191,13 +191,13 @@ func TestAppOnShardMatchesDedicatedEnv(t *testing.T) {
 			t.Fatalf("run %d checksum %#x, want %#x", i, g, want)
 		}
 	}
-	if err := eng.shards[0].env.Runtime().Verify(); err != nil {
+	if err := eng.workers()[0].env.Runtime().Verify(); err != nil {
 		t.Fatalf("shard invariants violated after app runs: %v", err)
 	}
 }
 
 func TestShardForIsStable(t *testing.T) {
-	eng := New(Config{Shards: 8})
+	eng := NewEngine(WithShards(8))
 	defer eng.Close()
 	for _, key := range []string{"a", "b", "pipeline-1", "pipeline-2"} {
 		first := eng.ShardFor(key)

@@ -62,7 +62,7 @@ func TestStealingKeepsChecksumAndDrains(t *testing.T) {
 		tasks := randomTasks(rand.New(rand.NewSource(seed)), 200)
 		var want uint32
 		for shardsIdx, n := range []int{1, 2, 4, 8} {
-			eng := New(Config{Shards: n})
+			eng := NewEngine(WithShards(n))
 			eng.SubmitBatch(tasks)
 			agg := eng.Close()
 			if agg.Tasks != uint64(len(tasks)) {
@@ -71,7 +71,7 @@ func TestStealingKeepsChecksumAndDrains(t *testing.T) {
 			if agg.Failures != 0 {
 				t.Fatalf("seed %d shards %d: %d failures", seed, n, agg.Failures)
 			}
-			for i, w := range eng.shards {
+			for i, w := range eng.workers() {
 				if err := w.env.Runtime().Verify(); err != nil {
 					t.Fatalf("seed %d shards %d: shard %d invariants: %v", seed, n, i, err)
 				}
@@ -95,7 +95,7 @@ func TestImbalancedWorkloadIsStolen(t *testing.T) {
 	if runtime.GOMAXPROCS(0) < 2 {
 		t.Skip("stealing needs a sibling worker actually running")
 	}
-	eng := New(Config{Shards: 4})
+	eng := NewEngine(WithShards(4))
 	home := eng.ShardFor("hot")
 	const tasks = 48
 	for i := 0; i < tasks; i++ {
@@ -133,7 +133,7 @@ func TestImbalancedWorkloadIsStolen(t *testing.T) {
 // the engine is the old static-placement scheduler — zero steals, and an
 // imbalanced workload stays exactly where affinity put it.
 func TestNoStealKeepsTasksHome(t *testing.T) {
-	eng := New(Config{Shards: 4, NoSteal: true})
+	eng := NewEngine(WithShards(4), WithNoSteal())
 	home := eng.ShardFor("hot")
 	const tasks = 24
 	for i := 0; i < tasks; i++ {
@@ -163,9 +163,8 @@ func TestNoStealKeepsTasksHome(t *testing.T) {
 // stealing engine: wherever each panic lands, that shard must recover, keep
 // its heap invariants, and the healthy tasks' checksum must be unaffected.
 func TestPanicIsolationUnderStealing(t *testing.T) {
-	goodChecksum := func(shards int, cfg Config) uint32 {
-		cfg.Shards = shards
-		eng := New(cfg)
+	goodChecksum := func(shards int, opts ...Option) uint32 {
+		eng := NewEngine(append([]Option{WithShards(shards)}, opts...)...)
 		for i := 0; i < 32; i++ {
 			eng.Submit(simpleTask(uint32(i)))
 		}
@@ -175,9 +174,9 @@ func TestPanicIsolationUnderStealing(t *testing.T) {
 		}
 		return agg.Checksum
 	}
-	want := goodChecksum(1, Config{})
+	want := goodChecksum(1)
 
-	eng := New(Config{Shards: 4})
+	eng := NewEngine(WithShards(4))
 	const bad = 8
 	for i := 0; i < bad; i++ {
 		eng.Submit(Task{
@@ -204,7 +203,7 @@ func TestPanicIsolationUnderStealing(t *testing.T) {
 	if agg.Checksum != want {
 		t.Fatalf("healthy checksum %#x, want %#x: a panic leaked into results", agg.Checksum, want)
 	}
-	for i, w := range eng.shards {
+	for i, w := range eng.workers() {
 		if err := w.env.Runtime().Verify(); err != nil {
 			t.Fatalf("shard %d invariants violated after recovered panics: %v", i, err)
 		}

@@ -50,10 +50,11 @@ func TestDeferredSweepRacesDeletes(t *testing.T) {
 	const tasks = 240
 	run := func(deferred, paced bool) uint32 {
 		reg := metrics.NewRegistry()
-		eng := New(Config{
-			Shards: 4, Metrics: reg,
-			DeferredDelete: deferred, IdleSweep: deferred, SweepBudget: 2,
-		})
+		engOpts := []Option{WithShards(4), WithMetrics(reg), WithIdleSweep(deferred)}
+		if deferred {
+			engOpts = append(engOpts, WithDeferredDelete(2, 0))
+		}
+		eng := NewEngine(engOpts...)
 		stop := make(chan struct{})
 		scraperDone := make(chan error, 1)
 		go func() {

@@ -79,6 +79,12 @@ const (
 	// Aux the sweep debt remaining after the slice.
 	KindSweepSlice
 
+	// Region migration (internal/core, Runtime.ExportRegion/ImportRegion).
+	// Emitted on both sides of a handoff: Size is the page count moved, Aux
+	// is 0 for the export (region leaving this runtime) and 1 for the import
+	// (region arriving), Region the local region id on that side.
+	KindMigrate
+
 	numKinds
 )
 
@@ -107,6 +113,7 @@ var kindNames = [numKinds]string{
 	KindParWrite:            "par-write",
 	KindFault:               "fault",
 	KindSweepSlice:          "sweep-slice",
+	KindMigrate:             "migrate",
 }
 
 // String returns the kebab-case event name used throughout the sinks.

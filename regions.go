@@ -99,6 +99,7 @@ const (
 	FaultStackUnderflow  = core.FaultStackUnderflow
 	FaultInvariant       = core.FaultInvariant
 	FaultDetachedRegion  = core.FaultDetachedRegion
+	FaultMigratedRegion  = core.FaultMigratedRegion
 )
 
 // ParWorld, ParRegion, ParWorker and ParSlot form the paper's parallel
@@ -129,6 +130,10 @@ type config struct {
 	deferredDelete bool
 	sweepBudget    int
 	sweepHighWater int
+	pageLimit      int
+	faultPlan      *mem.FaultPlan
+	tracer         *trace.Tracer
+	metrics        *metrics.Registry
 }
 
 // Unsafe disables all reference counting, stack scanning, and cleanups, as
@@ -158,6 +163,28 @@ func WithSweepBudget(pages int) Option { return func(c *config) { c.sweepBudget 
 // meaningful together with DeferredDelete.
 func WithSweepHighWater(pages int) Option { return func(c *config) { c.sweepHighWater = pages } }
 
+// WithPageLimit caps the simulated OS at the given number of 4 KB pages
+// from the first allocation on, exactly as calling SetPageLimit right after
+// New would. SetPageLimit remains legal mid-run (it may raise, lower, or
+// remove the cap); the option exists so a System's whole construction-time
+// shape fits in one New call.
+func WithPageLimit(pages int) Option { return func(c *config) { c.pageLimit = pages } }
+
+// WithFaultPlan installs a deterministic injected-failure schedule at
+// construction; see SetFaultPlan, which remains legal mid-run (installing a
+// fresh plan resets its call counts, nil removes it).
+func WithFaultPlan(p *FaultPlan) Option { return func(c *config) { c.faultPlan = p } }
+
+// WithTracer attaches an event tracer at construction, so even the first
+// region's create event is captured; see SetTracer, which remains legal
+// mid-run for attaching, swapping, or detaching (nil) a tracer.
+func WithTracer(t *Tracer) Option { return func(c *config) { c.tracer = t } }
+
+// WithMetrics attaches a metrics registry at construction, so page mappings
+// charged while warming the system are already counted; see SetMetrics,
+// which remains legal mid-run (gauges re-seed on attach, nil detaches).
+func WithMetrics(reg *MetricsRegistry) Option { return func(c *config) { c.metrics = reg } }
+
 // New creates a System.
 func New(opts ...Option) *System {
 	var cfg config
@@ -175,7 +202,20 @@ func New(opts ...Option) *System {
 		SweepBudget:    cfg.sweepBudget,
 		SweepHighWater: cfg.sweepHighWater,
 	})
-	return &System{rt: rt, sp: sp}
+	s := &System{rt: rt, sp: sp}
+	if cfg.pageLimit > 0 {
+		s.SetPageLimit(cfg.pageLimit)
+	}
+	if cfg.faultPlan != nil {
+		s.SetFaultPlan(cfg.faultPlan)
+	}
+	if cfg.tracer != nil {
+		s.SetTracer(cfg.tracer)
+	}
+	if cfg.metrics != nil {
+		s.SetMetrics(cfg.metrics)
+	}
+	return s
 }
 
 // Safe reports whether the system maintains reference counts.
@@ -241,6 +281,11 @@ func (s *System) SweepDebt() int { return s.rt.SweepDebt() }
 
 // SweepDebtPeak returns the highest sweep debt the system ever carried.
 func (s *System) SweepDebtPeak() int { return s.rt.SweepDebtPeak() }
+
+// ResetSweepDebtPeak re-seeds the peak tracker from the current debt, so a
+// driver can measure per-phase peaks: reset at a phase boundary, read
+// SweepDebtPeak at the next. The debt itself is untouched.
+func (s *System) ResetSweepDebtPeak() { s.rt.ResetSweepDebtPeak() }
 
 // SweptPages returns the total pages the incremental sweeper has poisoned.
 func (s *System) SweptPages() uint64 { return s.rt.SweptPages() }
@@ -352,6 +397,56 @@ func (h Handle) TryDelete() (bool, error) { return h.s.TryDeleteRegion(h.r) }
 // region — the first place to look when Delete returns false.
 func (h Handle) Referrers() []Ref { return h.s.Referrers(h.r) }
 
+// --- region migration ----------------------------------------------------------
+
+// RegionRecord is one quiesced region serialized for transport between
+// Systems: page images, allocator state, and cleanup references by name.
+// Produce one with ExportRegion, consume it exactly once with ImportRegion
+// on the destination; Translate maps pointers a driver captured into the
+// old placement onto the new one.
+type RegionRecord = core.RegionRecord
+
+// Migration refusal sentinels; test with errors.Is. ExportRegion refuses —
+// leaving the region fully usable — rather than move a region that is not
+// quiescent; ImportRegion refuses a record whose cleanup names the
+// receiving System has never registered.
+var (
+	ErrExportReferenced  = core.ErrExportReferenced
+	ErrExportCrossRegion = core.ErrExportCrossRegion
+	ErrImportCleanup     = core.ErrImportCleanup
+)
+
+// ExportRegion serializes the quiesced region r into a portable record and
+// releases its pages: r must have a zero exact reference count (no heap,
+// global, or frame references — ErrExportReferenced otherwise) and no
+// scanned pointers into other regions (ErrExportCrossRegion). On success r
+// is a tombstone: any later use faults with FaultMigratedRegion, exactly as
+// a deleted region faults with FaultDeletedRegion.
+func (s *System) ExportRegion(r *Region) (*RegionRecord, error) { return s.rt.ExportRegion(r) }
+
+// ImportRegion materializes a record exported from another System (or this
+// one): fresh pages, intra-region pointers rewritten to the new placement
+// in O(pages), cleanup ids remapped by registered name. The receiving
+// System must have registered every cleanup name the record references
+// (RegisterCleanup/SizeCleanup) — ErrImportCleanup before anything is
+// acquired otherwise. On OOM the partial placement is rolled back and the
+// record stays valid for a retry.
+func (s *System) ImportRegion(rec *RegionRecord) (*Region, error) { return s.rt.ImportRegion(rec) }
+
+// Exportable reports whether ExportRegion would accept r right now, without
+// charging cycles or disturbing anything — the advisory probe a placement
+// policy uses to pick a migration candidate.
+func (s *System) Exportable(r *Region) bool { return s.rt.Exportable(r) }
+
+// ContentChecksum digests r's live content in a placement-independent way:
+// intra-region pointers are relativized, so a region and its imported copy
+// on another System produce the same digest. Charges no simulated cycles.
+func (s *System) ContentChecksum(r *Region) uint32 { return s.rt.ContentChecksum(r) }
+
+// LiveRegions returns the system's live (not deleted, not migrated)
+// regions in creation order.
+func (s *System) LiveRegions() []*Region { return s.rt.LiveRegions() }
+
 // --- memory access and barriers ----------------------------------------------
 
 // Load reads the word at the 4-byte-aligned address p.
@@ -434,6 +529,7 @@ const (
 	EvCleanup          = trace.KindCleanup
 	EvDestroy          = trace.KindDestroy
 	EvFault            = trace.KindFault
+	EvMigrate          = trace.KindMigrate
 )
 
 // NewTracer returns a tracer holding the last capacity events (a default
