@@ -33,6 +33,7 @@ import (
 	"regions/internal/mem"
 	"regions/internal/metrics"
 	"regions/internal/serve"
+	"regions/internal/trace"
 )
 
 // options are the parsed flag values; validate is the fail-fast audit main
@@ -51,6 +52,9 @@ type options struct {
 	tenants     int
 	resizeTo    int
 	resizeAfter float64
+	explain     bool
+	topSlow     int
+	args        []string
 }
 
 // validate returns the first configuration mistake, nil for a runnable flag
@@ -107,6 +111,16 @@ func (o options) validate() error {
 	if o.resizeAfter < 0 || o.resizeAfter >= 1 {
 		return fmt.Errorf("-resize-after must be in (0, 1), got %g", o.resizeAfter)
 	}
+	// -top-slow tunes the -explain table; alone it silently does nothing.
+	if o.topSlow != 0 && !o.explain {
+		return fmt.Errorf("-top-slow requires -explain")
+	}
+	if o.topSlow < 0 {
+		return fmt.Errorf("-top-slow must be at least 1 (or 0 for the default), got %d", o.topSlow)
+	}
+	if len(o.args) > 0 {
+		return fmt.Errorf("unexpected argument %q: regionserve takes flags only", o.args[0])
+	}
 	return nil
 }
 
@@ -141,6 +155,8 @@ func main() {
 
 		metAddr = flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text format) on this address during the run")
 		jsonOut = flag.Bool("json", false, "emit the full result as JSON instead of the text report")
+		explain = flag.Bool("explain", false, "record request-level spans and report per-phase latency attribution")
+		topSlow = flag.Int("top-slow", 0, "slowest requests shown in the -explain breakdown (0 = default 5)")
 	)
 	flag.Parse()
 
@@ -158,6 +174,9 @@ func main() {
 		tenants:     *tenants,
 		resizeTo:    *resizeTo,
 		resizeAfter: *resizeAfter,
+		explain:     *explain,
+		topSlow:     *topSlow,
+		args:        flag.Args(),
 	}
 	if err := opts.validate(); err != nil {
 		fail(2, "%v", err)
@@ -183,6 +202,9 @@ func main() {
 		Tenants:     *tenants,
 		ResizeTo:    *resizeTo,
 		ResizeAfter: *resizeAfter,
+
+		Spans:   *explain,
+		TopSlow: *topSlow,
 	}
 	if *faultNth > 0 || *faultProb > 0 || *faultBud > 0 {
 		cfg.FaultPlan = &mem.FaultPlan{
@@ -257,6 +279,48 @@ func printReport(res *serve.Result) {
 		verdict = "FAIL"
 	}
 	fmt.Printf("SLO: p99 %d <= %d sim cycles: %s\n", res.P99, res.SLOTarget, verdict)
+	if res.Spans != nil {
+		printExplain(res.Spans)
+	}
+}
+
+// printExplain renders the -explain span report: the per-phase attribution
+// table (exact order-statistic quantiles over completed requests) and the
+// slowest requests with their phase breakdowns. The conservation property —
+// each breakdown sums exactly to the request's latency — is enforced by the
+// serve package before the report exists, so these numbers account for every
+// cycle of every latency with no "other" bucket.
+func printExplain(rep *serve.SpanReport) {
+	fmt.Printf("phase attribution (%d requests, sim cycles):\n", rep.Requests)
+	fmt.Printf("  %-12s %12s %10s %10s %10s %10s\n", "phase", "total", "p50", "p99", "p999", "max")
+	for _, p := range rep.Phases {
+		if p.TotalCycles == 0 && p.Max == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %12d %10d %10d %10d %10d\n",
+			p.Phase, p.TotalCycles, p.P50, p.P99, p.P999, p.Max)
+	}
+	if rep.DroppedEvents > 0 {
+		fmt.Printf("  (span ring dropped %d events; attribution is a window, not an account)\n",
+			rep.DroppedEvents)
+	}
+	if len(rep.SlowRequests) > 0 {
+		fmt.Printf("slowest requests:\n")
+		for i, sr := range rep.SlowRequests {
+			fmt.Printf("  #%d session %d shard %d: %d cycles", i+1, sr.Session, sr.Shard, sr.LatencyCycles)
+			sep := " ["
+			for _, k := range trace.SpanKinds() {
+				if c, ok := sr.PhaseCycles[k.String()]; ok && c > 0 {
+					fmt.Printf("%s%s %d", sep, k, c)
+					sep = " "
+				}
+			}
+			if sep == " " {
+				fmt.Print("]")
+			}
+			fmt.Println()
+		}
+	}
 }
 
 func fail(code int, format string, args ...interface{}) {

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestModeErrorTable is the fail-fast audit of the two-mode flag contract:
+// cross-mode flags and positional arguments are usage errors naming the
+// offending flag, and the legitimate shapes of both modes pass.
+func TestModeErrorTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		set   []string
+		spans bool
+		args  []string
+		want  string // "" means the invocation must be accepted
+	}{
+		{name: "app-defaults"},
+		{name: "app-explicit", set: []string{"app", "env", "scale", "top", "chrome"}},
+		{name: "spans-defaults", spans: true},
+		{name: "spans-explicit", spans: true,
+			set: []string{"spans", "sessions", "shards", "rate", "seed", "defer-delete", "jsonl"}},
+		{name: "positional", args: []string{"cfrac"}, want: "regiontrace takes flags only"},
+		{name: "spans-positional", spans: true, args: []string{"x"}, want: "flags only"},
+		{name: "app-under-spans", spans: true, set: []string{"spans", "app"}, want: "-app is app-mode only"},
+		{name: "top-under-spans", spans: true, set: []string{"spans", "top"}, want: "-top is app-mode only"},
+		{name: "sessions-without-spans", set: []string{"sessions"}, want: "-sessions requires -spans"},
+		{name: "defer-without-spans", set: []string{"defer-delete"}, want: "-defer-delete requires -spans"},
+		{name: "rate-without-spans", set: []string{"rate"}, want: "-rate requires -spans"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			set := map[string]bool{}
+			for _, f := range tc.set {
+				set[f] = true
+			}
+			err := modeError(set, tc.spans, tc.args)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("invocation rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("bad invocation accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -211,6 +211,13 @@ type Runtime struct {
 	sweepPeak   int
 	sweptPages  uint64
 	sweepSlices uint64
+	// sweepTaxCycles accumulates the simulated cycles charged by allocation-tax
+	// sweep slices — the slices acquirePages runs above the high-water mark,
+	// inside some caller's allocation phase rather than in idle time. The
+	// serving simulator reads deltas of this to carve the tax out of the
+	// phase it interrupted (see internal/serve).
+	sweepTaxCycles uint64
+	sweepTaxSlices uint64
 
 	cleanups     []cleanupEntry
 	sizeCleanups map[int]CleanupID
@@ -327,8 +334,9 @@ func (rt *Runtime) acquirePages(n int, r *Region) Ptr {
 	if rt.sweepDebt > 0 && rt.sweepDebt > rt.sweepHighWaterPages() {
 		// Allocation tax: above the high-water mark every acquisition sweeps
 		// one slice first, so debt is bounded even when no idle cycles ever
-		// arrive (see sweep.go).
-		rt.sweepSlice(0)
+		// arrive (see sweep.go). The tax variant additionally accounts the
+		// slice's cycles so phase attribution can name them.
+		rt.sweepTaxSlice()
 	}
 	rt.charge(stats.ModeAlloc, 2) // list manipulation
 	if n == 1 {

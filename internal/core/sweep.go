@@ -194,6 +194,37 @@ func (rt *Runtime) sweepSlice(budget int) int {
 	return swept
 }
 
+// sweepTaxSlice runs one sweep slice on behalf of a page acquisition — the
+// allocation tax — and accounts its cycles in sweepTaxCycles so they can be
+// attributed to "sweep" instead of the allocation phase they interrupted.
+// When a tracer is attached the tax pause is bracketed in a sweep span pair
+// (request -1: the pause belongs to the runtime, not to any one request —
+// the serving layer re-attributes it per request from the cycle accounting).
+func (rt *Runtime) sweepTaxSlice() {
+	start := rt.c.TotalCycles()
+	if rt.tracer != nil {
+		rt.tracer.Emit(trace.SpanBegin(trace.SpanSweep, -1, -1, start))
+	}
+	swept := rt.sweepSlice(0)
+	end := rt.c.TotalCycles()
+	if rt.tracer != nil {
+		rt.tracer.Emit(trace.SpanEnd(trace.SpanSweep, -1, -1, end))
+	}
+	if swept > 0 {
+		rt.sweepTaxCycles += end - start
+		rt.sweepTaxSlices++
+	}
+}
+
+// SweepTaxCycles returns the cumulative simulated cycles spent in
+// allocation-tax sweep slices. Callers (the serving simulator's phase
+// recorder) take deltas around work they meter to carve the tax out of the
+// interrupted phase.
+func (rt *Runtime) SweepTaxCycles() uint64 { return rt.sweepTaxCycles }
+
+// SweepTaxSlices returns how many allocation-tax slices retired pages.
+func (rt *Runtime) SweepTaxSlices() uint64 { return rt.sweepTaxSlices }
+
 // SweepDrain sweeps until no debt remains and returns the pages swept.
 func (rt *Runtime) SweepDrain() int {
 	total := 0

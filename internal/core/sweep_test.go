@@ -364,3 +364,93 @@ func TestDetachedRegionFaultOnDoubleDelete(t *testing.T) {
 	}
 	wantKind(err, FaultDeletedRegion)
 }
+
+// TestSweepTaxAccounting drives the allocation tax and checks that its
+// cycles land in SweepTaxCycles, that the cycles are a subset of the
+// sweeper's ordinary charges (the tax re-attributes, it never adds), and
+// that each tax slice is bracketed by a sweep span pair on the tracer.
+func TestSweepTaxAccounting(t *testing.T) {
+	const budget, highWater = 4, 8
+	rt, c := newRTOpts(Options{
+		Safe: true, DeferredDelete: true,
+		SweepBudget: budget, SweepHighWater: highWater,
+	})
+	tr := trace.New(1 << 12)
+	rt.SetTracer(tr)
+
+	for round := 0; round < 6; round++ {
+		var regs []*Region
+		for i := 0; i < 8; i++ {
+			r := rt.NewRegion()
+			for j := 0; j < 4; j++ {
+				rt.RstrAlloc(r, mem.PageSize/2)
+			}
+			regs = append(regs, r)
+		}
+		for _, r := range regs {
+			if !rt.DeleteRegion(r) {
+				t.Fatal("delete refused")
+			}
+		}
+	}
+	if rt.SweepTaxSlices() == 0 {
+		t.Fatal("the allocation tax never ran; the accounting was not exercised")
+	}
+	if rt.SweepTaxCycles() == 0 {
+		t.Fatal("tax slices ran but SweepTaxCycles is 0")
+	}
+	if total := c.TotalCycles(); rt.SweepTaxCycles() >= total {
+		t.Fatalf("tax cycles %d not a strict subset of total %d", rt.SweepTaxCycles(), total)
+	}
+
+	// Every tax slice emitted one sweep span pair on the runtime tracer,
+	// stamped by the runtime clock; pairs must balance and sum to the
+	// accounted cycles.
+	var begins, ends int
+	var spanCycles uint64
+	var beginCycle uint64
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case trace.KindSpanBegin:
+			if trace.SpanKind(ev.Aux) != trace.SpanSweep {
+				t.Fatalf("unexpected span kind %d from core", ev.Aux)
+			}
+			begins++
+			beginCycle = ev.Cycle
+		case trace.KindSpanEnd:
+			ends++
+			spanCycles += ev.Cycle - beginCycle
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Fatalf("span pairs unbalanced: %d begins, %d ends", begins, ends)
+	}
+	if uint64(begins) != rt.SweepTaxSlices() {
+		t.Fatalf("%d span pairs for %d tax slices", begins, rt.SweepTaxSlices())
+	}
+	if spanCycles != rt.SweepTaxCycles() {
+		t.Fatalf("span pairs cover %d cycles, accounting says %d", spanCycles, rt.SweepTaxCycles())
+	}
+}
+
+// TestSweepTaxChargeParity pins the acceptance criterion at the runtime
+// layer: the tax accounting and its spans are observability metadata, so a
+// run with them (tracer attached) charges exactly the cycles of a run
+// without.
+func TestSweepTaxChargeParity(t *testing.T) {
+	run := func(traced bool) uint64 {
+		rt, c := newRTOpts(Options{
+			Safe: true, DeferredDelete: true,
+			SweepBudget: 4, SweepHighWater: 8,
+		})
+		if traced {
+			rt.SetTracer(trace.New(1 << 10))
+		}
+		sweepRounds(rt, nil)
+		rt.SweepDrain()
+		return c.TotalCycles()
+	}
+	if on, off := run(true), run(false); on != off {
+		t.Fatalf("traced run charged %d cycles, untraced %d", on, off)
+	}
+}

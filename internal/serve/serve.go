@@ -37,6 +37,7 @@ import (
 	"regions/internal/mem"
 	"regions/internal/metrics"
 	"regions/internal/shard"
+	"regions/internal/trace"
 )
 
 // ErrOverload is the sentinel every shed session's error wraps: the server
@@ -151,6 +152,24 @@ type Config struct {
 	// shard runtime, as in shard.Config). A private registry is used when
 	// nil, so percentiles work either way.
 	Metrics *metrics.Registry
+	// Spans turns on request-level span tracing: every completed session's
+	// critical path — queue wait, parse, work, delete, and re-attributed
+	// sweep time — is recorded as begin/end span pairs on the modelled
+	// timeline (see spans.go), folded into Result.Spans, checked for
+	// conservation (phase cycles sum exactly to end-to-end latency per
+	// request), and observed into regions_serve_phase_cycles{phase=...}
+	// histograms. Host-side only: cycle counts and checksums are
+	// bit-identical with Spans on or off.
+	Spans bool
+	// SpanTracer, when non-nil, is the ring the span events are emitted into
+	// (implies Spans), so callers can export the raw stream — regiontrace
+	// -spans renders it as a Chrome timeline. The tracer must have no clock
+	// set: span emitters stamp their own modelled-timeline cycles. A private
+	// appropriately-sized ring is used when nil.
+	SpanTracer *trace.Tracer
+	// TopSlow is how many slowest requests Result.Spans lists with their
+	// phase breakdowns (default 5; meaningful only with Spans).
+	TopSlow int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -171,6 +190,12 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.ResizeAfter == 0 {
 		cfg.ResizeAfter = 0.5
+	}
+	if cfg.SpanTracer != nil {
+		cfg.Spans = true
+	}
+	if cfg.TopSlow <= 0 {
+		cfg.TopSlow = 5
 	}
 	return cfg
 }
@@ -261,6 +286,11 @@ type Result struct {
 	// peak via ResetSweepDebtPeak, giving each phase its own A/B window.
 	SweepDebtPeakPhases []int `json:"sweepDebtPeakPhases,omitempty"`
 
+	// Spans is the request-level attribution report (Config.Spans only):
+	// per-phase quantiles and the top-K slowest requests, conservation-
+	// checked. See SpanReport for the JSON schema.
+	Spans *SpanReport `json:"spans,omitempty"`
+
 	PerShard []ShardStats `json:"perShard"`
 
 	// FirstOverload is the earliest shed session's error (by session id),
@@ -289,6 +319,12 @@ type server struct {
 	shedQueue *metrics.Counter
 	shedOOM   *metrics.Counter
 	latency   *metrics.Histogram
+	sloMiss   *metrics.Counter
+
+	// Span tracing (Config.Spans; see spans.go). spanT nil means off —
+	// every recording site nil-checks it, the one-predicate contract.
+	spanT     *trace.Tracer
+	phaseHist []*metrics.Histogram // indexed by trace.SpanKind
 
 	// content switches session checksums from allocation addresses to pure
 	// functions of the session (tenant mode only; see Config.Tenants).
@@ -380,6 +416,21 @@ func Run(cfg Config) (*Result, error) {
 		shedQueue: reg.Counter(`regions_serve_shed_total{reason="queue"}`),
 		shedOOM:   reg.Counter(`regions_serve_shed_total{reason="oom"}`),
 		latency:   reg.Histogram("regions_serve_latency_cycles", latencyBounds),
+		sloMiss:   reg.Counter("regions_serve_slo_miss_total"),
+	}
+	if cfg.Spans {
+		sv.spanT = cfg.SpanTracer
+		if sv.spanT == nil {
+			// ~12 events per completed session plus shard-track spans; size the
+			// private ring so a normal run never truncates (truncation would
+			// disable the conservation check, not corrupt it).
+			sv.spanT = trace.New(16*cfg.Sessions + 1024)
+		}
+		sv.phaseHist = make([]*metrics.Histogram, trace.NumSpanKinds)
+		for _, k := range trace.SpanKinds() {
+			sv.phaseHist[k] = reg.Histogram(
+				fmt.Sprintf(`regions_serve_phase_cycles{phase=%q}`, k.String()), latencyBounds)
+		}
 	}
 	if cfg.Tenants > 0 {
 		sv.content = true
@@ -399,6 +450,12 @@ func Run(cfg Config) (*Result, error) {
 	engOpts := []shard.Option{shard.WithShards(cfg.Shards), shard.WithMetrics(cfg.Metrics)}
 	if cfg.DeferredDelete {
 		engOpts = append(engOpts, shard.WithDeferredDelete(cfg.SweepBudget, cfg.SweepHighWater))
+	}
+	if sv.spanT != nil {
+		// The engine brackets its own pauses (the resize barrier's migration
+		// export/import tasks) on the same ring, as shard-track spans on the
+		// shards' raw clocks.
+		engOpts = append(engOpts, shard.WithSpanTracer(sv.spanT))
 	}
 	eng := shard.NewEngine(engOpts...)
 	states := make([]*shardState, cfg.Shards)
@@ -636,6 +693,15 @@ func Run(cfg Config) (*Result, error) {
 			res.SweepDebtPeakPhases = append(sweepPhases, peak2)
 		}
 	}
+	if sv.spanT != nil {
+		rep, err := buildSpanReport(sv.spanT, cfg.TopSlow)
+		if err != nil {
+			// A conservation violation is an emitter bug, not a property of
+			// the workload: fail the run rather than report a leaky table.
+			return nil, err
+		}
+		res.Spans = rep
+	}
 	return res, nil
 }
 
@@ -729,11 +795,24 @@ func (sv *server) serveOne(st *shardState, s *session) uint32 {
 		return 0
 	}
 	s.waited = len(st.pending) > 0
+	if sv.spanT != nil {
+		// Everything charged from here to the final cut is the session's
+		// service; the idle-gap slices above accounted themselves in
+		// s.sweepCycles, so this base sits at StartCycles + sweepCycles.
+		s.segBase = st.env.Counters().TotalCycles()
+		s.taxBase = st.env.Runtime().SweepTaxCycles()
+	}
 	sum, err := sv.lifecycle(st, s)
 	if err != nil {
 		s.outcome = outcomeShedOOM
 		s.err = &OverloadError{Session: s.id, Shard: st.id, Reason: "out of memory", Err: err}
 		return 0
+	}
+	if sv.spanT != nil {
+		// The final delete boundary is cut here, after lifecycle's deferred
+		// PopFrame has charged its stack-unscan cycles, so frame teardown
+		// lands in the delete phase and the segments tile the whole window.
+		sv.cut(st, s, trace.SpanDelete)
 	}
 	s.outcome = outcomeOK
 	return sum
@@ -752,6 +831,7 @@ func (sv *server) complete(st *shardState, s *session, res shard.TaskResult) {
 		st.noteOverload(s)
 		return
 	}
+	prevBusy := st.busyUntil // where this session's idle gap (if any) began
 	start := s.arrival
 	if st.busyUntil > start {
 		start = st.busyUntil
@@ -788,6 +868,12 @@ func (sv *server) complete(st *shardState, s *session, res shard.TaskResult) {
 	st.stats.Completed++
 	sv.completed.Inc()
 	sv.latency.Observe(completion - s.arrival)
+	if completion-s.arrival > sv.cfg.SLOP99 {
+		sv.sloMiss.Inc()
+	}
+	if sv.spanT != nil {
+		sv.emitSessionSpans(st, s, prevBusy, start, completion)
+	}
 }
 
 // noteOverload keeps the shard's earliest shed error.
@@ -832,6 +918,9 @@ func (sv *server) lifecycle(st *shardState, s *session) (uint32, error) {
 		abort(parse)
 		return 0, err
 	}
+	if sv.spanT != nil {
+		sv.cut(st, s, trace.SpanParse)
+	}
 
 	work, err := rt.TryNewRegion()
 	if err != nil {
@@ -844,6 +933,9 @@ func (sv *server) lifecycle(st *shardState, s *session) (uint32, error) {
 		abort(parse, work)
 		return 0, err
 	}
+	if sv.spanT != nil {
+		sv.cut(st, s, trace.SpanWork)
+	}
 
 	// The parse region dies while the request is still running: its only
 	// counted reference is frame slot 0, so clearing the slot makes the
@@ -855,6 +947,9 @@ func (sv *server) lifecycle(st *shardState, s *session) (uint32, error) {
 		return 0, derr
 	} else if !ok {
 		st.leaked++
+	}
+	if sv.spanT != nil {
+		sv.cut(st, s, trace.SpanDelete)
 	}
 
 	// Work phase proper: sameregion pointer stores between the work
@@ -881,6 +976,11 @@ func (sv *server) lifecycle(st *shardState, s *session) (uint32, error) {
 			return 0, terr
 		}
 		sum += tsum
+	}
+	if sv.spanT != nil {
+		// Store loop and tenant append are the work phase's second half; the
+		// final delete cut happens in serveOne after the deferred PopFrame.
+		sv.cut(st, s, trace.SpanWork)
 	}
 
 	f.Set(1, 0)

@@ -9,6 +9,7 @@ import (
 	"regions/internal/apps/appkit"
 	"regions/internal/core"
 	"regions/internal/metrics"
+	"regions/internal/trace"
 )
 
 // DefaultPageBatch is the free-page cache batch used by shard runtimes when
@@ -226,8 +227,9 @@ type Engine struct {
 	reg       *metrics.Registry
 	set       settings // resolved options; template for workers Resize adds
 	noSteal   bool
-	deferred  bool         // shards run with core.Options.DeferredDelete
-	idleSweep bool         // idle workers sweep debt before sleeping
+	deferred  bool          // shards run with core.Options.DeferredDelete
+	idleSweep bool          // idle workers sweep debt before sleeping
+	spanT     *trace.Tracer // span sink (WithSpanTracer), nil for none
 	stealable atomic.Int64 // tasks currently in stealable deques, engine-wide
 
 	mu     sync.Mutex
@@ -269,7 +271,7 @@ func NewEngine(opts ...Option) *Engine {
 	if s.placement == nil {
 		s.placement = defaultPlacement
 	}
-	e := &Engine{reg: s.Metrics, set: s, noSteal: s.NoSteal,
+	e := &Engine{reg: s.Metrics, set: s, noSteal: s.NoSteal, spanT: s.spanT,
 		deferred: s.DeferredDelete, idleSweep: s.DeferredDelete && s.IdleSweep}
 	e.cond = sync.NewCond(&e.mu)
 	if e.reg != nil {
@@ -520,7 +522,9 @@ func (e *Engine) next(w *worker) (t Task, stolen, ok bool) {
 		// up after at most one slice.
 		if e.idleSweep {
 			if rt := w.env.Runtime(); rt.SweepDebt() > 0 {
+				before := w.env.Counters().TotalCycles()
 				rt.SweepSlice()
+				e.emitSpan(trace.SpanSweep, w.id, before, w.env.Counters().TotalCycles())
 				continue
 			}
 		}
@@ -538,6 +542,20 @@ func (e *Engine) next(w *worker) (t Task, stolen, ok bool) {
 		}
 		e.mu.Unlock()
 	}
+}
+
+// emitSpan brackets the shard-clock window [begin, end] on shard in a span
+// pair on the engine's span tracer. Nil-checked (an engine without a span
+// tracer pays one predicate) and host-side only: emission charges no
+// simulated cycles, the stamps are cycle counts the shard already paid.
+// Both halves are emitted together, after the fact, which the analyzer
+// accepts because it orders by the stamps, not by arrival.
+func (e *Engine) emitSpan(kind trace.SpanKind, shard int, begin, end uint64) {
+	if e.spanT == nil {
+		return
+	}
+	e.spanT.Emit(trace.SpanBegin(kind, -1, shard, begin))
+	e.spanT.Emit(trace.SpanEnd(kind, -1, shard, end))
 }
 
 // notePopped records a task leaving owner's queue; the caller's loop then
@@ -611,6 +629,14 @@ func (e *Engine) Close() Aggregate {
 			util := agg.TotalCycles * 100 / (agg.MakespanCycles * uint64(agg.Shards))
 			e.reg.Gauge("regions_shard_utilization_pct").Set(int64(util))
 		}
+		if e.spanT != nil {
+			// Span reconstruction is only as good as the ring: publish the
+			// events lost to wraparound so a scrape (and the SpanProfile
+			// consumer) can tell a complete account from a truncated window.
+			if d := e.spanT.Stats().Dropped; d > 0 {
+				e.reg.Counter("regions_trace_dropped_total").Add(d)
+			}
+		}
 	}
 	return agg
 }
@@ -654,16 +680,22 @@ func (w *worker) loop(e *Engine) {
 		} else {
 			w.stats.Checksum += sum
 		}
-		w.pubBusy.Store(w.env.Counters().TotalCycles())
+		simAfter := w.env.Counters().TotalCycles()
+		w.pubBusy.Store(simAfter)
 		w.pubSteals.Store(w.stats.Steals)
 		if w.met != nil {
 			w.met.tasks.Inc()
 			if stolen {
 				w.met.steals.Inc()
 			}
-			now := w.env.Counters().TotalCycles()
-			w.met.busyCycles.Add(now - prevCycles)
-			prevCycles = now
+			w.met.busyCycles.Add(simAfter - prevCycles)
+			prevCycles = simAfter
+		}
+		if stolen {
+			// The thief shard spent this window running work homed elsewhere;
+			// the span names those cycles so a shard's track shows how much of
+			// its time went to siblings' backlogs.
+			e.emitSpan(trace.SpanStealStall, w.id, simBefore, simAfter)
 		}
 		if t.Done != nil {
 			w.runDone(t, TaskResult{
@@ -672,7 +704,7 @@ func (w *worker) loop(e *Engine) {
 				Checksum:    sum,
 				Err:         err,
 				StartCycles: simBefore,
-				EndCycles:   w.env.Counters().TotalCycles(),
+				EndCycles:   simAfter,
 			})
 		}
 		if w.profEvery > 0 && (w.stats.Tasks == 1 || w.stats.Tasks%uint64(w.profEvery) == 0) {
@@ -687,6 +719,7 @@ func (w *worker) loop(e *Engine) {
 			before := w.env.Counters().TotalCycles()
 			rt.SweepDrain()
 			w.stats.DrainSweepCycles = w.env.Counters().TotalCycles() - before
+			e.emitSpan(trace.SpanSweep, w.id, before, before+w.stats.DrainSweepCycles)
 		}
 		w.stats.SweptPages = rt.SweptPages()
 		w.stats.SweepDebtPeak = rt.SweepDebtPeak()

@@ -7,6 +7,7 @@ import (
 
 	"regions/internal/apps/appkit"
 	"regions/internal/core"
+	"regions/internal/trace"
 )
 
 // This file is the engine's elastic-sharding layer: live migration of
@@ -89,6 +90,9 @@ func (e *Engine) exportOn(w *worker, pick func(rt *core.Runtime) ([]Migration, e
 			for i := range out {
 				out[i].Cycles += res.EndCycles - res.StartCycles
 			}
+			if len(out) > 0 {
+				e.emitSpan(trace.SpanMigrate, res.Shard, res.StartCycles, res.EndCycles)
+			}
 			done <- res.Err
 		},
 	})
@@ -120,6 +124,7 @@ func (e *Engine) importOn(w *worker, rec *core.RegionRecord) (*core.Region, uint
 		},
 		Done: func(res TaskResult) {
 			cycles = res.EndCycles - res.StartCycles
+			e.emitSpan(trace.SpanMigrate, res.Shard, res.StartCycles, res.EndCycles)
 			done <- res.Err
 		},
 	})

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"regions/internal/metrics"
+	"regions/internal/trace"
 )
 
 // This file is the engine's construction surface: functional options over a
@@ -73,6 +74,7 @@ type settings struct {
 	Config
 	placement PlacementFunc
 	migration MigrationConfig
+	spanT     *trace.Tracer
 }
 
 // Option configures an Engine at construction.
@@ -138,6 +140,19 @@ func WithPlacement(fn PlacementFunc) Option {
 // regardless, but honor cfg.OnMigrate.
 func WithMigration(cfg MigrationConfig) Option {
 	return func(s *settings) { s.migration = cfg.withDefaults() }
+}
+
+// WithSpanTracer attaches t as the engine's span sink: workers bracket
+// idle-sweep slices, close-time sweep drains, stolen-task executions, and
+// migration export/import pauses in begin/end span pairs (trace.SpanBegin /
+// trace.SpanEnd) stamped with the executing shard's own simulated clock.
+// The tracer must be clock-less (no SetClock) so those per-shard stamps
+// survive; it is shared by all workers, which is safe because Emit locks.
+// Nil — the default — emits nothing, and span emission never charges
+// simulated cycles, so checksums and cycle counts are bit-identical with
+// spans on or off.
+func WithSpanTracer(t *trace.Tracer) Option {
+	return func(s *settings) { s.spanT = t }
 }
 
 // withConfig is the deprecated-adapter bridge from a Config literal.

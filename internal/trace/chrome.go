@@ -168,3 +168,60 @@ func metaThread(tid int, name string) chromeEvent {
 		Args: map[string]any{"name": name},
 	}
 }
+
+// WriteSpanChromeTrace renders a span stream (KindSpanBegin/KindSpanEnd
+// pairs; other events are ignored) as Chrome trace_event duration slices:
+// one process per shard, one row per request — request N renders on tid
+// N+1 of its shard's process, shard-level spans (idle sweeps, migration
+// pauses, steal stalls) on tid 0 — so a tail request's phase breakdown is
+// one visually inspectable row in chrome://tracing or ui.perfetto.dev.
+// Timestamps are the emitters' cycle stamps: the serving simulator's
+// modelled clock for request rows, the shard's own cycle count for the
+// shard track.
+func WriteSpanChromeTrace(w io.Writer, events []Event) error {
+	p, err := BuildSpanProfile(events, 0)
+	if err != nil {
+		// A truncated ring yields unmatched pairs; render what did match.
+		p, err = BuildSpanProfile(events, 1)
+		if err != nil {
+			return err
+		}
+	}
+	var out []chromeEvent
+	procs := map[int]bool{}
+	slice := func(s Span) {
+		pid := s.Shard + 1 // shard -1 (single-runtime) renders as pid 0
+		if !procs[pid] {
+			procs[pid] = true
+			out = append(out, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": fmt.Sprintf("shard-%d", s.Shard)},
+			})
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]any{"name": "shard"},
+			})
+		}
+		dur := s.End - s.Begin
+		args := map[string]any{"selfCycles": s.Self}
+		tid := 0
+		if s.Request >= 0 {
+			tid = s.Request + 1
+			args["request"] = s.Request
+		}
+		out = append(out, chromeEvent{
+			Name: s.Kind.String(), Cat: "span", Ph: "X", Ts: s.Begin, Dur: &dur,
+			Pid: pid, Tid: tid, Args: args,
+		})
+	}
+	for _, r := range p.Requests {
+		for _, s := range r.Spans {
+			slice(s)
+		}
+	}
+	for _, s := range p.Track {
+		slice(s)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out, "displayTimeUnit": "ns"})
+}

@@ -85,6 +85,16 @@ const (
 	// (region arriving), Region the local region id on that side.
 	KindMigrate
 
+	// Request-level spans (internal/serve, internal/shard, internal/core).
+	// A span is a begin/end event pair bracketing one phase of work: Aux is
+	// the SpanKind, Region the shard id the span runs on (-1 for a
+	// single-runtime trace), Addr the request id plus one (0 when the span
+	// belongs to the shard itself rather than a request — an idle sweep, a
+	// migration pause). Spans on one (Region, Addr) key nest LIFO; see
+	// span.go for the analyzer and docs/OBSERVABILITY.md for the invariants.
+	KindSpanBegin
+	KindSpanEnd
+
 	numKinds
 )
 
@@ -114,6 +124,8 @@ var kindNames = [numKinds]string{
 	KindFault:               "fault",
 	KindSweepSlice:          "sweep-slice",
 	KindMigrate:             "migrate",
+	KindSpanBegin:           "span-begin",
+	KindSpanEnd:             "span-end",
 }
 
 // String returns the kebab-case event name used throughout the sinks.
@@ -205,8 +217,12 @@ func (t *Tracer) InitClock(fn func() uint64) {
 	t.mu.Unlock()
 }
 
-// Emit appends ev to the buffer, assigning its Seq and Cycle. The oldest
-// event is overwritten when the buffer is full.
+// Emit appends ev to the buffer, assigning its Seq and — when the tracer
+// has a clock — its Cycle. On a clock-less tracer a Cycle set by the caller
+// survives, which is how span emitters stamp events with a clock of their
+// own (the serving simulator's modelled timeline, a shard's local cycle
+// count) on one shared tracer. The oldest event is overwritten when the
+// buffer is full.
 func (t *Tracer) Emit(ev Event) {
 	t.mu.Lock()
 	ev.Seq = t.seq
