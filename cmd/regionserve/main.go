@@ -13,6 +13,8 @@
 //	regionserve -sessions 2000 -page-limit 96        # overload: shed via ErrOverload
 //	regionserve -sessions 2000 -metrics-addr :8080   # live /metrics while serving
 //	regionserve -sessions 2000 -profile bulk -defer-delete   # deferred reclamation
+//	regionserve -sessions 2000 -profile strheavy             # pooled buffer recycling
+//	regionserve -sessions 2000 -profile strheavy -no-strpool # its bump-only baseline
 //	regionserve -sessions 2400 -shards 2 -tenants 8 -resize 4  # live shard grow
 //
 // All latency figures are simulated cycles, so output is bit-identical for
@@ -145,6 +147,7 @@ func main() {
 		faultBud  = flag.Uint64("fault-budget", 0, "per-shard mapped-byte budget before mappings fail (0 = unlimited)")
 
 		profile    = flag.String("profile", "", "serve only the named session profile (default: the weighted six-app mix)")
+		noStrPool  = flag.Bool("no-strpool", false, "disable the pooled string allocator on every shard (A/B baseline: all string allocations bump)")
 		deferDel   = flag.Bool("defer-delete", false, "deferred reclamation: deletes detach, pages are swept incrementally on idle cycles")
 		sweepBud   = flag.Int("sweep-budget", 0, "pages per sweep slice (0 = runtime default; requires -defer-delete)")
 		sweepWater = flag.Int("sweep-highwater", 0, "sweep-debt pages above which allocations pay a sweep tax (0 = runtime default; requires -defer-delete)")
@@ -195,6 +198,7 @@ func main() {
 		PageLimit:   *pageLimit,
 
 		Profile:        *profile,
+		NoStrPool:      *noStrPool,
 		DeferredDelete: *deferDel,
 		SweepBudget:    *sweepBud,
 		SweepHighWater: *sweepWater,
@@ -259,6 +263,10 @@ func printReport(res *serve.Result) {
 		res.P50, res.P99, res.P999, res.Mean)
 	fmt.Printf("max queue depth %d  makespan %d sim cycles  checksum %08x\n",
 		res.MaxQueueDepth, res.MakespanCycles, res.Checksum)
+	if res.StrNew+res.StrReuse > 0 {
+		fmt.Printf("string pool: %d new  %d reused (ratio %.3f)  %d big  %d freed\n",
+			res.StrNew, res.StrReuse, res.StrReuseRatio, res.StrBig, res.StrFreed)
+	}
 	if res.DeferredDelete {
 		fmt.Printf("sweep: peak debt %d pages  swept %d pages  reclamation lag %d sim cycles\n",
 			res.SweepDebtPeakPages, res.SweptPages, res.ReclamationLagCycles)

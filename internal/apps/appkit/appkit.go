@@ -85,6 +85,12 @@ type RegionEnv interface {
 	Ralloc(r Region, size int, cln CleanupID) Ptr
 	RarrayAlloc(r Region, n, elemSize int, cln CleanupID) Ptr
 	RstrAlloc(r Region, size int) Ptr
+	// RstrFree retires one RstrAlloc block of the given original size for
+	// reuse within r. Optional — regions reclaim everything at deletion —
+	// and advisory: environments without an explicit string free path (the
+	// emulation library frees only at region deletion) treat it as a no-op,
+	// so applications must not rely on it for correctness.
+	RstrFree(r Region, p Ptr, size int)
 	RegisterCleanup(name string, fn CleanupFunc) CleanupID
 	SizeCleanup(size int) CleanupID
 	Destroy(p Ptr)

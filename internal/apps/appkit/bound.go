@@ -33,5 +33,10 @@ func (b BoundRegion) AllocArray(n, elemSize int, cln CleanupID) Ptr {
 // AllocStr allocates size bytes of region-pointer-free memory (RstrAlloc).
 func (b BoundRegion) AllocStr(size int) Ptr { return b.env.RstrAlloc(b.r, size) }
 
+// FreeStr retires one AllocStr block of the given original size for reuse
+// within the region (RstrFree). Advisory: a no-op in environments without
+// an explicit string free path.
+func (b BoundRegion) FreeStr(p Ptr, size int) { b.env.RstrFree(b.r, p, size) }
+
 // Delete attempts to delete the bound region (DeleteRegion).
 func (b BoundRegion) Delete() bool { return b.env.DeleteRegion(b.r) }

@@ -39,6 +39,10 @@ func (e *coreEnv) RstrAlloc(r Region, size int) Ptr {
 	return e.rt.RstrAlloc(r.(*core.Region), size)
 }
 
+func (e *coreEnv) RstrFree(r Region, p Ptr, size int) {
+	e.rt.RstrFree(r.(*core.Region), p, size)
+}
+
 func (e *coreEnv) RegisterCleanup(name string, fn CleanupFunc) CleanupID {
 	return e.rt.RegisterCleanup(name, func(_ *core.Runtime, obj Ptr) int {
 		return fn(e, obj)
@@ -95,6 +99,10 @@ func (e *emuEnv) RarrayAlloc(r Region, n, elemSize int, _ CleanupID) Ptr {
 func (e *emuEnv) RstrAlloc(r Region, size int) Ptr {
 	return e.lib.Alloc(r.(*xmalloc.EmuRegion), size)
 }
+
+// RstrFree is a no-op: the emulation library frees objects only at region
+// deletion, matching the paper's malloc-backed region emulation.
+func (e *emuEnv) RstrFree(Region, Ptr, int) {}
 
 // Cleanups are never run by the emulation library (deletion frees objects
 // without scanning, and there is no reference counting); ids are issued so

@@ -89,7 +89,11 @@ func runRegion(e appkit.RegionEnv, scale int, single bool) uint32 {
 			e.Safepoint()
 		}
 		f.Set(sText, 0)
-		// Texts die with the large region; nothing to free here.
+		// The text buffer is fully consumed — fingerprints are in the index
+		// and snippets were copied out — so hand it back for the next doc's
+		// text to reuse (a no-op in environments without an explicit string
+		// free; the texts then die with the large region as before).
+		large.FreeStr(text, textObjSize(len(doc)))
 	}
 
 	scorePairs(sp, buckets, matrix, scale)

@@ -58,7 +58,15 @@ func CompareReports(w io.Writer, old, cur *Report, threshold float64) []string {
 	var regressions []string
 
 	fmt.Fprintf(w, "micro (sim cycles/op; ns/op is host-dependent context):\n")
-	fmt.Fprintf(w, "  %-28s %12s %12s %10s\n", "name", "old", "new", "delta")
+	fmt.Fprintf(w, "  %-28s %12s %12s %10s %8s\n", "name", "old", "new", "delta", "reuse")
+	// reuseCol renders the strallocs micros' pool hit ratio; other
+	// benchmarks leave the column blank.
+	reuseCol := func(m MicroResult) string {
+		if m.ReuseRatio == 0 {
+			return ""
+		}
+		return fmt.Sprintf("%.3f", m.ReuseRatio)
+	}
 	oldMicro := make(map[string]MicroResult, len(old.Micro))
 	for _, m := range old.Micro {
 		oldMicro[m.Name] = m
@@ -66,11 +74,11 @@ func CompareReports(w io.Writer, old, cur *Report, threshold float64) []string {
 	for _, m := range cur.Micro {
 		o, ok := oldMicro[m.Name]
 		if !ok {
-			fmt.Fprintf(w, "  %-28s %12s %12.2f %10s\n", m.Name, "-", m.SimCyclesPerOp, "new")
+			fmt.Fprintf(w, "  %-28s %12s %12.2f %10s %8s\n", m.Name, "-", m.SimCyclesPerOp, "new", reuseCol(m))
 			continue
 		}
 		delta := m.SimCyclesPerOp - o.SimCyclesPerOp
-		fmt.Fprintf(w, "  %-28s %12.2f %12.2f %+10.2f\n", m.Name, o.SimCyclesPerOp, m.SimCyclesPerOp, delta)
+		fmt.Fprintf(w, "  %-28s %12.2f %12.2f %+10.2f %8s\n", m.Name, o.SimCyclesPerOp, m.SimCyclesPerOp, delta, reuseCol(m))
 		if o.SimCyclesPerOp > 0 && m.SimCyclesPerOp > o.SimCyclesPerOp*(1+threshold) {
 			// The message carries the benchmark's own unit from the micro
 			// table, so a gate failure reads correctly for host-side
@@ -108,6 +116,7 @@ func CompareReports(w io.Writer, old, cur *Report, threshold float64) []string {
 
 	regressions = append(regressions, compareServe(w, old, cur, sameConfig)...)
 	regressions = append(regressions, compareServeAB(w, old, cur, sameConfig)...)
+	regressions = append(regressions, compareStrAB(w, old, cur, sameConfig)...)
 
 	if old.Metrics != nil && cur.Metrics != nil {
 		fmt.Fprintf(w, "\nmetrics delta (new minus old, Snapshot.Sub; nonzero series):\n")

@@ -28,6 +28,9 @@ type MicroResult struct {
 	NsPerOp        float64 `json:"nsPerOp"`
 	SimCyclesPerOp float64 `json:"simCyclesPerOp,omitempty"`
 	Unit           string  `json:"unit,omitempty"`
+	// ReuseRatio is the pooled string allocator's hit fraction over the
+	// run, reported by the strallocs micros (0 elsewhere).
+	ReuseRatio float64 `json:"reuseRatio,omitempty"`
 }
 
 // unit returns the benchmark's unit, defaulting missing (pre-Unit report)
@@ -134,6 +137,56 @@ func RunMicro() []MicroResult {
 			NsPerOp:        float64(el.Nanoseconds()) / ops,
 			SimCyclesPerOp: float64(c.TotalCycles()-before) / ops,
 			Unit:           MicroUnitSimCycles,
+		})
+	}
+
+	// strallocs: the pooled string allocator's steady-state recycle — a ring
+	// of live string buffers whose oldest member is freed and reallocated at
+	// the same size each op, the line-buffer churn of a scanner. Measured
+	// twice: pooled (every alloc after warmup is a first-probe pool hit) and
+	// with Options.NoStrPool (every alloc bumps, so the region's string side
+	// grows without bound and keeps round-tripping pages through the
+	// simulated OS). The gap between the two is the pool's claim: sub-page
+	// reuse at ~5 cycles per alloc versus bump's 7-plus-page-acquisition.
+	for _, v := range []struct {
+		name   string
+		noPool bool
+	}{
+		{"strallocs/op", false},
+		{"strallocs/nopool", true},
+	} {
+		c := &stats.Counters{}
+		rt := core.NewRuntimeOpts(mem.NewSpace(c), core.Options{Safe: true, NoStrPool: v.noPool})
+		r := rt.NewRegion()
+		// Sizes straddle the power-of-two classes: exact (64, 512), one
+		// under (63), and non-power-of-two (24, 200).
+		sizes := [...]int{24, 63, 64, 200, 512}
+		const ring = 64
+		type blk struct {
+			p    core.Ptr
+			size int
+		}
+		var live [ring]blk
+		for i := range live {
+			sz := sizes[i%len(sizes)]
+			live[i] = blk{rt.RstrAlloc(r, sz), sz}
+		}
+		const ops = 200000
+		before := c.TotalCycles()
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			b := &live[i%ring]
+			rt.RstrFree(r, b.p, b.size)
+			b.p = rt.RstrAlloc(r, b.size)
+		}
+		el := time.Since(start)
+		out = append(out, MicroResult{
+			Name:           v.name,
+			Ops:            ops,
+			NsPerOp:        float64(el.Nanoseconds()) / ops,
+			SimCyclesPerOp: float64(c.TotalCycles()-before) / ops,
+			Unit:           MicroUnitSimCycles,
+			ReuseRatio:     rt.StrPoolStats().ReuseRatio(),
 		})
 	}
 

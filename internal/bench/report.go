@@ -42,6 +42,11 @@ type Report struct {
 	// checksum-identical by construction. Optional so older version-2
 	// reports still load.
 	ServeAB *ServeABResult `json:"serveAB,omitempty"`
+	// StrAB is the pooled-string-allocator A/B (see RunStrAB): the strheavy
+	// buffer-recycling scenario served pooled and with NoStrPool,
+	// checksum-identical by construction. Optional so older version-2
+	// reports still load.
+	StrAB *StrABResult `json:"strAB,omitempty"`
 	// Metrics is the final snapshot of a registry attached to the whole
 	// shard sweep: the cumulative core/mem/gc/shard series over every run
 	// in Throughput. Simulated-cycle metrics in it are deterministic.
@@ -77,6 +82,10 @@ func BuildBenchReportOpts(scaleDiv, repeats int, opts ThroughputOpts) (*Report, 
 	if err != nil {
 		return nil, err
 	}
+	sab, err := RunStrAB(scaleDiv, opts.Metrics)
+	if err != nil {
+		return nil, err
+	}
 	r := &Report{
 		Schema:        "regions-bench/v2",
 		SchemaVersion: ReportSchemaVersion,
@@ -89,6 +98,7 @@ func BuildBenchReportOpts(scaleDiv, repeats int, opts ThroughputOpts) (*Report, 
 		Imbalance:     imb,
 		Serve:         srv,
 		ServeAB:       ab,
+		StrAB:         sab,
 	}
 	if opts.Metrics != nil {
 		r.Metrics = opts.Metrics.Snapshot()

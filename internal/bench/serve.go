@@ -129,6 +129,108 @@ func compareServeAB(w io.Writer, old, cur *Report, sameConfig bool) []string {
 	return regressions
 }
 
+// StrABResult is the pooled-string-allocator A/B embedded in the report:
+// the strheavy buffer-recycling scenario served with the pool (the default)
+// and with NoStrPool, over identical seeds. Checksums are content sums, so
+// the two arms must agree bit for bit while the pooled arm serves most
+// string allocations from its free lists (Pooled.StrReuseRatio) and maps
+// less memory from the simulated OS (MappedBytes).
+type StrABResult struct {
+	Profile  string        `json:"profile"`
+	Sessions int           `json:"sessions"`
+	Seed     int64         `json:"seed"`
+	Rate     float64       `json:"ratePerMcycle"`
+	Pooled   *serve.Result `json:"pooled"`
+	NoPool   *serve.Result `json:"noPool"`
+}
+
+// RunStrAB runs the string-pool A/B scenario. It errors — rather than
+// recording a report — when the arms disagree on the checksum, when the
+// pooled arm reused nothing (the A/B would be vacuous), or when pooling
+// increased OS traffic (the opposite of the pool's claim).
+func RunStrAB(scaleDiv int, reg *metrics.Registry) (*StrABResult, error) {
+	sessions := 4000 / scaleDiv
+	if sessions < 100 {
+		sessions = 100
+	}
+	base := serve.Config{
+		Sessions: sessions,
+		Seed:     ServeScenarioSeed,
+		Profile:  "strheavy",
+		Metrics:  reg,
+	}
+	pooled, err := serve.Run(base)
+	if err != nil {
+		return nil, fmt.Errorf("bench: string-pool A/B pooled run: %w", err)
+	}
+	ncfg := base
+	ncfg.NoStrPool = true
+	noPool, err := serve.Run(ncfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: string-pool A/B no-pool run: %w", err)
+	}
+	if pooled.Checksum != noPool.Checksum {
+		return nil, fmt.Errorf("bench: string-pool A/B checksum mismatch: pooled %08x, no-pool %08x — pooling changed session results",
+			pooled.Checksum, noPool.Checksum)
+	}
+	if pooled.StrReuse == 0 {
+		return nil, fmt.Errorf("bench: string-pool A/B pooled run reused nothing — the pool never engaged")
+	}
+	if noPool.StrReuse != 0 {
+		return nil, fmt.Errorf("bench: string-pool A/B no-pool run reports %d reuses — NoStrPool did not disable the pool",
+			noPool.StrReuse)
+	}
+	if pooled.MappedBytes > noPool.MappedBytes {
+		return nil, fmt.Errorf("bench: string-pool A/B pooled run mapped %d bytes, no-pool %d — pooling increased OS traffic",
+			pooled.MappedBytes, noPool.MappedBytes)
+	}
+	return &StrABResult{
+		Profile:  base.Profile,
+		Sessions: sessions,
+		Seed:     base.Seed,
+		Rate:     pooled.Rate,
+		Pooled:   pooled,
+		NoPool:   noPool,
+	}, nil
+}
+
+// compareStrAB prints the string-pool A/B delta and returns the
+// regressions: a pooled arm that stopped reusing, pooled OS traffic above
+// the no-pool arm, and — when the configs match — a checksum that drifted
+// from the artifact.
+func compareStrAB(w io.Writer, old, cur *Report, sameConfig bool) []string {
+	if cur.StrAB == nil {
+		return nil
+	}
+	var regressions []string
+	c := cur.StrAB
+	fmt.Fprintf(w, "\nstring-pool A/B (%s profile, %d sessions): pooled vs no-pool\n",
+		c.Profile, c.Sessions)
+	fmt.Fprintf(w, "  reuse %d/%d allocs (ratio %.3f), big %d, freed %d\n",
+		c.Pooled.StrReuse, c.Pooled.StrNew+c.Pooled.StrReuse,
+		c.Pooled.StrReuseRatio, c.Pooled.StrBig, c.Pooled.StrFreed)
+	fmt.Fprintf(w, "  mapped %d -> %d bytes (%.1f%% of no-pool), p99 %d -> %d sim cycles\n",
+		c.NoPool.MappedBytes, c.Pooled.MappedBytes,
+		100*float64(c.Pooled.MappedBytes)/float64(c.NoPool.MappedBytes),
+		c.NoPool.P99, c.Pooled.P99)
+	if c.Pooled.StrReuse == 0 {
+		regressions = append(regressions, "string-pool A/B: pooled run reused nothing — the pool never engaged")
+	}
+	if c.Pooled.MappedBytes > c.NoPool.MappedBytes {
+		regressions = append(regressions,
+			fmt.Sprintf("string-pool A/B: pooled run mapped %d bytes, no-pool %d — pooling increased OS traffic",
+				c.Pooled.MappedBytes, c.NoPool.MappedBytes))
+	}
+	if o := old.StrAB; o != nil && sameConfig && o.Sessions == c.Sessions {
+		if c.Pooled.Checksum != o.Pooled.Checksum {
+			regressions = append(regressions,
+				fmt.Sprintf("string-pool A/B: checksum %08x, artifact has %08x — serving results changed",
+					c.Pooled.Checksum, o.Pooled.Checksum))
+		}
+	}
+	return regressions
+}
+
 // compareServe prints the serve-scenario delta as context and returns a
 // regression when both reports ran the identical scenario but disagree on
 // its deterministic checksum.

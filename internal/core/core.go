@@ -134,6 +134,13 @@ type Region struct {
 	// deleted one, but its pages still carry stale contents on the free
 	// lists. See sweep.go.
 	unswept int
+	// strPool holds the region's per-capacity-class free lists of
+	// explicitly freed rstralloc blocks, host-side like the runtime's free
+	// page lists; strPoolBytes sums their recorded capacities for the heap
+	// report's byte decomposition. Nil until the first pooled free. See
+	// strpool.go.
+	strPool      [][]strBlock
+	strPoolBytes uint64
 }
 
 // Options configures a Runtime beyond the paper's two libraries, enabling
@@ -185,6 +192,17 @@ type Options struct {
 	// sweepHighWaterFactor times the budget). Only meaningful with
 	// DeferredDelete.
 	SweepHighWater int
+	// NoStrPool disables the pooled string allocator's free lists:
+	// RstrFree becomes accounting-only and every rstralloc bumps, the
+	// paper's original behavior. The per-class New/Big counters and the
+	// "str:" site census stay active so an A/B pair reports comparable
+	// columns. Exists for ablation and the pooling-on/off determinism
+	// gate; see strpool.go.
+	NoStrPool bool
+	// StrPoolMax is the pool's capacity-class ceiling in bytes (rounded up
+	// to a power of two; default defaultStrPoolMax). Requests above it are
+	// "Big": bump-allocated, counted, never pooled.
+	StrPoolMax int
 }
 
 // Runtime is one region-based memory management instance over one simulated
@@ -218,6 +236,19 @@ type Runtime struct {
 	// phase it interrupted (see internal/serve).
 	sweepTaxCycles uint64
 	sweepTaxSlices uint64
+
+	// Pooled string allocator accounting (see strpool.go): strCeil is the
+	// capacity-class ceiling, strPooling whether free lists are in use
+	// (false under Options.NoStrPool), strNew/strReuse/strFreed the
+	// per-class counters, strBig the above-ceiling count, strSiteKeys the
+	// precomputed "str:<class>" census keys.
+	strCeil     int
+	strPooling  bool
+	strNew      []uint64
+	strReuse    []uint64
+	strFreed    []uint64
+	strBig      uint64
+	strSiteKeys []string
 
 	cleanups     []cleanupEntry
 	sizeCleanups map[int]CleanupID
@@ -266,6 +297,7 @@ func NewRuntimeOpts(space *mem.Space, opts Options) *Runtime {
 		opts:  opts,
 	}
 	rt.stack.rt = rt
+	rt.initStrPool()
 	return rt
 }
 
@@ -704,6 +736,13 @@ func (rt *Runtime) RstrAlloc(r *Region, size int) Ptr {
 // TryRstrAlloc is RstrAlloc returning a *Fault (kind FaultOOM) instead of
 // panicking when the simulated OS refuses pages. On failure the region is
 // unchanged.
+//
+// Requests no larger than the pool ceiling first probe the region's
+// capacity-class free list of explicitly freed blocks (see strpool.go); a
+// hit recycles without touching the bump state or the page lists. A miss —
+// and every request when Options.NoStrPool is set or no block was ever
+// freed — bump-allocates exactly align4(size) bytes at exactly the address
+// the paper's allocator would return.
 func (rt *Runtime) TryRstrAlloc(r *Region, size int) (Ptr, error) {
 	if err := rt.checkLive(r); err != nil {
 		return 0, err
@@ -713,25 +752,125 @@ func (rt *Runtime) TryRstrAlloc(r *Region, size int) (Ptr, error) {
 	rt.charge(stats.ModeAlloc, 4)
 
 	data := align4(size)
-	p := rt.bump(r, offStringFirst, offStringAvail, data)
-	if p == 0 {
-		return 0, rt.oomFault("rstralloc", r.id)
+	idx := -1
+	if data <= rt.strCeil {
+		idx = strClassIdx(data)
+	}
+	var p Ptr
+	if idx >= 0 && rt.strPooling {
+		p = rt.strPoolTake(r, idx, data)
+	}
+	reused := p != 0
+	if !reused {
+		p = rt.bump(r, offStringFirst, offStringAvail, data)
+		if p == 0 {
+			return 0, rt.oomFault("rstralloc", r.id)
+		}
+		if idx >= 0 {
+			rt.strNew[idx]++
+		} else {
+			rt.strBig++
+		}
+	} else {
+		rt.strReuse[idx]++
 	}
 
 	r.bytes += uint64(data)
 	r.allocs++
 	rt.c.AddAlloc(int64(data))
 	if rt.tracer != nil {
+		aux := int32(-1)
+		if reused {
+			aux = 1
+		}
 		rt.tracer.Emit(trace.Event{Kind: trace.KindRstrAlloc, Region: r.id,
-			Addr: p, Size: int32(data), Aux: -1})
+			Addr: p, Size: int32(data), Aux: aux})
 	}
 	if m := rt.met; m != nil {
 		m.allocs.Inc()
 		m.allocBytes.Add(uint64(data))
 		m.allocSize.Observe(uint64(data))
-		m.reg.SampleAlloc("rstralloc", uint64(data))
+		if reused {
+			m.strReuse.Inc()
+		} else if idx >= 0 {
+			m.strNew.Inc()
+		} else {
+			m.strBig.Inc()
+		}
+		m.reg.SampleAlloc(rt.strSiteKey(idx), uint64(data))
 	}
 	return p, nil
+}
+
+// RstrFree returns the size-byte rstralloc block at p to region r's string
+// pool for reuse by later rstrallocs of the same (or a smaller) capacity.
+// The string side carries no per-object bookkeeping, so — exactly like the
+// paper's cleanup functions reporting object sizes — the caller states the
+// size it allocated. Freeing is optional: unfreed string memory is
+// reclaimed at region deletion, as always. RstrFree panics with a *Fault on
+// misuse; TryRstrFree is the graceful variant.
+func (rt *Runtime) RstrFree(r *Region, p Ptr, size int) {
+	if err := rt.TryRstrFree(r, p, size); err != nil {
+		panic(err)
+	}
+}
+
+// TryRstrFree is the free primitive behind RstrFree. It charges 2 ModeFree
+// cycles (the ownership probe and the list push), poisons the block
+// (uncharged, like every freed-memory fill), and parks it on the region's
+// floor-capacity-class free list. Blocks above the pool ceiling, and every
+// free under Options.NoStrPool, are accounting-only: the bytes stop
+// counting as live and the memory waits for region deletion.
+//
+// Misuse is reported as a *Fault: freeing into a dead region
+// (FaultDeletedRegion and friends) or freeing a pointer r does not own
+// (FaultDanglingDestroy). A double free is not detectable here — the string
+// side has no headers — but leaves two pool entries over one extent, which
+// Verify's overlap check reports.
+func (rt *Runtime) TryRstrFree(r *Region, p Ptr, size int) error {
+	if err := rt.checkLive(r); err != nil {
+		return err
+	}
+	if p == 0 || p%mem.WordSize != 0 {
+		panic("core: RstrFree of nil or unaligned pointer")
+	}
+	if size <= 0 {
+		panic("core: RstrFree of non-positive size")
+	}
+	old := rt.space.SetMode(stats.ModeFree)
+	defer rt.space.SetMode(old)
+	rt.charge(stats.ModeFree, 2)
+
+	data := align4(size)
+	if owner, _ := rt.regionOf(p); owner != r {
+		return rt.fault(FaultDanglingDestroy, p, r.id,
+			"core: RstrFree of pointer outside the region", nil)
+	}
+	pooled := rt.strPooling && data <= rt.strCeil && int(p%mem.PageSize)+data <= mem.PageSize
+	if pooled {
+		if !rt.opts.NoPoison {
+			rt.space.PoisonRange(p, data)
+		}
+		rt.strPoolPut(r, p, data)
+	}
+	r.bytes -= uint64(data)
+	rt.c.AddFree(int64(data))
+	if data <= rt.strCeil {
+		rt.strFreed[strClassIdx(data)]++
+	}
+	if rt.tracer != nil {
+		aux := int32(0)
+		if pooled {
+			aux = 1
+		}
+		rt.tracer.Emit(trace.Event{Kind: trace.KindRstrFree, Region: r.id,
+			Addr: p, Size: int32(data), Aux: aux})
+	}
+	if m := rt.met; m != nil {
+		m.strFrees.Inc()
+		m.strFreeBytes.Add(uint64(data))
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -805,6 +944,10 @@ func (rt *Runtime) TryDeleteRegion(r *Region) (bool, error) {
 		}
 		rt.runCleanups(r)
 	}
+
+	// The string pool dies with the region: its blocks live on the string
+	// pages released below, so only the host-side lists and gauges retire.
+	rt.strPoolClear(r)
 
 	// Return every page-list entry of both allocators to the free list. Both
 	// list heads are read before anything is released: the region header

@@ -21,9 +21,9 @@ import (
 // occupancy, internal fragmentation, the string-vs-scanned split, and a
 // live-object census by allocation site. The walk is uncharged and
 // read-only, and it performs the same structural checks as Verify steps
-// 1-4, so the report comes certified: a corrupt heap returns an error
+// 1-5, so the report comes certified: a corrupt heap returns an error
 // (*Fault of kind FaultInvariant) instead. Stack and reference-count
-// invariants (Verify steps 5-6) are not checked here.
+// invariants (Verify steps 6-7) are not checked here.
 func (rt *Runtime) HeapReport() (*metrics.HeapReport, error) {
 	var rep *metrics.HeapReport
 	var f *Fault
@@ -34,7 +34,7 @@ func (rt *Runtime) HeapReport() (*metrics.HeapReport, error) {
 	return rep, nil
 }
 
-// heapWalk audits the heap's structural invariants (Verify steps 1-4) and,
+// heapWalk audits the heap's structural invariants (Verify steps 1-5) and,
 // when collect is set, accumulates the per-region heap report along the
 // way. With collect false it allocates nothing beyond the census map and
 // behaves exactly as the verifier always has.
@@ -68,6 +68,11 @@ func (rt *Runtime) heapWalk(collect bool) (*metrics.HeapReport, *Fault) {
 			rh = &rep.Regions[len(rep.Regions)-1]
 			byID[r.id] = rh
 		}
+		var strPages map[int]bool // string-list page census for the pool audit
+		var strHead, strAvail Ptr
+		if r.strPool != nil {
+			strPages = map[int]bool{}
+		}
 		for li, offs := range [2][2]Ptr{{offNormalFirst, offNormalAvail}, {offStringFirst, offStringAvail}} {
 			avail := rt.space.Load(r.hdr + offs[1])
 			if avail > mem.PageSize {
@@ -78,6 +83,9 @@ func (rt *Runtime) heapWalk(collect bool) (*metrics.HeapReport, *Fault) {
 			if rh != nil && entry != 0 {
 				// Remaining bump space on the list's head page.
 				rh.FreeBytes += uint64(mem.PageSize - avail)
+			}
+			if li == 1 {
+				strHead, strAvail = entry, avail
 			}
 			steps := 0
 			for entry != 0 {
@@ -106,6 +114,9 @@ func (rt *Runtime) heapWalk(collect bool) (*metrics.HeapReport, *Fault) {
 					if !rt.space.Mapped(a) {
 						return nil, rt.invariant(a, r.id, "page-list page unmapped")
 					}
+					if li == 1 && strPages != nil {
+						strPages[pg] = true
+					}
 					if prev, dup := seen[pg]; dup {
 						return nil, rt.invariant(a, r.id,
 							"page also on region #%d's lists", prev)
@@ -127,9 +138,22 @@ func (rt *Runtime) heapWalk(collect bool) (*metrics.HeapReport, *Fault) {
 				entry = link &^ Ptr(mem.PageSize-1)
 			}
 		}
+		// 1.5: the string pool's free lists. Every parked block must sit on
+		// one of r's own string pages, inside the allocated prefix of the
+		// head page, in the class its capacity floors to, poisoned, and
+		// non-overlapping; the recorded byte sum must match.
+		if r.strPool != nil {
+			if f := rt.checkStrPool(r, strPages, strHead, strAvail); f != nil {
+				return nil, f
+			}
+		}
 		if rh != nil {
 			rh.Pages = rh.NormalPages + rh.StringPages
 			rh.CapacityBytes = uint64(rh.Pages) * mem.PageSize
+			rh.StrPoolBytes = r.strPoolBytes
+			for _, list := range r.strPool {
+				rh.StrPoolBlocks += len(list)
+			}
 			// The region structure and its coloring gap on the home page.
 			color := r.hdr - (r.hdr &^ Ptr(mem.PageSize-1)) - mem.WordSize
 			rh.BookkeepingBytes += uint64(color) + hdrBytes
@@ -239,7 +263,7 @@ func (rt *Runtime) heapWalk(collect bool) (*metrics.HeapReport, *Fault) {
 			if rh.LiveBytes > rh.NormalBytes {
 				rh.StringBytes = rh.LiveBytes - rh.NormalBytes
 			}
-			if used := rh.LiveBytes + rh.BookkeepingBytes + rh.FreeBytes; rh.CapacityBytes > used {
+			if used := rh.LiveBytes + rh.BookkeepingBytes + rh.FreeBytes + rh.StrPoolBytes; rh.CapacityBytes > used {
 				rh.FragBytes = rh.CapacityBytes - used
 			}
 			if rh.CapacityBytes > 0 {
@@ -254,6 +278,8 @@ func (rt *Runtime) heapWalk(collect bool) (*metrics.HeapReport, *Fault) {
 			t.StringBytes += rh.StringBytes
 			t.BookkeepingBytes += rh.BookkeepingBytes
 			t.FreeBytes += rh.FreeBytes
+			t.StrPoolBytes += rh.StrPoolBytes
+			t.StrPoolBlocks += rh.StrPoolBlocks
 			t.FragBytes += rh.FragBytes
 			t.Objects += rh.Objects
 			t.Allocs += rh.Allocs
@@ -261,8 +287,95 @@ func (rt *Runtime) heapWalk(collect bool) (*metrics.HeapReport, *Fault) {
 		if t.CapacityBytes > 0 {
 			t.OccupancyPct = 100 * float64(t.LiveBytes) / float64(t.CapacityBytes)
 		}
+		rep.StrPool = strPoolReport(rt.StrPoolStats())
 	}
 	return rep, nil
+}
+
+// strPoolReport converts the runtime's pool counters to the report schema.
+func strPoolReport(s StrPoolStats) *metrics.HeapStrPool {
+	out := &metrics.HeapStrPool{
+		Enabled:    s.Enabled,
+		Ceiling:    s.Ceiling,
+		New:        s.New,
+		Reuse:      s.Reuse,
+		Big:        s.Big,
+		Freed:      s.Freed,
+		ReuseRatio: s.ReuseRatio(),
+	}
+	for _, c := range s.Classes {
+		if c.New == 0 && c.Reuse == 0 && c.Freed == 0 && c.FreeBlocks == 0 {
+			continue // all-zero classes would dominate the table with noise
+		}
+		out.Classes = append(out.Classes, metrics.HeapStrClass{
+			Size: c.Size, New: c.New, Reuse: c.Reuse, Freed: c.Freed,
+			FreeBlocks: c.FreeBlocks, FreeBytes: c.FreeBytes,
+		})
+	}
+	return out
+}
+
+// checkStrPool audits one region's string-pool free lists against the page
+// census heapWalk just built: strPages is the set of pages on r's string
+// list, strHead/strAvail the list's head page and its bump offset.
+func (rt *Runtime) checkStrPool(r *Region, strPages map[int]bool, strHead, strAvail Ptr) *Fault {
+	if !rt.strPooling {
+		return rt.invariant(r.hdr, r.id, "string pool populated with pooling disabled")
+	}
+	var all []strBlock
+	var bytes uint64
+	for idx, list := range r.strPool {
+		for _, b := range list {
+			cap := int(b.cap)
+			if b.p == 0 || b.p%mem.WordSize != 0 {
+				return rt.invariant(b.p, r.id, "pooled string block misaligned")
+			}
+			if cap < strClassMin || cap > rt.strCeil || cap%mem.WordSize != 0 {
+				return rt.invariant(b.p, r.id, "pooled string block capacity %d outside the pool", cap)
+			}
+			if strClassIdx(cap) != idx {
+				return rt.invariant(b.p, r.id,
+					"pooled string block capacity %d filed under class %d, not %d",
+					cap, idx, strClassIdx(cap))
+			}
+			off := int(b.p % mem.PageSize)
+			if off < mem.WordSize || off+cap > mem.PageSize {
+				return rt.invariant(b.p, r.id,
+					"pooled string block [%#x,+%d) crosses its page's bounds", b.p, cap)
+			}
+			pg := int(b.p >> mem.PageShift)
+			if !strPages[pg] {
+				return rt.invariant(b.p, r.id, "pooled string block not on the region's string pages")
+			}
+			if Ptr(pg)<<mem.PageShift == strHead && Ptr(off+cap) > strAvail {
+				return rt.invariant(b.p, r.id,
+					"pooled string block extends past the head page's bump offset")
+			}
+			if !rt.opts.NoPoison {
+				for o := 0; o < cap; o += mem.WordSize {
+					if w := rt.space.Load(b.p + Ptr(o)); w != mem.PoisonWord {
+						return rt.invariant(b.p+Ptr(o), r.id,
+							"pooled string block word is %#x, not poison (stray write after free?)", w)
+					}
+				}
+			}
+			bytes += uint64(cap)
+			all = append(all, b)
+		}
+	}
+	if bytes != r.strPoolBytes {
+		return rt.invariant(r.hdr, r.id,
+			"string pool bytes %d, blocks sum to %d", r.strPoolBytes, bytes)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].p < all[j].p })
+	for i := 1; i < len(all); i++ {
+		if all[i-1].p+Ptr(all[i-1].cap) > all[i].p {
+			return rt.invariant(all[i].p, r.id,
+				"pooled string blocks overlap (double free?): [%#x,+%d) and [%#x,+%d)",
+				all[i-1].p, all[i-1].cap, all[i].p, all[i].cap)
+		}
+	}
+	return nil
 }
 
 // censusObjects re-walks every live region's normal-allocator entries the

@@ -1,6 +1,10 @@
 package core
 
-import "regions/internal/metrics"
+import (
+	"strconv"
+
+	"regions/internal/metrics"
+)
 
 // This file wires the runtime into the live metrics registry
 // (internal/metrics), the counterpart of tracing for aggregate telemetry.
@@ -62,9 +66,24 @@ type runtimeMetrics struct {
 	sweepSlices      *metrics.Counter
 	sweptPages       *metrics.Counter
 	sweepSliceCycles *metrics.Histogram
+
+	// Pooled string allocator (see strpool.go): New/Reuse are the
+	// str_reuse_ratio-derivable pair, strPoolBlocks the per-capacity-class
+	// occupancy gauges, indexed like rt.strNew.
+	strNew        *metrics.Counter
+	strReuse      *metrics.Counter
+	strBig        *metrics.Counter
+	strFrees      *metrics.Counter
+	strFreeBytes  *metrics.Counter
+	strPoolBlocks []*metrics.Gauge
 }
 
-func newRuntimeMetrics(reg *metrics.Registry) *runtimeMetrics {
+func newRuntimeMetrics(reg *metrics.Registry, classes int) *runtimeMetrics {
+	pool := make([]*metrics.Gauge, classes)
+	for i := range pool {
+		pool[i] = reg.Gauge(`regions_str_pool_blocks{class="` +
+			strconv.Itoa(strClassSize(i)) + `"}`)
+	}
 	return &runtimeMetrics{
 		reg: reg,
 
@@ -101,17 +120,38 @@ func newRuntimeMetrics(reg *metrics.Registry) *runtimeMetrics {
 		sweepSlices:      reg.Counter("regions_sweep_slices_total"),
 		sweptPages:       reg.Counter("regions_swept_pages_total"),
 		sweepSliceCycles: reg.Histogram("regions_sweep_slice_cycles", sweepSliceCycleBounds),
+
+		strNew:        reg.Counter("regions_str_new_total"),
+		strReuse:      reg.Counter("regions_str_reuse_total"),
+		strBig:        reg.Counter("regions_str_big_total"),
+		strFrees:      reg.Counter("regions_str_free_total"),
+		strFreeBytes:  reg.Counter("regions_str_free_bytes_total"),
+		strPoolBlocks: pool,
 	}
 }
 
 // SetMetrics attaches the runtime to a metrics registry (nil detaches).
 // Series are resolved once here; see docs/OBSERVABILITY.md for the list.
+// The per-class pool-occupancy gauges are re-seeded from the live regions'
+// pools on attach, so a registry attached mid-run reads correctly.
 func (rt *Runtime) SetMetrics(reg *metrics.Registry) {
 	if reg == nil {
 		rt.met = nil
 		return
 	}
-	rt.met = newRuntimeMetrics(reg)
+	rt.met = newRuntimeMetrics(reg, len(rt.strNew))
+	counts := make([]int64, len(rt.strNew))
+	for _, r := range rt.regions {
+		if r.deleted {
+			continue
+		}
+		for idx, list := range r.strPool {
+			counts[idx] += int64(len(list))
+		}
+	}
+	for idx, g := range rt.met.strPoolBlocks {
+		g.Set(counts[idx])
+	}
 }
 
 // Metrics returns the attached registry, or nil.

@@ -69,6 +69,15 @@ type PageRun struct {
 	Words    []Word
 }
 
+// StrPoolRecord is one parked string-pool block (see strpool.go) in a
+// RegionRecord: its source-space address and recorded capacity. Import
+// remaps the address through the page placement and re-parks the block,
+// so explicit string frees survive a migration.
+type StrPoolRecord struct {
+	OldAddr Ptr
+	Cap     int32
+}
+
 // CleanupRef names one cleanup id used by objects in the record. Import
 // remaps ids by Name, so source and target runtimes may have registered
 // their cleanups in different orders.
@@ -90,7 +99,8 @@ type RegionRecord struct {
 	Normal       []PageRun // normal-allocator entries, head first
 	Str          []PageRun // string-allocator entries, head first
 	Cleanups     []CleanupRef
-	Pages        int // total pages across both lists
+	StrPool      []StrPoolRecord // parked string-pool blocks, class order
+	Pages        int             // total pages across both lists
 
 	// newPages is the old-page→new-page placement of the last successful
 	// ImportRegion of this record, backing Translate.
@@ -156,6 +166,10 @@ func (rt *Runtime) ExportRegion(r *Region) (*RegionRecord, error) {
 		rt.releaseEntry(run.OldFirst, run.Pages)
 	}
 	rt.space.SetMode(old)
+
+	// The pool's block memory just left with the pages; retire the host-side
+	// lists (keeping the occupancy gauges exact).
+	rt.strPoolClear(r)
 
 	r.deleted = true
 	r.migrated = true
@@ -236,6 +250,13 @@ func (rt *Runtime) serializeRegion(r *Region, rec *RegionRecord) error {
 	}
 	for _, run := range rec.Str {
 		rec.Pages += run.Pages
+	}
+	// Parked string-pool blocks, in class-then-list order so the record is
+	// deterministic for a given pool state.
+	for _, list := range r.strPool {
+		for _, b := range list {
+			rec.StrPool = append(rec.StrPool, StrPoolRecord{OldAddr: b.p, Cap: b.cap})
+		}
 	}
 	return nil
 }
@@ -438,6 +459,27 @@ func (rt *Runtime) ImportRegion(rec *RegionRecord) (*Region, error) {
 	r.allocs = rec.Allocs
 	r.born = rt.c.TotalCycles()
 	rt.regions = append(rt.regions, r)
+
+	// Re-park the record's string-pool blocks at their relocated addresses.
+	// A block the receiver cannot pool (pooling disabled, or capacity above
+	// this runtime's class ceiling) is dropped: its memory stays dead until
+	// the region dies, exactly as if it had been freed here unpooled. Blocks
+	// are re-poisoned so a NoPoison exporter's record still satisfies this
+	// runtime's Verify.
+	for _, b := range rec.StrPool {
+		if !rt.strPooling || int(b.Cap) > rt.strCeil {
+			continue
+		}
+		npg, ok := pageMap[b.OldAddr>>mem.PageShift]
+		if !ok {
+			continue // unreachable for a well-formed record
+		}
+		np := npg<<mem.PageShift | b.OldAddr&Ptr(mem.PageSize-1)
+		if !rt.opts.NoPoison {
+			rt.space.PoisonRange(np, int(b.Cap))
+		}
+		rt.strPoolPut(r, np, int(b.Cap))
+	}
 	if rt.tracer != nil {
 		rt.tracer.Emit(trace.Event{Kind: trace.KindMigrate, Region: r.id,
 			Addr: newHdr, Size: int32(rec.Pages), Aux: 1})

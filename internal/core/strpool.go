@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math/bits"
+	"strconv"
+
+	"regions/internal/mem"
+	"regions/internal/stats"
+)
+
+// This file is the pooled string allocator, ROADMAP item "pooled
+// string/buffer allocator with reuse accounting": power-of-two capacity
+// classes over the region's pointer-free (rstralloc) side, in the style of
+// the bytespool buffer libraries.
+//
+// The paper's rstralloc is a pure bump allocator — strings carry no
+// bookkeeping and are reclaimed only when the whole region dies — so a
+// workload that recycles string buffers inside a long-lived region keeps
+// bumping into fresh pages and round-trips every one of them through the
+// simulated OS. The pool adds an explicit free path without disturbing the
+// paper's semantics:
+//
+//   - RstrFree(r, p, size) retires one rstralloc block. The block is
+//     poisoned (uncharged, like every freed-memory fill) and parked on a
+//     per-region free list bucketed by the floor power of two of its aligned
+//     capacity, from strClassMin up to the configurable ceiling
+//     (Options.StrPoolMax, default defaultStrPoolMax). Blocks above the
+//     ceiling — and every free under Options.NoStrPool — are accounting-only:
+//     the bytes stop counting as live and the memory waits for region
+//     deletion, exactly as before.
+//   - TryRstrAlloc first probes the request's floor class, newest block
+//     first, for a parked block whose recorded capacity fits (at most
+//     strPoolProbe entries, first fit). A hit charges 1 cycle per probe
+//     examined plus the allocator's fixed 4, so the common exact-size
+//     recycle costs 5 cycles against the in-page bump path's 7 — and
+//     against the new-page path's page acquisition, which is the entire
+//     point: a pool hit never touches the page lists or the simulated OS.
+//     A miss falls through to the bump path unchanged, allocating exactly
+//     align4(size) bytes at exactly the address it always did, so a
+//     workload that never frees has a bit-identical address stream with
+//     pooling on or off.
+//
+// Capacities are recorded per block rather than rounded to the class size:
+// rounding allocations up would change the address stream (breaking the
+// pooling-on/off A/B), and bucketing a freed block by anything other than
+// its true capacity would let a 48-byte request "fit" a 36-byte block. With
+// floor-class bucketing and first-fit on the recorded capacity, a
+// same-size free/alloc cycle always reuses, and a smaller request reusing a
+// larger block leaves the slack as fragmentation until the region dies.
+//
+// Page-level reuse across regions is already covered by the runtime's free
+// page lists and PR 7's detach-then-sweep; the pool captures the sub-page
+// reuse inside live regions those mechanisms cannot see. Pools are
+// host-side structures (like the free page lists): they die with their
+// region (strPoolClear), are serialized and remapped by region migration
+// (RegionRecord.StrPool), and are audited by Verify — poisoning intact, no
+// overlaps, blocks on the region's own string pages, capacity agreeing with
+// the class (see checkStrPool in heap.go).
+
+const (
+	// strClassMin is the smallest pooled capacity: one machine word, the
+	// minimum rstralloc ever allocates.
+	strClassMin = mem.WordSize
+
+	// defaultStrPoolMax is the capacity-class ceiling when
+	// Options.StrPoolMax is unset. Requests above the ceiling are "Big":
+	// bump-allocated and never pooled.
+	defaultStrPoolMax = 2048
+
+	// strPoolProbe bounds the blocks examined per allocation. The newest
+	// block is probed first, so steady-state same-size recycling hits on
+	// the first probe; the bound keeps the worst-case lookup cost (4
+	// cycles) in the same band as the bump path it replaces.
+	strPoolProbe = 4
+)
+
+// strBlock is one freed rstralloc block parked for reuse: its address and
+// the aligned capacity recorded when it was freed.
+type strBlock struct {
+	p   Ptr
+	cap int32
+}
+
+// strClassIdx maps an aligned capacity to its class: the floor power of two,
+// so class i holds blocks of capacity [strClassMin<<i, strClassMin<<(i+1)).
+func strClassIdx(n int) int { return bits.Len32(uint32(n)) - 3 }
+
+// strClassSize returns class idx's floor capacity in bytes.
+func strClassSize(idx int) int { return strClassMin << idx }
+
+// initStrPool resolves the pool configuration at runtime construction: the
+// accounting ceiling (rounded up to a power of two), the per-class counter
+// slices, and the precomputed "str:<class>" census keys. The counters and
+// census keys are active even under Options.NoStrPool, so an A/B pair
+// reports comparable New/Big columns; only the free lists are disabled.
+func (rt *Runtime) initStrPool() {
+	max := rt.opts.StrPoolMax
+	if max <= 0 {
+		max = defaultStrPoolMax
+	}
+	if max < strClassMin {
+		max = strClassMin
+	}
+	max = 1 << uint(bits.Len32(uint32(max-1))) // round up to a power of two
+	rt.strCeil = max
+	rt.strPooling = !rt.opts.NoStrPool
+	n := strClassIdx(max) + 1
+	rt.strNew = make([]uint64, n)
+	rt.strReuse = make([]uint64, n)
+	rt.strFreed = make([]uint64, n)
+	keys := make([]string, n+1)
+	for i := 0; i < n; i++ {
+		keys[i] = "str:" + strconv.Itoa(strClassSize(i))
+	}
+	keys[n] = "str:big"
+	rt.strSiteKeys = keys
+}
+
+// strSiteKey returns the alloc-census key for class idx (-1 = above the
+// ceiling), so string-path sites rank separately from cleanup-named normal
+// sites in the sampled site profile.
+func (rt *Runtime) strSiteKey(idx int) string {
+	if idx < 0 {
+		return rt.strSiteKeys[len(rt.strSiteKeys)-1]
+	}
+	return rt.strSiteKeys[idx]
+}
+
+// strPoolTake pops a parked block of capacity >= data from r's class-idx
+// free list, probing at most strPoolProbe blocks newest-first. Each probe
+// charges one ModeAlloc cycle (the list-entry inspection); the pop itself
+// is free-list bookkeeping already covered by the allocator's fixed charge.
+// Returns 0 when nothing fits.
+func (rt *Runtime) strPoolTake(r *Region, idx, data int) Ptr {
+	if idx >= len(r.strPool) {
+		return 0
+	}
+	list := r.strPool[idx]
+	n := len(list)
+	probes := n
+	if probes > strPoolProbe {
+		probes = strPoolProbe
+	}
+	for i := 0; i < probes; i++ {
+		rt.charge(stats.ModeAlloc, 1)
+		b := list[n-1-i]
+		if int(b.cap) >= data {
+			copy(list[n-1-i:], list[n-i:])
+			r.strPool[idx] = list[:n-1]
+			r.strPoolBytes -= uint64(b.cap)
+			if m := rt.met; m != nil {
+				m.strPoolBlocks[idx].Dec()
+			}
+			return b.p
+		}
+	}
+	return 0
+}
+
+// strPoolPut parks the freed block [p, p+cap) on r's floor-class free list.
+func (rt *Runtime) strPoolPut(r *Region, p Ptr, cap int) {
+	if r.strPool == nil {
+		r.strPool = make([][]strBlock, strClassIdx(rt.strCeil)+1)
+	}
+	idx := strClassIdx(cap)
+	r.strPool[idx] = append(r.strPool[idx], strBlock{p: p, cap: int32(cap)})
+	r.strPoolBytes += uint64(cap)
+	if m := rt.met; m != nil {
+		m.strPoolBlocks[idx].Inc()
+	}
+}
+
+// strPoolClear drops r's pool. The blocks' memory is reclaimed by the
+// caller's page release or detach; this only retires the host-side lists
+// and keeps the class-occupancy gauges exact.
+func (rt *Runtime) strPoolClear(r *Region) {
+	if r.strPool == nil {
+		return
+	}
+	if m := rt.met; m != nil {
+		for idx, list := range r.strPool {
+			if len(list) > 0 {
+				m.strPoolBlocks[idx].Add(-int64(len(list)))
+			}
+		}
+	}
+	r.strPool = nil
+	r.strPoolBytes = 0
+}
+
+// StrClassStats is one capacity class's row of the reuse report.
+type StrClassStats struct {
+	Size       int    // class floor capacity in bytes
+	New        uint64 // bump allocations accounted to this class
+	Reuse      uint64 // allocations served from the pool
+	Freed      uint64 // blocks parked by RstrFree
+	FreeBlocks int    // blocks currently parked, summed over live regions
+	FreeBytes  uint64 // their capacities
+}
+
+// StrPoolStats is the pooled string allocator's cumulative accounting:
+// per-class New/Reuse/Freed plus the above-ceiling Big count. Host-side
+// only; charges no simulated cycles.
+type StrPoolStats struct {
+	Enabled bool // false under Options.NoStrPool
+	Ceiling int  // class ceiling in bytes
+	New     uint64
+	Reuse   uint64
+	Big     uint64
+	Freed   uint64
+	Classes []StrClassStats
+}
+
+// ReuseRatio returns Reuse / (New + Reuse), the steady-state fraction of
+// pool-eligible string allocations served without bumping (0 when nothing
+// was allocated).
+func (s StrPoolStats) ReuseRatio() float64 {
+	total := s.New + s.Reuse
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Reuse) / float64(total)
+}
+
+// StrPoolStats reports the runtime's string-pool counters and the current
+// per-class occupancy across live regions.
+func (rt *Runtime) StrPoolStats() StrPoolStats {
+	out := StrPoolStats{
+		Enabled: rt.strPooling,
+		Ceiling: rt.strCeil,
+		Big:     rt.strBig,
+		Classes: make([]StrClassStats, len(rt.strNew)),
+	}
+	for i := range out.Classes {
+		c := &out.Classes[i]
+		c.Size = strClassSize(i)
+		c.New = rt.strNew[i]
+		c.Reuse = rt.strReuse[i]
+		c.Freed = rt.strFreed[i]
+		out.New += c.New
+		out.Reuse += c.Reuse
+		out.Freed += c.Freed
+	}
+	for _, r := range rt.regions {
+		if r.deleted {
+			continue
+		}
+		for idx, list := range r.strPool {
+			out.Classes[idx].FreeBlocks += len(list)
+			for _, b := range list {
+				out.Classes[idx].FreeBytes += uint64(b.cap)
+			}
+		}
+	}
+	return out
+}

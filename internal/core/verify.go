@@ -44,14 +44,21 @@ import (
 //  4. Object headers: every normal-allocator entry's filled prefix must
 //     parse as a sequence of valid headers whose extents (cleanup sizes,
 //     array bounds) stay inside the entry.
-//  5. Shadow stack: frames below the high-water mark are scanned, frames at
+//  5. String pools: every block parked on a region's capacity-class free
+//     lists (RstrFree) must lie on that region's own string pages inside
+//     the head page's allocated prefix, be filed under the class its
+//     recorded capacity floors to, hold poison in every word (unless
+//     Options.NoPoison), and overlap no other parked block; the region's
+//     recorded pool byte total must equal the blocks' capacity sum. A
+//     double RstrFree is caught here as an overlap.
+//  6. Shadow stack: frames below the high-water mark are scanned, frames at
 //     or above it are not, and the active frame is never scanned.
-//  6. Reference counts (safe runtime only): each live region's stored count
+//  7. Reference counts (safe runtime only): each live region's stored count
 //     must equal the count recomputed from heap contents — cross-region
 //     words in scanned data, global words, and scanned frame slots (all
 //     frame slots under EagerLocals).
 //
-// The recomputation in (6) reads raw heap words, so it assumes the C@
+// The recomputation in (7) reads raw heap words, so it assumes the C@
 // discipline the paper's compiler enforces: a scanned-data word that equals
 // a region address is a region pointer maintained through the write
 // barriers. Programs that store integers aliasing heap addresses in ralloc'd

@@ -250,6 +250,19 @@ func (s *Space) PoisonPageFree(a Addr) {
 	}
 }
 
+// PoisonRange fills size bytes starting at the word-aligned address a with
+// PoisonWord without charging cycles — the sub-page sibling of
+// PoisonPageFree, used when an allocator retires one block inside a page it
+// still owns (the region library's pooled string frees). size must be a
+// multiple of WordSize and the range must not cross a page boundary.
+func (s *Space) PoisonRange(a Addr, size int) {
+	p := s.page(a)
+	base := (a % PageSize) / WordSize
+	for i := 0; i < size/WordSize; i++ {
+		p.words[base+Addr(i)] = PoisonWord
+	}
+}
+
 // Uncharged runs f with cycle accounting disabled. It exists for test
 // oracles and statistics gathering that must not perturb measurements.
 func (s *Space) Uncharged(f func()) {

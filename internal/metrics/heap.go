@@ -16,19 +16,24 @@ import (
 // endpoint) shares one schema.
 
 // HeapSchemaVersion is the schema_version stamped on every HeapReport.
-const HeapSchemaVersion = 1
+// Version 2 added the string-pool decomposition term (StrPoolBytes,
+// StrPoolBlocks, and the HeapStrPool section).
+const HeapSchemaVersion = 2
 
 // RegionHeap is one region's footprint, decomposed exactly:
 //
-//	CapacityBytes = LiveBytes + BookkeepingBytes + FreeBytes + FragBytes
+//	CapacityBytes = LiveBytes + BookkeepingBytes + FreeBytes
+//	              + StrPoolBytes + FragBytes
 //
 // LiveBytes is program-requested data (NormalBytes in the scanned allocator
 // plus StringBytes in the string allocator). BookkeepingBytes is runtime
 // overhead: page-link words, the region structure and its coloring offset,
 // and object headers. FreeBytes is still allocatable by the bump pointers
-// (the head pages' remaining space); FragBytes is internal fragmentation —
-// slack no future allocation in this region can use (abandoned page tails,
-// multi-page-span padding).
+// (the head pages' remaining space); StrPoolBytes is freed string-allocator
+// capacity parked on the region's class free lists, allocatable by the
+// pooled string path; FragBytes is internal fragmentation — slack no future
+// allocation in this region can use (abandoned page tails, multi-page-span
+// padding).
 type RegionHeap struct {
 	ID          int32 `json:"id"`
 	Pages       int   `json:"pages"`
@@ -41,6 +46,8 @@ type RegionHeap struct {
 	StringBytes      uint64 `json:"stringBytes"`
 	BookkeepingBytes uint64 `json:"bookkeepingBytes"`
 	FreeBytes        uint64 `json:"freeBytes"`
+	StrPoolBytes     uint64 `json:"strPoolBytes,omitempty"`
+	StrPoolBlocks    int    `json:"strPoolBlocks,omitempty"`
 	FragBytes        uint64 `json:"fragBytes"`
 
 	Objects uint64 `json:"objects"` // live objects with headers (normal allocator)
@@ -58,6 +65,33 @@ type HeapSite struct {
 	Site    string `json:"site"`
 	Objects uint64 `json:"objects"`
 	Bytes   uint64 `json:"bytes"`
+}
+
+// HeapStrClass is one capacity class of the pooled string allocator's
+// reuse accounting: lifetime New (bump) / Reuse (pool hit) / Freed counts
+// and the blocks currently parked on live regions' free lists.
+type HeapStrClass struct {
+	Size       int    `json:"size"`
+	New        uint64 `json:"new"`
+	Reuse      uint64 `json:"reuse"`
+	Freed      uint64 `json:"freed"`
+	FreeBlocks int    `json:"freeBlocks"`
+	FreeBytes  uint64 `json:"freeBytes"`
+}
+
+// HeapStrPool is the pooled string allocator's section of the report:
+// the class ceiling, the New/Reuse/Big totals (ReuseRatio =
+// Reuse / (New + Reuse)), and the per-class breakdown. Classes with no
+// activity are omitted.
+type HeapStrPool struct {
+	Enabled    bool           `json:"enabled"`
+	Ceiling    int            `json:"ceiling"`
+	New        uint64         `json:"new"`
+	Reuse      uint64         `json:"reuse"`
+	Big        uint64         `json:"big"`
+	Freed      uint64         `json:"freed"`
+	ReuseRatio float64        `json:"reuseRatio"`
+	Classes    []HeapStrClass `json:"classes,omitempty"`
 }
 
 // HeapReport is one full heap profile: the page census of every live
@@ -80,6 +114,9 @@ type HeapReport struct {
 	Totals  RegionHeap   `json:"totals"` // summed over live regions (ID = -1)
 	Regions []RegionHeap `json:"regions"`
 	Sites   []HeapSite   `json:"sites,omitempty"`
+	// StrPool is the pooled string allocator's reuse accounting (nil when
+	// the producing runtime predates the pool).
+	StrPool *HeapStrPool `json:"strPool,omitempty"`
 }
 
 // HeapReporter is anything that can produce a heap profile — concretely
@@ -131,6 +168,10 @@ func (r *HeapReport) WriteText(w io.Writer, topN int) {
 	fmt.Fprintf(w, "  live %s (%.1f%% occupancy): %s scanned + %s string; overhead %s bookkeeping, %s free, %s fragmentation\n",
 		fmtBytes(t.LiveBytes), t.OccupancyPct, fmtBytes(t.NormalBytes), fmtBytes(t.StringBytes),
 		fmtBytes(t.BookkeepingBytes), fmtBytes(t.FreeBytes), fmtBytes(t.FragBytes))
+	if t.StrPoolBlocks > 0 {
+		fmt.Fprintf(w, "  string pool: %s parked in %d blocks\n",
+			fmtBytes(t.StrPoolBytes), t.StrPoolBlocks)
+	}
 	fmt.Fprintf(w, "  free pages: %d single + %d in spans", r.FreePages, r.FreeSpanPages)
 	if r.DetachedPages > 0 {
 		fmt.Fprintf(w, " (%d detached, sweep pending)", r.DetachedPages)
@@ -148,6 +189,23 @@ func (r *HeapReport) WriteText(w io.Writer, topN int) {
 		}
 		if len(r.Regions) > len(top) {
 			fmt.Fprintf(w, "  (%d more regions)\n", len(r.Regions)-len(top))
+		}
+	}
+	if p := r.StrPool; p != nil && (p.New+p.Reuse+p.Big+p.Freed > 0) {
+		fmt.Fprintf(w, "\n  string allocator (pool ceiling %s", fmtBytes(uint64(p.Ceiling)))
+		if !p.Enabled {
+			fmt.Fprintf(w, ", pooling off")
+		}
+		fmt.Fprintf(w, "): %d new, %d reused (%.1f%% reuse), %d freed, %d big\n",
+			p.New, p.Reuse, 100*p.ReuseRatio, p.Freed, p.Big)
+		if len(p.Classes) > 0 {
+			fmt.Fprintf(w, "    %-8s %10s %10s %10s %8s %10s\n",
+				"class", "new", "reuse", "freed", "parked", "parkedB")
+			for _, c := range p.Classes {
+				fmt.Fprintf(w, "    %-8s %10d %10d %10d %8d %10s\n",
+					fmtBytes(uint64(c.Size)), c.New, c.Reuse, c.Freed,
+					c.FreeBlocks, fmtBytes(c.FreeBytes))
+			}
 		}
 	}
 	if len(r.Sites) > 0 {

@@ -41,6 +41,13 @@ type Profile struct {
 	parse  []site
 	work   []site
 	stores int
+	// recycle makes each string site free its previous block before
+	// allocating the next (see allocPhase) — the buffer-recycling shape the
+	// pooled string allocator exists for. Recycling profiles force content
+	// checksums: with the pool on, reused addresses legitimately differ
+	// from the pool-off stream, so the determinism gate must not sum
+	// addresses.
+	recycle bool
 }
 
 // Profiles returns the six session archetypes in the paper's app order.
@@ -150,11 +157,38 @@ func bulkProfile() *Profile {
 	}
 }
 
+// strHeavyProfile is the buffer-recycling archetype: a request that churns
+// through pointer-free string buffers, freeing each one as soon as the next
+// replaces it (Profile.recycle) — a scanner's line buffer, a tokenizer's
+// scratch. Sizes deliberately straddle the pooled allocator's power-of-two
+// classes (63/64/65 around the 64 class boundary) and include one
+// above-ceiling "Big" site, so one run exercises exact-fit reuse, slack
+// reuse, and the bump fall-through. Not part of the default mix; select it
+// with Config.Profile = "strheavy". The string-pool A/B benchmark serves it
+// pooled and unpooled and compares cycles, reuse ratio, and OS traffic.
+func strHeavyProfile() *Profile {
+	return &Profile{
+		Name: "strheavy", Weight: 1, recycle: true,
+		parse: []site{
+			{"strheavy/line", allocStr, 63, 30},  // one under the 64 class
+			{"strheavy/token", allocStr, 64, 40}, // exactly a class size
+			{"strheavy/frag", allocStr, 65, 20},  // one over: floors to 64
+			{"strheavy/hdr", allocPtr, 24, 6},
+		},
+		work: []site{
+			{"strheavy/buf", allocStr, 512, 12},
+			{"strheavy/blob", allocStr, 4096, 2}, // above the default ceiling: Big
+			{"strheavy/sym", allocPtr, 16, 4},
+		},
+		stores: 10,
+	}
+}
+
 // allProfiles returns every profile the simulator knows: the default
 // six-app mix plus the special-purpose archetypes selectable by
 // Config.Profile.
 func allProfiles() []*Profile {
-	return append(Profiles(), bulkProfile())
+	return append(Profiles(), bulkProfile(), strHeavyProfile())
 }
 
 // profileByName finds a profile by Name, nil if unknown.

@@ -130,6 +130,12 @@ type Config struct {
 	// core defaults. Meaningless unless DeferredDelete is set.
 	SweepBudget    int
 	SweepHighWater int
+	// NoStrPool serves with the pooled string allocator's free lists
+	// disabled on every shard (core.Options.NoStrPool) — the control arm of
+	// the string-pool A/B. On recycling profiles ("strheavy") checksums are
+	// content sums, so a pooled run and its NoStrPool control must agree
+	// bit for bit while their cycle counts and OS traffic diverge.
+	NoStrPool bool
 	// Tenants, when > 0, turns on tenant mode: each session belongs to one
 	// of this many tenants (drawn with a triangular skew — tenant 0 hottest)
 	// and is homed on its tenant's shard instead of round-robin, and every
@@ -249,6 +255,20 @@ type Result struct {
 	// Checksum sums every completed session's checksum — the determinism
 	// gate, exactly as in the batch engine.
 	Checksum uint32 `json:"checksum"`
+	// MappedBytes sums every shard's simulated-OS traffic at drain — the
+	// page-map pressure the string pool exists to relieve on recycling
+	// profiles.
+	MappedBytes uint64 `json:"mappedBytes"`
+
+	// Pooled-string-allocator tallies summed over shards at drain: bump
+	// allocations, pool hits, above-ceiling allocations, and explicit
+	// frees. StrReuseRatio is StrReuse / (StrNew + StrReuse); all zero on
+	// profiles that never free.
+	StrNew        uint64  `json:"strNew,omitempty"`
+	StrReuse      uint64  `json:"strReuse,omitempty"`
+	StrBig        uint64  `json:"strBig,omitempty"`
+	StrFreed      uint64  `json:"strFreed,omitempty"`
+	StrReuseRatio float64 `json:"strReuseRatio,omitempty"`
 
 	SLOTarget uint64 `json:"sloTargetP99"`
 	SLOPass   bool   `json:"sloPass"`
@@ -432,6 +452,11 @@ func Run(cfg Config) (*Result, error) {
 				fmt.Sprintf(`regions_serve_phase_cycles{phase=%q}`, k.String()), latencyBounds)
 		}
 	}
+	if p := profileByName(cfg.Profile); p != nil && p.recycle {
+		// Recycling frees mid-request, so pooled and unpooled runs allocate
+		// at different addresses by design; only content sums can gate them.
+		sv.content = true
+	}
 	if cfg.Tenants > 0 {
 		sv.content = true
 		sv.tenants = make([]*tenantState, cfg.Tenants)
@@ -450,6 +475,9 @@ func Run(cfg Config) (*Result, error) {
 	engOpts := []shard.Option{shard.WithShards(cfg.Shards), shard.WithMetrics(cfg.Metrics)}
 	if cfg.DeferredDelete {
 		engOpts = append(engOpts, shard.WithDeferredDelete(cfg.SweepBudget, cfg.SweepHighWater))
+	}
+	if cfg.NoStrPool {
+		engOpts = append(engOpts, shard.WithNoStrPool())
 	}
 	if sv.spanT != nil {
 		// The engine brackets its own pauses (the resize barrier's migration
@@ -651,6 +679,15 @@ func Run(cfg Config) (*Result, error) {
 			res.FirstOverload = st.firstOverload
 		}
 		res.PerShard = append(res.PerShard, st.stats)
+		res.MappedBytes += st.env.Space().MappedBytes()
+		sp := st.env.Runtime().StrPoolStats()
+		res.StrNew += sp.New
+		res.StrReuse += sp.Reuse
+		res.StrBig += sp.Big
+		res.StrFreed += sp.Freed
+	}
+	if total := res.StrNew + res.StrReuse; total > 0 {
+		res.StrReuseRatio = float64(res.StrReuse) / float64(total)
 	}
 	if h, ok := reg.Snapshot().Sub(before).Histogram("regions_serve_latency_cycles"); ok && h.Count > 0 {
 		res.P50 = h.Quantile(0.50)
@@ -913,7 +950,7 @@ func (sv *server) lifecycle(st *shardState, s *session) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
-	sum, _, err := sv.allocPhase(st, parse, s.prof.parse, s.weight, f, 0)
+	sum, _, err := sv.allocPhase(st, parse, s.prof.parse, s.weight, f, 0, s.prof.recycle)
 	if err != nil {
 		abort(parse)
 		return 0, err
@@ -927,7 +964,7 @@ func (sv *server) lifecycle(st *shardState, s *session) (uint32, error) {
 		abort(parse)
 		return 0, err
 	}
-	wsum, hot, err := sv.allocPhase(st, work, s.prof.work, s.weight, f, 1)
+	wsum, hot, err := sv.allocPhase(st, work, s.prof.work, s.weight, f, 1, s.prof.recycle)
 	sum += wsum
 	if err != nil {
 		abort(parse, work)
@@ -1032,8 +1069,10 @@ func (sv *server) tenantPhase(st *shardState, s *session) (uint32, error) {
 // objects with sameregion pointer stores (a linked structure, like the
 // apps' ASTs), anchoring the chain head in frame slot fslot, and returning
 // the phase checksum plus the last two scanned objects (the "hot" pair the
-// store loop reuses).
-func (sv *server) allocPhase(st *shardState, r *core.Region, sites []site, weight int, f *core.Frame, fslot int) (uint32, [2]core.Ptr, error) {
+// store loop reuses). On recycling profiles each string site frees its
+// previous block once the next replaces it — the line-buffer churn the
+// pooled string allocator serves from its free lists.
+func (sv *server) allocPhase(st *shardState, r *core.Region, sites []site, weight int, f *core.Frame, fslot int, recycle bool) (uint32, [2]core.Ptr, error) {
 	rt := st.env.Runtime()
 	var sum uint32
 	var hot [2]core.Ptr
@@ -1058,6 +1097,7 @@ func (sv *server) allocPhase(st *shardState, r *core.Region, sites []site, weigh
 				sum += sv.mix(p, uint32(sc.size), uint32(i))
 			}
 		case allocStr:
+			var last core.Ptr
 			for i := 0; i < n; i++ {
 				p, err := rt.TryRstrAlloc(r, sc.size)
 				if err != nil {
@@ -1065,6 +1105,12 @@ func (sv *server) allocPhase(st *shardState, r *core.Region, sites []site, weigh
 				}
 				st.env.Space().Store(p, uint32(sc.size)) // payload, pointer-free
 				sum += sv.mix(p, uint32(sc.size), uint32(i)+1<<16)
+				if recycle && last != 0 {
+					if err := rt.TryRstrFree(r, last, sc.size); err != nil {
+						return sum, hot, err
+					}
+				}
+				last = p
 			}
 		case allocArr:
 			p, err := rt.TryRarrayAlloc(r, n, sc.size, st.cln[sc.name])

@@ -110,6 +110,10 @@ type Config struct {
 	// core.Options fields; zero keeps the core defaults.
 	SweepBudget    int
 	SweepHighWater int
+	// NoStrPool runs every shard runtime with the pooled string allocator's
+	// free lists disabled (core.Options.NoStrPool) — the A/B escape hatch
+	// for measuring explicit string reuse.
+	NoStrPool bool
 	// IdleSweep makes a worker that finds no runnable task sweep one slice
 	// of its runtime's debt before blocking, turning scheduler idle cycles
 	// into reclamation. Off by default because sweep progress then depends
@@ -317,6 +321,7 @@ func (e *Engine) newWorker() *worker {
 			DeferredDelete: e.set.DeferredDelete,
 			SweepBudget:    e.set.SweepBudget,
 			SweepHighWater: e.set.SweepHighWater,
+			NoStrPool:      e.set.NoStrPool,
 		}),
 		dq:        newDeque(e.set.Queue),
 		pinned:    newDeque(e.set.Queue),

@@ -124,6 +124,11 @@ func WithDeferredDelete(budget, highWater int) Option {
 // sweep debt before blocking (meaningful only with WithDeferredDelete).
 func WithIdleSweep(on bool) Option { return func(s *settings) { s.IdleSweep = on } }
 
+// WithNoStrPool disables the pooled string allocator's free lists on every
+// shard runtime (core.Options.NoStrPool): RstrFree becomes accounting-only
+// and every RstrAlloc bumps, for A/B comparison against the pooled default.
+func WithNoStrPool() Option { return func(s *settings) { s.NoStrPool = true } }
+
 // WithPlacement replaces the affinity-key placement function (default:
 // FNV-1a hash mod shard count). Round-robin placement of empty-key tasks is
 // unaffected.

@@ -98,6 +98,11 @@ func (e *Env) RstrAlloc(r appkit.Region, size int) Ptr {
 	return e.rt.RstrAlloc(r.(*core.Region), size)
 }
 
+// RstrFree retires one RstrAlloc block for reuse within r.
+func (e *Env) RstrFree(r appkit.Region, p Ptr, size int) {
+	e.rt.RstrFree(r.(*core.Region), p, size)
+}
+
 // RegisterCleanup registers an environment-level cleanup function.
 func (e *Env) RegisterCleanup(name string, fn appkit.CleanupFunc) appkit.CleanupID {
 	return e.rt.RegisterCleanup(name, func(_ *core.Runtime, obj Ptr) int {

@@ -95,6 +95,13 @@ const (
 	KindSpanBegin
 	KindSpanEnd
 
+	// Pooled string free (internal/core, Runtime.RstrFree): the explicit
+	// release of one rstralloc block back to its region's capacity-class
+	// pool. Addr is the block, Size its aligned capacity, Aux 1 when the
+	// block was pooled for reuse and 0 when it fell outside the pool
+	// (pooling disabled or above the class ceiling).
+	KindRstrFree
+
 	numKinds
 )
 
@@ -126,6 +133,7 @@ var kindNames = [numKinds]string{
 	KindMigrate:             "migrate",
 	KindSpanBegin:           "span-begin",
 	KindSpanEnd:             "span-end",
+	KindRstrFree:            "rstr-free",
 }
 
 // String returns the kebab-case event name used throughout the sinks.

@@ -130,6 +130,8 @@ type config struct {
 	deferredDelete bool
 	sweepBudget    int
 	sweepHighWater int
+	noStrPool      bool
+	strPoolMax     int
 	pageLimit      int
 	faultPlan      *mem.FaultPlan
 	tracer         *trace.Tracer
@@ -162,6 +164,18 @@ func WithSweepBudget(pages int) Option { return func(c *config) { c.sweepBudget 
 // acquisition first runs one sweep slice (default 8x the budget). Only
 // meaningful together with DeferredDelete.
 func WithSweepHighWater(pages int) Option { return func(c *config) { c.sweepHighWater = pages } }
+
+// NoStrPool disables the pooled string allocator's free lists: FreeStr
+// still retires a block's accounting, but the memory waits for region
+// deletion instead of being parked for reuse. The escape hatch exists for
+// A/B comparison — AllocStr's semantics and, for a program that never
+// frees, its exact address stream are identical with pooling on or off.
+func NoStrPool() Option { return func(c *config) { c.noStrPool = true } }
+
+// WithStrPoolMax sets the pooled string allocator's capacity-class ceiling
+// in bytes (default 2048, rounded up to a power of two). Frees above the
+// ceiling are accounting-only and allocations above it are counted "Big".
+func WithStrPoolMax(bytes int) Option { return func(c *config) { c.strPoolMax = bytes } }
 
 // WithPageLimit caps the simulated OS at the given number of 4 KB pages
 // from the first allocation on, exactly as calling SetPageLimit right after
@@ -201,6 +215,8 @@ func New(opts ...Option) *System {
 		DeferredDelete: cfg.deferredDelete,
 		SweepBudget:    cfg.sweepBudget,
 		SweepHighWater: cfg.sweepHighWater,
+		NoStrPool:      cfg.noStrPool,
+		StrPoolMax:     cfg.strPoolMax,
 	})
 	s := &System{rt: rt, sp: sp}
 	if cfg.pageLimit > 0 {
@@ -323,6 +339,21 @@ func (s *System) TryRstrAlloc(r *Region, size int) (Ptr, error) {
 	return s.rt.TryRstrAlloc(r, size)
 }
 
+// RstrFree retires one RstrAlloc block of the given original size: the
+// bytes stop counting as live and — unless NoStrPool, or size is above the
+// pool ceiling — the block is poisoned and parked on the region's
+// capacity-class free list, where a later RstrAlloc of a fitting size
+// reuses it without bumping. Freeing is optional (regions reclaim
+// everything at deletion, as in the paper) and panics on a pointer outside
+// r or a size that does not match an allocation.
+func (s *System) RstrFree(r *Region, p Ptr, size int) { s.rt.RstrFree(r, p, size) }
+
+// TryRstrFree is the graceful variant of RstrFree: a pointer outside the
+// region returns a *Fault instead of panicking.
+func (s *System) TryRstrFree(r *Region, p Ptr, size int) error {
+	return s.rt.TryRstrFree(r, p, size)
+}
+
 // RegionOf returns the region containing p, or nil (the paper's regionof).
 func (s *System) RegionOf(p Ptr) *Region { return s.rt.RegionOf(p) }
 
@@ -386,6 +417,13 @@ func (h Handle) TryAllocArray(n, elemSize int, cleanup CleanupID) (Ptr, error) {
 
 // TryAllocStr is the graceful variant of AllocStr.
 func (h Handle) TryAllocStr(size int) (Ptr, error) { return h.s.TryRstrAlloc(h.r, size) }
+
+// FreeStr retires one AllocStr block for reuse within the bound region
+// (RstrFree).
+func (h Handle) FreeStr(p Ptr, size int) { h.s.RstrFree(h.r, p, size) }
+
+// TryFreeStr is the graceful variant of FreeStr.
+func (h Handle) TryFreeStr(p Ptr, size int) error { return h.s.TryRstrFree(h.r, p, size) }
 
 // Delete attempts to delete the bound region (DeleteRegion).
 func (h Handle) Delete() bool { return h.s.DeleteRegion(h.r) }
@@ -530,6 +568,7 @@ const (
 	EvDestroy          = trace.KindDestroy
 	EvFault            = trace.KindFault
 	EvMigrate          = trace.KindMigrate
+	EvRstrFree         = trace.KindRstrFree
 )
 
 // NewTracer returns a tracer holding the last capacity events (a default
